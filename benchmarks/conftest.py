@@ -1,0 +1,117 @@
+"""Shared benchmark infrastructure.
+
+Heavy artifacts (datasets, built methods, workloads) are cached at
+session scope so that e.g. the default-configuration FULL build is paid
+once across all figures.  Environment knobs:
+
+* ``REPRO_BENCH_QUERIES`` — queries per workload (default 20; the paper
+  uses 100, which roughly quintuples runtime).
+* ``REPRO_BENCH_SCALE`` — dataset scale for the default dataset
+  (default 1/16 of the paper's node counts).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.reporting import ResultsLog, format_table
+from repro.core.method import get_method
+from repro.crypto.signer import NullSigner
+from repro.workload.datasets import load_dataset
+from repro.workload.queries import generate_workload
+
+#: Paper defaults (Table II; bold values).
+DEFAULT_DATASET = "DE"
+DEFAULT_RANGE = 2000.0
+DEFAULT_FANOUT = 2
+DEFAULT_ORDERING = "hbt"
+LDM_DEFAULTS = dict(c=100, bits=12, xi=50.0)
+HYP_DEFAULTS = dict(num_cells=100)
+
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1.0 / 16.0))
+#: The four-dataset sweep includes FULL (quadratic memory), so it runs
+#: at a smaller scale; see DESIGN.md §4.
+SWEEP_SCALE = DEFAULT_SCALE / 4.0
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def method_params(name: str, **overrides) -> dict:
+    """Default build parameters for a method, with overrides."""
+    params = dict(fanout=DEFAULT_FANOUT, ordering=DEFAULT_ORDERING)
+    if name == "LDM":
+        params.update(LDM_DEFAULTS)
+    elif name == "HYP":
+        params.update(HYP_DEFAULTS)
+    params.update(overrides)
+    return params
+
+
+class BenchContext:
+    """Session-wide caches plus convenience runners."""
+
+    def __init__(self, num_queries: int) -> None:
+        self.signer = NullSigner()
+        self.num_queries = num_queries
+        self._methods: dict = {}
+        self._workloads: dict = {}
+
+    # -- caching ------------------------------------------------------
+    def dataset(self, name: str = DEFAULT_DATASET, scale: float = DEFAULT_SCALE):
+        return load_dataset(name, scale=scale)
+
+    def method(self, method_name: str, dataset: str = DEFAULT_DATASET,
+               scale: float = DEFAULT_SCALE, **overrides):
+        params = method_params(method_name, **overrides)
+        key = (method_name, dataset, scale, tuple(sorted(params.items())))
+        if key not in self._methods:
+            graph = self.dataset(dataset, scale)
+            self._methods[key] = get_method(method_name).build(
+                graph, self.signer, **params
+            )
+        return self._methods[key]
+
+    def workload(self, dataset: str = DEFAULT_DATASET, scale: float = DEFAULT_SCALE,
+                 query_range: float = DEFAULT_RANGE):
+        key = (dataset, scale, query_range, self.num_queries)
+        if key not in self._workloads:
+            graph = self.dataset(dataset, scale)
+            # tolerance=1.0 implements the paper's "as close to the query
+            # range as possible" semantics even near the network diameter.
+            self._workloads[key] = generate_workload(
+                graph, query_range, count=self.num_queries, seed=2010,
+                tolerance=1.0,
+            )
+        return self._workloads[key]
+
+    # -- runners -------------------------------------------------------
+    def measure(self, method_name: str, dataset: str = DEFAULT_DATASET,
+                scale: float = DEFAULT_SCALE, query_range: float = DEFAULT_RANGE,
+                **overrides):
+        method = self.method(method_name, dataset, scale, **overrides)
+        workload = self.workload(dataset, scale, query_range)
+        return method, run_workload(method, workload, self.signer.verify)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    num_queries = int(os.environ.get("REPRO_BENCH_QUERIES", "20"))
+    return BenchContext(num_queries)
+
+
+@pytest.fixture()
+def results(request) -> ResultsLog:
+    """Per-test JSON results file under benchmarks/results/."""
+    name = request.node.name.replace("[", "_").replace("]", "")
+    log = ResultsLog(os.path.join(RESULTS_DIR, f"{name}.json"))
+    yield log
+    log.save()
+
+
+def emit(title: str, headers, rows) -> None:
+    """Print a paper-style table (shown with pytest -s and in CI logs)."""
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,206 @@
+"""Ablations beyond the paper's figures.
+
+The paper fixes ξ=50 and b=12 and writes: *"Due to lack of space, the
+effect of ξ and b on the performance of LDM is not studied here."*
+These benchmarks supply that study, plus three design ablations the
+reproduction surfaced:
+
+* landmark selection strategy (random vs farthest);
+* the cost of HYP's cell-directory ADS (our soundness fix);
+* the real RSA signer vs the keyed-hash stub (crypto cost isolation);
+* accuracy of the proof-size estimation model (the paper's future work).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_RANGE, emit
+from repro.bench.harness import run_workload
+from repro.core.estimate import ProofSizeModel
+from repro.core.ldm import LdmMethod
+from repro.core.proofs import DIRECTORY_TREE
+
+
+BITS_SWEEP = [4, 8, 12, 16]
+XI_SWEEP = [0.0, 50.0, 200.0, 800.0]
+
+
+def test_ablation_quantization_bits(ctx, results, benchmark):
+    """Fewer bits -> smaller vectors but looser bounds -> bigger cones."""
+    graph = ctx.dataset()
+    workload = ctx.workload()
+    rows = []
+    runs = {}
+    for bits in BITS_SWEEP:
+        method = LdmMethod.build(graph, ctx.signer, c=100, bits=bits, xi=50.0)
+        run = run_workload(method, workload, ctx.signer.verify)
+        runs[bits] = run
+        rows.append([bits, run.total_kb, round(run.s_items)])
+        results.add("ablation-bits", bits=bits, total_kb=run.total_kb,
+                    s_items=run.s_items)
+    emit("Ablation — LDM quantization bits b (c=100, ξ=50)",
+         ["b", "total KB", "S-items"], rows)
+
+    # Coarser codes can only enlarge the disclosed cone.
+    assert runs[4].s_items >= runs[16].s_items
+    # All variants still verify (run_workload raises otherwise).
+
+    vs, vt = workload.queries[0]
+    method = LdmMethod.build(graph, ctx.signer, c=100, bits=4, xi=50.0)
+    benchmark(method.answer, vs, vt)
+
+
+def test_ablation_compression_threshold(ctx, results, benchmark):
+    """Larger ξ compresses more vectors but loosens the Lemma-4 bound."""
+    graph = ctx.dataset()
+    workload = ctx.workload()
+    rows = []
+    runs = {}
+    for xi in XI_SWEEP:
+        method = LdmMethod.build(graph, ctx.signer, c=100, bits=12, xi=xi)
+        run = run_workload(method, workload, ctx.signer.verify)
+        compressed = method._compressed.num_compressed
+        runs[xi] = (run, compressed)
+        rows.append([xi, compressed, run.total_kb, round(run.s_items)])
+        results.add("ablation-xi", xi=xi, compressed_nodes=compressed,
+                    total_kb=run.total_kb, s_items=run.s_items)
+    emit("Ablation — LDM compression threshold ξ (c=100, b=12)",
+         ["ξ", "compressed nodes", "total KB", "S-items"], rows)
+
+    # Monotone compression count; looser bound can only grow the cone.
+    counts = [runs[xi][1] for xi in XI_SWEEP]
+    assert counts == sorted(counts)
+    assert runs[800.0][0].s_items >= runs[0.0][0].s_items
+
+    vs, vt = workload.queries[0]
+    method = LdmMethod.build(graph, ctx.signer, c=100, bits=12, xi=800.0)
+    benchmark(method.answer, vs, vt)
+
+
+def test_ablation_landmark_selection(ctx, results, benchmark):
+    """Farthest landmarks give bounds at least as tight as random ones."""
+    graph = ctx.dataset()
+    workload = ctx.workload()
+    rows = []
+    items = {}
+    for strategy in ("random", "farthest"):
+        method = LdmMethod.build(graph, ctx.signer, c=50,
+                                 landmark_strategy=strategy)
+        run = run_workload(method, workload, ctx.signer.verify)
+        items[strategy] = run.s_items
+        rows.append([strategy, run.total_kb, round(run.s_items)])
+        results.add("ablation-selection", strategy=strategy,
+                    total_kb=run.total_kb, s_items=run.s_items)
+    emit("Ablation — LDM landmark selection (c=50)",
+         ["strategy", "total KB", "S-items"], rows)
+    assert items["farthest"] <= items["random"] * 1.1
+
+    vs, vt = workload.queries[0]
+    method = LdmMethod.build(graph, ctx.signer, c=50,
+                             landmark_strategy="random")
+    benchmark(method.answer, vs, vt)
+
+
+def test_ablation_directory_overhead(ctx, results, benchmark):
+    """The HYP cell directory (our soundness fix) must cost ~nothing."""
+    workload = ctx.workload()
+    method = ctx.method("HYP")
+    directory_bytes = []
+    total_bytes = []
+    for vs, vt in workload:
+        response = method.answer(vs, vt)
+        section = response.section(DIRECTORY_TREE)
+        directory_bytes.append(section.s_prf_bytes() + section.t_prf_bytes())
+        total_bytes.append(response.sizes().total_bytes)
+    share = sum(directory_bytes) / sum(total_bytes)
+    emit("Ablation — HYP cell-directory overhead",
+         ["mean directory bytes", "mean total bytes", "share %"],
+         [[sum(directory_bytes) / len(workload),
+           sum(total_bytes) / len(workload), 100 * share]])
+    results.add("ablation-directory", share=share)
+    assert share < 0.15, "directory ADS should be a minor fraction of the proof"
+
+    vs, vt = workload.queries[0]
+    benchmark(method.answer, vs, vt)
+
+
+def test_ablation_signer_cost(ctx, results, benchmark):
+    """RSA signing is one-off (owner side); verification adds ~ms."""
+    from repro.crypto.signer import RsaSigner
+
+    graph = ctx.dataset(scale=1 / 64)
+    rsa = RsaSigner(bits=1024, seed=77)
+    start = time.perf_counter()
+    method = LdmMethod.build(graph, rsa, c=20)
+    rsa_build = time.perf_counter() - start
+
+    workload_graph = ctx.workload("DE", 1 / 64, DEFAULT_RANGE)
+    vs, vt = workload_graph.queries[0]
+    response = method.answer(vs, vt)
+
+    from repro.core.method import get_method
+
+    start = time.perf_counter()
+    for _ in range(20):
+        assert get_method("LDM").verify(vs, vt, response, rsa.verify).ok
+    rsa_verify_ms = (time.perf_counter() - start) / 20 * 1000
+
+    emit("Ablation — signature scheme cost",
+         ["scheme", "owner build s", "client verify ms"],
+         [["RSA-1024 (FDH)", rsa_build, rsa_verify_ms]])
+    results.add("ablation-signer", rsa_build=rsa_build,
+                rsa_verify_ms=rsa_verify_ms)
+    assert rsa_verify_ms < 100.0
+
+    benchmark(rsa.verify, response.descriptor.message(),
+              response.descriptor.signature)
+
+
+def test_ablation_batch_savings(ctx, results, benchmark):
+    """Batched proofs: one Merkle cover for a burst of queries."""
+    from repro.core.batch import answer_batch, verify_batch
+
+    workload = ctx.workload()
+    queries = list(workload.queries[: min(10, len(workload))])
+    rows = []
+    for name in ("DIJ", "LDM"):
+        method = ctx.method(name)
+        batch = answer_batch(method, queries)
+        assert all(r.ok for r in verify_batch(batch, ctx.signer.verify))
+        individual = sum(len(method.answer(vs, vt).encode())
+                         for vs, vt in queries)
+        saving = 1 - batch.total_bytes / individual
+        rows.append([name, individual / 1024, batch.total_bytes / 1024,
+                     100 * saving])
+        results.add("ablation-batch", method=name,
+                    individual_kb=individual / 1024,
+                    batch_kb=batch.total_bytes / 1024, saving=saving)
+        assert batch.total_bytes < individual
+    emit(f"Extension — batched proofs over {len(queries)} queries",
+         ["method", "individual KB", "batched KB", "saving %"], rows)
+
+    method = ctx.method("DIJ")
+    benchmark.pedantic(lambda: answer_batch(method, queries[:5]),
+                       rounds=2, iterations=1)
+
+
+def test_estimator_accuracy(ctx, results, benchmark):
+    """The sizing model predicts measured proof sizes within ~2.5x."""
+    graph = ctx.dataset()
+    model = ProofSizeModel.for_graph(graph)
+    rows = []
+    worst = 0.0
+    for name in ("DIJ", "FULL", "LDM", "HYP"):
+        _, run = ctx.measure(name)
+        predicted_kb = model.predict(name, DEFAULT_RANGE) / 1024
+        ratio = max(predicted_kb / run.total_kb, run.total_kb / predicted_kb)
+        worst = max(worst, ratio)
+        rows.append([name, run.total_kb, predicted_kb, ratio])
+        results.add("estimator", method=name, actual_kb=run.total_kb,
+                    predicted_kb=predicted_kb, off_by=ratio)
+    emit("Future work — proof-size estimation model accuracy",
+         ["method", "actual KB", "predicted KB", "off-by x"], rows)
+    assert worst < 2.5
+
+    benchmark(model.predict, "HYP", DEFAULT_RANGE)

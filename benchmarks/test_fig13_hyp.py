@@ -1,0 +1,61 @@
+"""Figure 13 — HYP performance versus the number of cells p.
+
+Expected shape: more cells mean smaller source/target cells and fewer
+hyper-edges between them, so the proof shrinks with p (Fig. 13a);
+construction time grows with p as the border set grows (Fig. 13b) —
+the paper reports sublinear growth.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+
+CELL_COUNTS = [25, 49, 100, 225, 400, 625]
+
+
+@pytest.fixture(scope="module")
+def fig13_runs(ctx):
+    return {p: ctx.measure("HYP", num_cells=p)[1] for p in CELL_COUNTS}
+
+
+def test_fig13a_overhead(ctx, fig13_runs, results, benchmark):
+    rows = []
+    for p in CELL_COUNTS:
+        run = fig13_runs[p]
+        rows.append([p, run.s_prf_kb, run.t_prf_kb, run.total_kb,
+                     round(run.s_items)])
+        results.add("fig13a", p=p, s_prf_kb=run.s_prf_kb,
+                    t_prf_kb=run.t_prf_kb, total_kb=run.total_kb,
+                    s_items=run.s_items)
+    emit("Fig 13a — HYP communication overhead vs #cells",
+         ["p", "S-prf KB", "T-prf KB", "total KB", "S-items"], rows)
+
+    # The S-prf (cell tuples + hyper-edge tuples) shrinks as cells shrink.
+    assert fig13_runs[625].s_prf_kb < fig13_runs[25].s_prf_kb
+    assert fig13_runs[225].s_prf_kb < fig13_runs[25].s_prf_kb
+
+    method = ctx.method("HYP", num_cells=625)
+    vs, vt = ctx.workload().queries[0]
+    benchmark(method.answer, vs, vt)
+
+
+def test_fig13b_construction(ctx, fig13_runs, results, benchmark):
+    rows = []
+    for p in CELL_COUNTS:
+        run = fig13_runs[p]
+        rows.append([p, run.construction_seconds])
+        results.add("fig13b", p=p,
+                    construction_seconds=run.construction_seconds)
+    emit("Fig 13b — HYP hint construction time vs #cells [s]",
+         ["p", "construction s"], rows)
+
+    assert (fig13_runs[625].construction_seconds
+            > fig13_runs[25].construction_seconds)
+
+    from repro.core.hyp import HypMethod
+
+    small = ctx.dataset(scale=1 / 64)
+    benchmark.pedantic(
+        lambda: HypMethod.build(small, ctx.signer, num_cells=25),
+        rounds=1, iterations=1,
+    )

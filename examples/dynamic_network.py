@@ -1,0 +1,68 @@
+"""Dynamic network demo: congestion updates without rebuilding the ADS.
+
+Road conditions change: an accident doubles the travel time of a road
+segment.  With DIJ the owner refreshes exactly two Merkle leaves and
+re-signs the root (O(log n) hashes + one signature) — no rebuild.  The
+demo shows:
+
+1. the route before the incident;
+2. the owner pushing a weight update;
+3. the provider's new route avoiding the congested segment, with a
+   proof that verifies against the *new* signed root;
+4. a replay attack — serving the old (pre-incident) response under the
+   new descriptor — being rejected.
+
+Run:  python examples/dynamic_network.py
+"""
+
+import copy
+
+from repro import Client, DataOwner, ServiceProvider
+from repro.crypto.signer import RsaSigner
+from repro.graph import road_network
+from repro.workload import generate_workload
+from repro.workload.datasets import normalize_weights
+
+
+def main() -> None:
+    graph = normalize_weights(road_network(900, seed=5), 9000.0)
+    signer = RsaSigner(bits=1024, seed=3)
+    owner = DataOwner(graph, signer=signer)
+    method = owner.publish("DIJ")
+    provider = ServiceProvider(method)
+    client = Client(signer.verifier_for_public_key().verify)
+
+    vs, vt = generate_workload(graph, 2500.0, count=1, seed=2).queries[0]
+    before = provider.answer(vs, vt)
+    assert client.verify(vs, vt, before).ok
+    print(f"route {vs} -> {vt} before the incident: "
+          f"{len(before.path_nodes)} segments, cost {before.path_cost:.1f}")
+
+    # An accident on the second segment of the current best route.
+    u, v = before.path_nodes[1], before.path_nodes[2]
+    old_weight = graph.weight(u, v)
+    print(f"\nincident on segment ({u}, {v}): "
+          f"travel time {old_weight:.1f} -> {old_weight * 4:.1f}")
+    method.update_edge_weight(u, v, old_weight * 4, signer)
+    print("owner refreshed 2 Merkle leaves and re-signed the root "
+          "(no rebuild)")
+
+    after = provider.answer(vs, vt)
+    verdict = client.verify(vs, vt, after)
+    assert verdict.ok, verdict.reason
+    print(f"\nroute after the incident: {len(after.path_nodes)} segments, "
+          f"cost {after.path_cost:.1f}  [verified against the new root]")
+    detour = after.path_cost - before.path_cost
+    print(f"the verified detour costs +{detour:.1f}")
+
+    # Replay attack: old tuples + new descriptor must fail.
+    stale = copy.deepcopy(before)
+    stale.descriptor = method.descriptor
+    replay = client.verify(vs, vt, stale)
+    print(f"\nreplaying the pre-incident response under the new root: "
+          f"{'ACCEPTED (!)' if replay.ok else 'REJECTED [' + replay.reason + ']'}")
+    assert not replay.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Malicious provider demo: every attack from the paper's threat model.
+
+A compromised or profit-motivated service provider tries five ways to
+cheat; the client rejects each one, and the output shows *which* check
+caught it — hash verification, signature verification, or the shortest
+path validity re-search that is the paper's core contribution.
+
+Run:  python examples/malicious_server.py
+"""
+
+from repro import Client, DataOwner
+from repro.core import adversary
+from repro.crypto.signer import NullSigner
+from repro.errors import MethodError
+from repro.graph import road_network
+from repro.workload import generate_workload
+from repro.workload.datasets import normalize_weights
+
+ATTACK_DESCRIPTIONS = {
+    "suboptimal": "report a longer path (e.g. past preferred gas stations)",
+    "tamper": "rewrite an edge weight inside a disclosed tuple",
+    "drop": "withhold evidence tuples, patch the Merkle proof (§IV-A)",
+    "forge-distance": "rewrite a materialized distance value",
+    "strip-signature": "replace the owner's signature",
+    "inflate-cost": "claim the path is longer than it is",
+}
+
+
+def attacks_for(method, graph, vs, vt, honest):
+    yield "suboptimal", lambda: adversary.suboptimal_path(method, graph, vs, vt)
+    yield "tamper", lambda: adversary.tamper_weight(honest)
+    if method.name in ("DIJ", "LDM", "HYP"):
+        yield "drop", lambda: adversary.drop_tuple(honest)
+    if method.name in ("FULL", "HYP"):
+        yield "forge-distance", lambda: adversary.forge_distance(honest)
+    yield "strip-signature", lambda: adversary.strip_signature(honest)
+    yield "inflate-cost", lambda: adversary.inflate_cost(honest)
+
+
+def main() -> None:
+    graph = normalize_weights(road_network(700, seed=11), 9000.0)
+    owner = DataOwner(graph, signer=NullSigner())
+    client = Client(owner.signer.verify)
+    vs, vt = generate_workload(graph, 2500.0, count=1, seed=5).queries[0]
+    print(f"network: {graph.num_nodes} nodes; query: {vs} -> {vt}\n")
+
+    accepted_attacks = 0
+    for name in ("DIJ", "FULL", "LDM", "HYP"):
+        method = owner.publish(
+            name, **({"c": 24} if name == "LDM" else
+                     {"num_cells": 25} if name == "HYP" else {})
+        )
+        honest = method.answer(vs, vt)
+        assert client.verify(vs, vt, honest).ok
+        print(f"== {name}: honest response accepted "
+              f"({honest.sizes().total_kbytes:.1f} KB proof)")
+        for attack, make in attacks_for(method, graph, vs, vt, honest):
+            try:
+                tampered = make()
+            except MethodError as exc:
+                print(f"   {attack:16s} -> not applicable ({exc})")
+                continue
+            result = client.verify(vs, vt, tampered)
+            verdict = "REJECTED" if not result.ok else "ACCEPTED (!)"
+            if result.ok:
+                accepted_attacks += 1
+            print(f"   {attack:16s} -> {verdict:12s} [{result.reason}] "
+                  f"- {ATTACK_DESCRIPTIONS[attack]}")
+        print()
+
+    if accepted_attacks:
+        raise SystemExit(f"{accepted_attacks} attacks were wrongly accepted!")
+    print("Every attack was rejected; honest answers were accepted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Method trade-off explorer: which hints should an owner publish?
+
+Reproduces the paper's central trade-off (Fig. 8) on a dataset of your
+choice: DIJ needs no pre-computation but ships enormous proofs; FULL
+ships tiny proofs but cannot scale its pre-computation; LDM and HYP sit
+in between.  Useful as a sizing tool before deploying.
+
+Run:  python examples/method_tradeoffs.py [dataset] [scale] [range]
+e.g.  python examples/method_tradeoffs.py DE 0.0625 2000
+"""
+
+import sys
+
+from repro.bench import format_table, run_workload
+from repro.core.method import get_method
+from repro.crypto.signer import NullSigner
+from repro.workload import generate_workload, load_dataset
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "DE"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1 / 16
+    query_range = float(sys.argv[3]) if len(sys.argv) > 3 else 2000.0
+
+    graph = load_dataset(dataset, scale=scale)
+    print(f"{dataset}-like at scale {scale:g}: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges; query range {query_range:g}\n")
+    signer = NullSigner()
+    workload = generate_workload(graph, query_range, count=10, seed=1,
+                                 tolerance=1.0)
+
+    rows = []
+    for name, params in [
+        ("DIJ", {}),
+        ("FULL", {}),
+        ("LDM", dict(c=100, bits=12, xi=50.0)),
+        ("HYP", dict(num_cells=100)),
+    ]:
+        method = get_method(name).build(graph, signer, **params)
+        run = run_workload(method, workload, signer.verify)
+        rows.append([
+            name,
+            run.construction_seconds,
+            run.total_kb,
+            round(run.s_items),
+            run.prove_ms,
+            run.verify_ms,
+        ])
+
+    print(format_table(
+        ["method", "hints build s", "proof KB", "S-items",
+         "prove ms", "verify ms"],
+        rows,
+        title="Trade-offs (mean per query over the workload)",
+    ))
+    print(
+        "\nReading guide: pick FULL for tiny static networks, HYP for "
+        "typical deployments,\nLDM when grid partitioning fits the data "
+        "poorly, DIJ only when the owner cannot\npre-compute anything."
+    )
+
+
+if __name__ == "__main__":
+    main()

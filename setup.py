@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+All metadata lives in pyproject.toml.  This file exists so that the
+legacy editable install path (``pip install -e . --no-use-pep517``)
+works in offline environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

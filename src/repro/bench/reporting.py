@@ -1,0 +1,59 @@
+"""Plain-text tables and JSON result logs for the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: "str | None" = None) -> str:
+    """Render an aligned monospace table (numbers right-aligned)."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numeric(cell) else
+                               cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    return stripped.isdigit() and bool(stripped)
+
+
+class ResultsLog:
+    """Accumulates experiment records and writes them as JSON.
+
+    Benchmarks append one record per measured configuration; the file
+    under ``benchmarks/results/`` is the raw data behind EXPERIMENTS.md.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.records: list[dict] = []
+
+    def add(self, experiment: str, **fields) -> None:
+        """Record one measurement row."""
+        self.records.append({"experiment": experiment, **fields})
+
+    def save(self) -> None:
+        """Write all records to :attr:`path` (creating directories)."""
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as out:
+            json.dump(self.records, out, indent=2, sort_keys=True)

@@ -1,0 +1,180 @@
+"""Command line interface.
+
+Subcommands::
+
+    repro-spv generate  --nodes 800 --seed 7 --out net.txt
+    repro-spv info      net.txt
+    repro-spv workload  net.txt --range 2000 --count 10 --out queries.txt
+    repro-spv demo      net.txt --method HYP --queries 3
+    repro-spv estimate  net.txt --range 2000
+
+``demo`` runs the full three-party protocol (build, answer, verify) and
+prints per-query proof sizes; ``estimate`` prints the predictive sizing
+model's ranking without building anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.reporting import format_table
+from repro.core.estimate import ProofSizeModel
+from repro.core.framework import Client, DataOwner, ServiceProvider
+from repro.crypto.signer import NullSigner, RsaSigner
+from repro.errors import ReproError
+from repro.graph.io import read_graph, write_graph, write_workload
+from repro.graph.synthetic import road_network
+from repro.workload.datasets import normalize_weights
+from repro.workload.queries import generate_workload
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = road_network(args.nodes, seed=args.seed, canvas=args.canvas)
+    graph = normalize_weights(graph, args.diameter)
+    write_graph(graph, args.out)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = read_graph(args.graph)
+    degrees = [graph.degree(n) for n in graph.node_ids()]
+    min_x, min_y, max_x, max_y = graph.bounding_box()
+    rows = [
+        ["nodes", graph.num_nodes],
+        ["edges", graph.num_edges],
+        ["edge/node ratio", graph.num_edges / graph.num_nodes],
+        ["mean degree", sum(degrees) / len(degrees)],
+        ["max degree", max(degrees)],
+        ["canvas", f"[{min_x:.0f},{max_x:.0f}] x [{min_y:.0f},{max_y:.0f}]"],
+    ]
+    print(format_table(["property", "value"], rows, title=args.graph))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    graph = read_graph(args.graph)
+    workload = generate_workload(graph, args.range, count=args.count,
+                                 seed=args.seed, tolerance=1.0)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as out:
+            write_workload(list(workload), out)
+        print(f"wrote {len(workload)} queries to {args.out}")
+    else:
+        for vs, vt in workload:
+            print(vs, vt)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    graph = read_graph(args.graph)
+    signer = NullSigner() if args.insecure else RsaSigner(bits=1024)
+    owner = DataOwner(graph, signer=signer)
+    params = {}
+    if args.method == "LDM":
+        params = dict(c=args.landmarks)
+    elif args.method == "HYP":
+        params = dict(num_cells=args.cells)
+    start = time.perf_counter()
+    method = owner.publish(args.method, **params)
+    build_seconds = time.perf_counter() - start
+    provider = ServiceProvider(method)
+    client = Client(signer.verify)
+    workload = generate_workload(graph, args.range, count=args.queries,
+                                 seed=args.seed, tolerance=1.0)
+    rows = []
+    failures = 0
+    for vs, vt in workload:
+        response = provider.answer(vs, vt)
+        verdict = client.verify(vs, vt, response)
+        if not verdict.ok:
+            failures += 1
+        sizes = response.sizes()
+        rows.append([f"{vs}->{vt}", response.path_cost, len(response.path_nodes),
+                     sizes.total_kbytes, "ok" if verdict.ok else verdict.reason])
+    print(format_table(
+        ["query", "distance", "path nodes", "proof KB", "verdict"], rows,
+        title=(f"{args.method} on {args.graph} "
+               f"(hints {method.construction_seconds:.2f}s, "
+               f"build total {build_seconds:.2f}s)"),
+    ))
+    return 1 if failures else 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    graph = read_graph(args.graph)
+    model = ProofSizeModel.for_graph(graph)
+    rows = [
+        [name, bytes_ / 1024]
+        for name, bytes_ in model.rank(args.range)
+    ]
+    print(format_table(
+        ["method", "predicted proof KB"], rows,
+        title=f"predicted proof sizes at range {args.range:g} (smallest first)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spv",
+        description="Authenticated shortest path verification (ICDE 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic road network")
+    gen.add_argument("--nodes", type=int, default=800)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--canvas", type=float, default=10_000.0)
+    gen.add_argument("--diameter", type=float, default=9_000.0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(fn=_cmd_generate)
+
+    info = sub.add_parser("info", help="print statistics of a graph file")
+    info.add_argument("graph")
+    info.set_defaults(fn=_cmd_info)
+
+    wl = sub.add_parser("workload", help="generate a query workload")
+    wl.add_argument("graph")
+    wl.add_argument("--range", type=float, default=2000.0)
+    wl.add_argument("--count", type=int, default=10)
+    wl.add_argument("--seed", type=int, default=0)
+    wl.add_argument("--out")
+    wl.set_defaults(fn=_cmd_workload)
+
+    demo = sub.add_parser("demo", help="run the full three-party protocol")
+    demo.add_argument("graph")
+    demo.add_argument("--method", choices=["DIJ", "FULL", "LDM", "HYP"],
+                      default="HYP")
+    demo.add_argument("--range", type=float, default=2000.0)
+    demo.add_argument("--queries", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--landmarks", type=int, default=50)
+    demo.add_argument("--cells", type=int, default=49)
+    demo.add_argument("--insecure", action="store_true",
+                      help="use the keyed-hash stub signer (fast, no RSA)")
+    demo.set_defaults(fn=_cmd_demo)
+
+    est = sub.add_parser("estimate", help="predict proof sizes without building")
+    est.add_argument("graph")
+    est.add_argument("--range", type=float, default=2000.0)
+    est.set_defaults(fn=_cmd_estimate)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Batch proofs: one Merkle cover for many queries.
+
+A navigation provider answers bursts of queries from the same client
+(e.g. a delivery fleet's morning dispatch).  The subgraph methods (DIJ,
+LDM) disclose overlapping tuple sets for nearby queries, so shipping
+one *combined* section — the union of the per-query disclosure sets
+under a single Merkle cover — is strictly smaller than concatenating
+individual responses whenever the queries overlap at all.
+
+Soundness is unchanged: the union is a superset of every per-query
+disclosure set, and both client searches (Lemma 1 Dijkstra, Lemma 2
+A*) remain sound on supersets — extra authentic tuples can only be
+ignored or confirm the optimum, never manufacture a shorter phantom
+path, and the missing-node rules still fire because each query's
+required set is contained in the union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.framework import VerificationResult
+from repro.core.method import SignatureVerifier, VerificationMethod, get_method
+from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeSection
+from repro.encoding import Decoder, Encoder
+from repro.errors import MethodError
+from repro.merkle.proof import decode_proof_entries, encode_proof_entries
+
+#: Methods whose ΓS is a subgraph disclosure (where unioning pays).
+BATCHABLE = ("DIJ", "LDM")
+
+
+@dataclass
+class BatchResponse:
+    """Provider answer for several queries with one shared ΓT."""
+
+    method: str
+    queries: tuple[tuple[int, int], ...]
+    paths: tuple[tuple[int, ...], ...]
+    costs: tuple[float, ...]
+    section: TreeSection
+    descriptor: SignedDescriptor
+
+    def response_for(self, index: int) -> QueryResponse:
+        """Materialize the *index*-th query as a standalone response.
+
+        All per-query responses share the same (superset) section; see
+        the module docstring for why that preserves soundness.
+        """
+        vs, vt = self.queries[index]
+        return QueryResponse(
+            method=self.method,
+            source=vs,
+            target=vt,
+            path_nodes=self.paths[index],
+            path_cost=self.costs[index],
+            sections={NETWORK_TREE: self.section},
+            descriptor=self.descriptor,
+        )
+
+    # -- wire format ----------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize (the ground truth for size accounting)."""
+        enc = Encoder()
+        enc.write_str(self.method)
+        enc.write_uint(len(self.queries))
+        for (vs, vt), path, cost in zip(self.queries, self.paths, self.costs):
+            enc.write_uint(vs).write_uint(vt)
+            enc.write_uint_seq(path)
+            enc.write_f64(cost)
+        enc.write_uint_seq(self.section.positions)
+        enc.write_uint(len(self.section.payloads))
+        for payload in self.section.payloads:
+            enc.write_bytes(payload)
+        encode_proof_entries(self.section.entries, enc)
+        enc.write_bytes(self.descriptor.encode())
+        return enc.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BatchResponse":
+        """Inverse of :meth:`encode`."""
+        dec = Decoder(data)
+        method = dec.read_str()
+        count = dec.read_uint()
+        queries = []
+        paths = []
+        costs = []
+        for _ in range(count):
+            queries.append((dec.read_uint(), dec.read_uint()))
+            paths.append(tuple(dec.read_uint_seq()))
+            costs.append(dec.read_f64())
+        positions = dec.read_uint_seq()
+        payloads = [dec.read_bytes() for _ in range(dec.read_uint())]
+        entries = decode_proof_entries(dec)
+        descriptor = SignedDescriptor.decode(dec.read_bytes())
+        dec.expect_end()
+        return cls(method, tuple(queries), tuple(paths), tuple(costs),
+                   TreeSection(NETWORK_TREE, positions, payloads, entries),
+                   descriptor)
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire size of the whole batch."""
+        return len(self.encode())
+
+
+def answer_batch(method: VerificationMethod,
+                 queries: "list[tuple[int, int]]") -> BatchResponse:
+    """Provider role: answer all *queries* under one combined section."""
+    if method.name not in BATCHABLE:
+        raise MethodError(
+            f"{method.name} proofs are already near-constant size; batching "
+            f"supports the subgraph methods {BATCHABLE}"
+        )
+    if not queries:
+        raise MethodError("empty query batch")
+    paths = []
+    costs = []
+    all_positions: set[int] = set()
+    bundle = method._bundle
+    for vs, vt in queries:
+        response = method.answer(vs, vt)
+        paths.append(response.path_nodes)
+        costs.append(response.path_cost)
+        all_positions.update(response.section(NETWORK_TREE).positions)
+    positions = sorted(all_positions)
+    order = bundle.order
+    payloads = [bundle.payload_of[order[pos]] for pos in positions]
+    entries = bundle.tree.prove(positions)
+    section = TreeSection(NETWORK_TREE, positions, payloads, entries)
+    return BatchResponse(
+        method=method.name,
+        queries=tuple(queries),
+        paths=tuple(paths),
+        costs=tuple(costs),
+        section=section,
+        descriptor=method.descriptor,
+    )
+
+
+def verify_batch(batch: BatchResponse,
+                 verify_signature: SignatureVerifier) -> "list[VerificationResult]":
+    """Client role: verify every query in the batch.
+
+    Returns one :class:`VerificationResult` per query, in order.  The
+    shared Merkle cover is checked as part of the first verification
+    and implicitly revalidated by each (the section object is shared).
+    """
+    verifier = get_method(batch.method)
+    results = []
+    for index, (vs, vt) in enumerate(batch.queries):
+        response = batch.response_for(index)
+        results.append(verifier.verify(vs, vt, response, verify_signature))
+    return results

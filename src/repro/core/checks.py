@@ -1,0 +1,203 @@
+"""Shared client-side verification steps and owner-side tree building.
+
+Every method's ``verify`` runs the same skeleton: check the descriptor
+signature, reconstruct each Merkle root from ΓS + ΓT, decode the
+extended tuples, and validate the reported path against authenticated
+adjacency.  Those steps live here; method files contain only the
+method-specific shortest path reasoning.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping, Type
+
+from repro.core.framework import VerificationResult, distances_close
+from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeSection
+from repro.crypto.signer import Signer
+from repro.errors import EncodingError, MerkleError
+from repro.graph.graph import SpatialGraph
+from repro.graph.tuples import BaseTuple
+from repro.merkle.tree import MerkleTree, reconstruct_root
+from repro.order import order_nodes
+
+
+def verify_descriptor(
+    expected_method: str,
+    response: QueryResponse,
+    verify_signature: Callable[[bytes, bytes], bool],
+) -> "VerificationResult | None":
+    """Signature and method-name checks; ``None`` means pass."""
+    descriptor = response.descriptor
+    if response.method != expected_method or descriptor.method != expected_method:
+        return VerificationResult.failure(
+            "method-mismatch",
+            f"expected {expected_method}, response says {response.method!r} "
+            f"with descriptor {descriptor.method!r}",
+        )
+    if not verify_signature(descriptor.message(), descriptor.signature):
+        return VerificationResult.failure(
+            "bad-signature", "owner signature on the descriptor does not verify"
+        )
+    return None
+
+
+def verify_section_root(
+    descriptor: SignedDescriptor,
+    section: TreeSection,
+) -> "VerificationResult | None":
+    """Reconstruct one ADS root from ΓS + ΓT and compare with the signed root."""
+    try:
+        config = descriptor.tree(section.tree)
+    except EncodingError:
+        return VerificationResult.failure(
+            "unknown-tree", f"descriptor does not cover tree {section.tree!r}"
+        )
+    try:
+        root = reconstruct_root(
+            config.num_leaves,
+            config.fanout,
+            descriptor.hash_name,
+            section.leaf_map(),
+            section.entries,
+        )
+    except (MerkleError, EncodingError) as exc:
+        return VerificationResult.failure(
+            "malformed-proof", f"tree {section.tree!r}: {exc}"
+        )
+    if root != config.root:
+        return VerificationResult.failure(
+            "root-mismatch",
+            f"tree {section.tree!r}: reconstructed root does not match the signed root",
+        )
+    return None
+
+
+def decode_tuples(section: TreeSection, tuple_cls: Type[BaseTuple]) -> dict[int, BaseTuple]:
+    """Decode a section's payloads as extended tuples, keyed by node id.
+
+    Raises :class:`EncodingError` on malformed payloads or duplicate
+    node ids (a provider must never present two tuples for one node).
+    """
+    tuples: dict[int, BaseTuple] = {}
+    for payload in section.payloads:
+        tup = tuple_cls.decode(payload)
+        if tup.node_id in tuples:
+            raise EncodingError(f"duplicate extended tuple for node {tup.node_id}")
+        tuples[tup.node_id] = tup
+    return tuples
+
+
+def adjacency_weight(tup: BaseTuple, neighbor: int) -> "float | None":
+    """Edge weight listed in Φ for *neighbor*, or ``None`` when absent."""
+    for nbr, w in tup.adjacency:
+        if nbr == neighbor:
+            return w
+    return None
+
+
+def check_reported_path(
+    source: int,
+    target: int,
+    response: QueryResponse,
+    tuples: Mapping[int, BaseTuple],
+) -> "VerificationResult | None":
+    """Validate the reported path against authenticated adjacency.
+
+    Checks: endpoints match the query, every path node is covered by an
+    authenticated Φ, every consecutive pair is a real edge, and the sum
+    of authenticated weights equals the reported cost.
+    """
+    nodes = response.path_nodes
+    if not nodes:
+        return VerificationResult.failure("empty-path", "response contains no path")
+    if nodes[0] != source or nodes[-1] != target:
+        return VerificationResult.failure(
+            "endpoint-mismatch",
+            f"path runs {nodes[0]} -> {nodes[-1]}, query was {source} -> {target}",
+        )
+    if len(set(nodes)) != len(nodes):
+        return VerificationResult.failure("path-cycle", "reported path repeats a node")
+    cost = 0.0
+    for u, v in zip(nodes, nodes[1:]):
+        tup = tuples.get(u)
+        if tup is None:
+            return VerificationResult.failure(
+                "path-node-missing", f"no authenticated tuple for path node {u}"
+            )
+        w = adjacency_weight(tup, v)
+        if w is None:
+            return VerificationResult.failure(
+                "phantom-edge", f"edge ({u}, {v}) is not in the authenticated graph"
+            )
+        cost += w
+    if nodes[-1] not in tuples:
+        return VerificationResult.failure(
+            "path-node-missing", f"no authenticated tuple for path node {nodes[-1]}"
+        )
+    if not distances_close(cost, response.path_cost):
+        return VerificationResult.failure(
+            "cost-mismatch",
+            f"authenticated path cost {cost} != reported {response.path_cost}",
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Owner-side helpers
+# ----------------------------------------------------------------------
+class NetworkTreeBundle:
+    """Owner/provider state for one graph-node Merkle tree.
+
+    Holds the leaf order, each node's leaf position, the encoded Φ
+    payloads and the tree itself.
+    """
+
+    __slots__ = ("tree", "order", "position_of", "payload_of", "build_seconds",
+                 "_tuple_factory")
+
+    def __init__(
+        self,
+        graph: SpatialGraph,
+        tuple_factory: Callable[[int], BaseTuple],
+        *,
+        ordering: str = "hbt",
+        fanout: int = 2,
+        hash_name: str = "sha1",
+    ) -> None:
+        start = time.perf_counter()
+        self._tuple_factory = tuple_factory
+        self.order = order_nodes(graph, ordering)
+        self.payload_of: dict[int, bytes] = {
+            node_id: tuple_factory(node_id).encode() for node_id in self.order
+        }
+        self.position_of = {node_id: i for i, node_id in enumerate(self.order)}
+        self.tree = MerkleTree(
+            (self.payload_of[node_id] for node_id in self.order),
+            fanout=fanout,
+            hash_fn=hash_name,
+        )
+        self.build_seconds = time.perf_counter() - start
+
+    def section_for(self, node_ids) -> TreeSection:
+        """ΓS + ΓT section disclosing Φ for *node_ids*."""
+        ids = sorted(set(node_ids), key=lambda n: self.position_of[n])
+        positions = [self.position_of[n] for n in ids]
+        payloads = [self.payload_of[n] for n in ids]
+        entries = self.tree.prove(positions)
+        return TreeSection(NETWORK_TREE, positions, payloads, entries)
+
+    def refresh_node(self, node_id: int) -> None:
+        """Re-encode Φ(node_id) and update its Merkle leaf in place.
+
+        Called by owner-side incremental updates after the node's
+        adjacency changed; the caller must re-sign the new root.
+        """
+        payload = self._tuple_factory(node_id).encode()
+        self.payload_of[node_id] = payload
+        self.tree.update_leaf(self.position_of[node_id], payload)
+
+
+def sign_descriptor(descriptor: SignedDescriptor, signer: Signer) -> SignedDescriptor:
+    """Owner signs the descriptor message."""
+    return descriptor.with_signature(signer.sign(descriptor.message()))

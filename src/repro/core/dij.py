@@ -1,0 +1,190 @@
+"""DIJ — Dijkstra subgraph verification (paper §IV-A).
+
+No authenticated hints.  The proof ΓS is the *Dijkstra ball*: the
+extended tuple of every node within ``dist(vs, vt)`` of the source
+(Lemma 1).  The client re-runs Dijkstra on the disclosed subgraph; the
+proof is valid only if every node the search needs is present, which
+is what defeats the tuple-dropping attack described in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.checks import (
+    NetworkTreeBundle,
+    check_reported_path,
+    decode_tuples,
+    sign_descriptor,
+    verify_descriptor,
+    verify_section_root,
+)
+from repro.core.framework import REL_TOL, VerificationResult, distances_close
+from repro.core.method import SignatureVerifier, VerificationMethod, register_method
+from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeConfig
+from repro.crypto.signer import Signer
+from repro.errors import EncodingError, NoPathError
+from repro.graph.graph import SpatialGraph
+from repro.graph.tuples import BaseTuple
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.path import Path
+
+
+@register_method
+class DijMethod(VerificationMethod):
+    """Dijkstra subgraph verification (no pre-computation)."""
+
+    name = "DIJ"
+
+    def __init__(self, graph: SpatialGraph, bundle: NetworkTreeBundle,
+                 descriptor: SignedDescriptor) -> None:
+        super().__init__()
+        self._graph = graph
+        self._bundle = bundle
+        self._descriptor = descriptor
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: SpatialGraph, signer: Signer, *, fanout: int = 2,
+              ordering: str = "hbt", hash_name: str = "sha1",
+              algo_sp: str = "dijkstra", **params) -> "DijMethod":
+        if params:
+            raise EncodingError(f"DIJ takes no extra parameters, got {sorted(params)}")
+        bundle = NetworkTreeBundle(
+            graph, lambda v: BaseTuple.from_graph(graph, v),
+            ordering=ordering, fanout=fanout, hash_name=hash_name,
+        )
+        descriptor = sign_descriptor(
+            SignedDescriptor(
+                method=cls.name,
+                hash_name=hash_name,
+                params=b"",
+                trees=(TreeConfig(NETWORK_TREE, bundle.tree.num_leaves, fanout,
+                                  bundle.tree.root),),
+            ),
+            signer,
+        )
+        method = cls(graph, bundle, descriptor)
+        method.construction_seconds = 0.0  # DIJ pre-computes no hints
+        method.algo_sp = algo_sp
+        return method
+
+    # ------------------------------------------------------------------
+    def update_edge_weight(self, u: int, v: int, weight: float,
+                           signer: Signer) -> None:
+        """Incrementally re-weight one edge and re-sign the new root.
+
+        ``O(log |V|)`` hashes plus one signature: DIJ's only ADS is the
+        network Merkle tree, so a weight change touches two leaves.
+        Previously issued responses remain verifiable only against the
+        old descriptor — clients pin the descriptor they trust.
+        """
+        self._graph.add_edge(u, v, weight)  # validates nodes and weight
+        self._bundle.refresh_node(u)
+        self._bundle.refresh_node(v)
+        old = self._descriptor
+        refreshed = SignedDescriptor(
+            method=old.method,
+            hash_name=old.hash_name,
+            params=old.params,
+            trees=(TreeConfig(NETWORK_TREE, self._bundle.tree.num_leaves,
+                              old.tree(NETWORK_TREE).fanout,
+                              self._bundle.tree.root),),
+        )
+        self._descriptor = sign_descriptor(refreshed, signer)
+
+    # ------------------------------------------------------------------
+    def answer(self, source: int, target: int, *,
+               forced_path: "Path | None" = None) -> QueryResponse:
+        if forced_path is None:
+            path = self._shortest_path(source, target)  # NoPathError if unreachable
+        else:
+            path = forced_path
+        radius = path.cost
+        ball = dijkstra(self._graph, source, radius=radius)
+        section = self._bundle.section_for(ball.dist.keys())
+        return QueryResponse(
+            method=self.name,
+            source=source,
+            target=target,
+            path_nodes=path.nodes,
+            path_cost=path.cost,
+            sections={NETWORK_TREE: section},
+            descriptor=self._descriptor,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def verify(cls, source: int, target: int, response: QueryResponse,
+               verify_signature: SignatureVerifier) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature)
+        if failure is not None:
+            return failure
+        try:
+            section = response.section(NETWORK_TREE)
+            tuples = decode_tuples(section, BaseTuple)
+        except EncodingError as exc:
+            return VerificationResult.failure("malformed-proof", str(exc))
+        failure = verify_section_root(response.descriptor, section)
+        if failure is not None:
+            return failure
+        failure = check_reported_path(source, target, response, tuples)
+        if failure is not None:
+            return failure
+
+        reported = response.path_cost
+        verdict = _client_dijkstra(source, target, reported, tuples)
+        if isinstance(verdict, VerificationResult):
+            return verdict
+        computed = verdict
+        if not distances_close(computed, reported):
+            return VerificationResult.failure(
+                "not-optimal",
+                f"subgraph shortest distance {computed} != reported {reported}",
+            )
+        return VerificationResult.success(distance=computed, subgraph_nodes=len(tuples))
+
+
+def _client_dijkstra(source: int, target: int, reported: float,
+                     tuples: "dict[int, BaseTuple]") -> "float | VerificationResult":
+    """Validity-checked Dijkstra over the disclosed subgraph (Lemma 1).
+
+    The proof is invalid (and the function returns a failure) if a node
+    the search needs — reachable within the reported distance — has no
+    disclosed tuple.  Relaxations beyond the reported distance may
+    legitimately point at undisclosed nodes (Lemma 1 only covers the
+    ball of radius ``dist(vs, vt)``).
+    """
+    if source not in tuples:
+        return VerificationResult.failure("source-missing",
+                                          f"no tuple for source node {source}")
+    margin = reported * (1 + REL_TOL) + 1e-9
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    best = {source: 0.0}
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        if u == target:
+            return d
+        for v, w in tuples[u].adjacency:
+            if v in dist:
+                continue
+            nd = d + w
+            if v not in tuples:
+                if nd <= margin:
+                    return VerificationResult.failure(
+                        "incomplete-subgraph",
+                        f"node {v} at distance {nd} <= {reported} was not disclosed",
+                    )
+                continue  # legitimately outside the Lemma-1 ball
+            known = best.get(v)
+            if known is None or nd < known:
+                best[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return VerificationResult.failure(
+        "target-unreachable",
+        f"target {target} is unreachable in the disclosed subgraph",
+    )

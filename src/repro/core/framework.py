@@ -1,0 +1,118 @@
+"""Three-party framework: data owner, service provider, client.
+
+Thin role objects that mirror Figure 2 of the paper, plus the
+verification outcome type and the floating point comparison policy
+shared by all methods.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.crypto.signer import RsaSigner, Signer
+from repro.errors import MethodError
+from repro.graph.graph import SpatialGraph
+
+#: Relative/absolute tolerances for distance equality.  Provider and
+#: client sum float64 edge weights in different orders, so exact
+#: equality is too strict; 1e-9 relative is far below any meaningful
+#: weight difference yet far above accumulated rounding error.
+REL_TOL = 1e-9
+ABS_TOL = 1e-6
+
+
+def distances_close(a: float, b: float) -> bool:
+    """Whether two path distances should be considered equal."""
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def definitely_greater(a: float, b: float) -> bool:
+    """Whether ``a > b`` beyond float noise."""
+    return a > b + max(ABS_TOL, REL_TOL * max(abs(a), abs(b)))
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of client-side verification.
+
+    ``ok`` is the verdict; ``reason`` is a short machine-friendly code
+    (e.g. ``"root-mismatch"``), ``detail`` a human-readable expansion.
+    Failures are values, not exceptions: a client facing a malicious
+    provider needs a verdict, not a stack trace.
+    """
+
+    ok: bool
+    reason: str = "ok"
+    detail: str = ""
+    checks: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @classmethod
+    def success(cls, **checks) -> "VerificationResult":
+        """An accepting result, optionally recording check values."""
+        return cls(ok=True, checks=checks)
+
+    @classmethod
+    def failure(cls, reason: str, detail: str = "") -> "VerificationResult":
+        """A rejecting result with a reason code."""
+        return cls(ok=False, reason=reason, detail=detail)
+
+
+class DataOwner:
+    """The trusted authority holding the original graph and the keys."""
+
+    def __init__(self, graph: SpatialGraph, signer: "Signer | None" = None) -> None:
+        self.graph = graph
+        self.signer = signer if signer is not None else RsaSigner()
+
+    def publish(self, method: str = "LDM", **params):
+        """Build a verification method instance ready for outsourcing.
+
+        Returns the built :class:`~repro.core.method.VerificationMethod`;
+        hand it to a :class:`ServiceProvider`.  Keyword arguments are
+        method parameters (``fanout``, ``ordering``, and per-method
+        extras such as ``c``/``bits``/``xi`` or ``num_cells``).
+        """
+        from repro.core.method import get_method
+
+        cls = get_method(method)
+        return cls.build(self.graph, self.signer, **params)
+
+
+class ServiceProvider:
+    """The third party answering queries with proofs."""
+
+    def __init__(self, method) -> None:
+        self.method = method
+
+    def answer(self, source: int, target: int):
+        """Algorithm 1: compute the path, ΓS and ΓT."""
+        return self.method.answer(source, target)
+
+
+class Client:
+    """A query client holding only the owner's public key."""
+
+    def __init__(self, verify_signature) -> None:
+        """``verify_signature(message, signature) -> bool``.
+
+        Pass ``signer.verify`` or an
+        :class:`~repro.crypto.signer.RsaVerifier` bound to the owner's
+        public key.
+        """
+        self.verify_signature = verify_signature
+
+    def verify(self, source: int, target: int, response) -> VerificationResult:
+        """Verify a provider response for the query ``(source, target)``."""
+        from repro.core.method import get_method
+
+        try:
+            cls = get_method(response.method)
+        except MethodError:
+            return VerificationResult.failure(
+                "unknown-method", f"method {response.method!r} is not recognized"
+            )
+        return cls.verify(source, target, response, self.verify_signature)

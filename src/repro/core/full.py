@@ -1,0 +1,196 @@
+"""FULL — fully materialized distances (paper §IV-B).
+
+The owner materializes ``dist(vi, vj)`` for every node pair and stores
+the tuples in a distance Merkle B-tree keyed by ``(vi.id, vj.id)``.
+The proof for a query is a single distance tuple plus the sibling
+digests along its root path — tiny, but pre-computation is ``O(|V|^3)``
+time / ``O(|V|^2)`` space, so FULL only fits small networks.
+
+Implementation notes: the graph is undirected, so only the upper
+triangle (``a < b`` by id) is materialized; the leaf index of a pair
+is computed arithmetically (triangle ranking over the sorted id list),
+which avoids storing millions of key objects.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.checks import (
+    NetworkTreeBundle,
+    check_reported_path,
+    decode_tuples,
+    sign_descriptor,
+    verify_descriptor,
+    verify_section_root,
+)
+from repro.core.framework import VerificationResult, distances_close
+from repro.core.method import SignatureVerifier, VerificationMethod, register_method
+from repro.core.proofs import (
+    DISTANCE_TREE,
+    NETWORK_TREE,
+    QueryResponse,
+    SignedDescriptor,
+    TreeConfig,
+    TreeSection,
+)
+from repro.crypto.signer import Signer
+from repro.errors import EncodingError, GraphError, MethodError
+from repro.graph.graph import SpatialGraph
+from repro.graph.tuples import BaseTuple, DistanceTuple
+from repro.hiti.hyperedges import triangle_index
+from repro.merkle.tree import MerkleTree
+from repro.shortestpath.bulk import all_pairs_distances
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.path import Path
+
+
+def _triangle_payloads(ids: "list[int]", matrix: np.ndarray):
+    """Yield DistanceTuple encodings in triangle (leaf) order."""
+    n = len(ids)
+    for i in range(n):
+        row = matrix[i]
+        a = ids[i]
+        for j in range(i + 1, n):
+            yield DistanceTuple(a, ids[j], float(row[j])).encode()
+
+
+@register_method
+class FullMethod(VerificationMethod):
+    """Fully materialized all-pairs distances."""
+
+    name = "FULL"
+
+    def __init__(self, graph: SpatialGraph, bundle: NetworkTreeBundle,
+                 distance_tree: MerkleTree, matrix: np.ndarray,
+                 descriptor: SignedDescriptor) -> None:
+        super().__init__()
+        self._graph = graph
+        self._bundle = bundle
+        self._distance_tree = distance_tree
+        self._matrix = matrix
+        self._ids = graph.node_ids()
+        self._index_of = {node_id: i for i, node_id in enumerate(self._ids)}
+        self._descriptor = descriptor
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: SpatialGraph, signer: Signer, *, fanout: int = 2,
+              ordering: str = "hbt", hash_name: str = "sha1",
+              all_pairs_method: str = "auto", algo_sp: str = "dijkstra",
+              **params) -> "FullMethod":
+        if params:
+            raise EncodingError(f"FULL takes no extra parameters, got {sorted(params)}")
+        if graph.num_nodes < 2:
+            raise MethodError("FULL needs at least two nodes")
+        bundle = NetworkTreeBundle(
+            graph, lambda v: BaseTuple.from_graph(graph, v),
+            ordering=ordering, fanout=fanout, hash_name=hash_name,
+        )
+        start = time.perf_counter()
+        matrix = all_pairs_distances(graph, method=all_pairs_method)
+        if np.isinf(matrix).any():
+            raise GraphError("FULL requires a connected graph")
+        ids = graph.node_ids()
+        distance_tree = MerkleTree(
+            _triangle_payloads(ids, matrix), fanout=fanout, hash_fn=hash_name,
+        )
+        construction = time.perf_counter() - start
+
+        descriptor = sign_descriptor(
+            SignedDescriptor(
+                method=cls.name,
+                hash_name=hash_name,
+                params=b"",
+                trees=(
+                    TreeConfig(NETWORK_TREE, bundle.tree.num_leaves, fanout,
+                               bundle.tree.root),
+                    TreeConfig(DISTANCE_TREE, distance_tree.num_leaves, fanout,
+                               distance_tree.root),
+                ),
+            ),
+            signer,
+        )
+        method = cls(graph, bundle, distance_tree, matrix, descriptor)
+        method.construction_seconds = construction
+        method.algo_sp = algo_sp
+        return method
+
+    # ------------------------------------------------------------------
+    def distance_of(self, a: int, b: int) -> float:
+        """Materialized ``dist(a, b)``."""
+        return float(self._matrix[self._index_of[a], self._index_of[b]])
+
+    def _distance_section(self, a: int, b: int) -> TreeSection:
+        i, j = self._index_of[a], self._index_of[b]
+        if i > j:
+            i, j = j, i
+        leaf = triangle_index(i, j, len(self._ids))
+        payload = DistanceTuple(self._ids[i], self._ids[j],
+                                float(self._matrix[i, j])).encode()
+        entries = self._distance_tree.prove([leaf])
+        return TreeSection(DISTANCE_TREE, [leaf], [payload], entries)
+
+    def answer(self, source: int, target: int, *,
+               forced_path: "Path | None" = None) -> QueryResponse:
+        if source == target:
+            raise MethodError("degenerate query: source equals target")
+        if forced_path is None:
+            path = self._shortest_path(source, target)
+        else:
+            path = forced_path
+        sections = {
+            NETWORK_TREE: self._bundle.section_for(path.nodes),
+            DISTANCE_TREE: self._distance_section(source, target),
+        }
+        return QueryResponse(
+            method=self.name,
+            source=source,
+            target=target,
+            path_nodes=path.nodes,
+            path_cost=path.cost,
+            sections=sections,
+            descriptor=self._descriptor,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def verify(cls, source: int, target: int, response: QueryResponse,
+               verify_signature: SignatureVerifier) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature)
+        if failure is not None:
+            return failure
+        try:
+            net_section = response.section(NETWORK_TREE)
+            dist_section = response.section(DISTANCE_TREE)
+            tuples = decode_tuples(net_section, BaseTuple)
+            if len(dist_section.payloads) != 1:
+                return VerificationResult.failure(
+                    "malformed-proof",
+                    f"expected one distance tuple, got {len(dist_section.payloads)}",
+                )
+            dist_tuple = DistanceTuple.decode(dist_section.payloads[0])
+        except EncodingError as exc:
+            return VerificationResult.failure("malformed-proof", str(exc))
+        for section in (net_section, dist_section):
+            failure = verify_section_root(response.descriptor, section)
+            if failure is not None:
+                return failure
+        if {dist_tuple.a, dist_tuple.b} != {source, target}:
+            return VerificationResult.failure(
+                "wrong-distance-tuple",
+                f"distance tuple covers ({dist_tuple.a}, {dist_tuple.b}), "
+                f"query was ({source}, {target})",
+            )
+        failure = check_reported_path(source, target, response, tuples)
+        if failure is not None:
+            return failure
+        if not distances_close(dist_tuple.distance, response.path_cost):
+            return VerificationResult.failure(
+                "not-optimal",
+                f"materialized distance {dist_tuple.distance} != reported "
+                f"path cost {response.path_cost}",
+            )
+        return VerificationResult.success(distance=dist_tuple.distance)

@@ -1,0 +1,309 @@
+"""HYP — hyper-graph verification (paper §V-B).
+
+The owner tiles the network into ``p`` grid cells, marks border nodes,
+and materializes a hyper-edge ``W*(b1, b2) = dist(b1, b2)`` for every
+pair of border nodes (footnote 1) in a distance Merkle B-tree.  Each
+extended tuple Φ(v) carries the node's cell id and border flag
+(Eq. 7).
+
+The proof has two parts, combined into one response:
+
+* **coarse proof** — Φ of every node in the source and target cells,
+  plus the hyper-edges between the two cells' border sets (all pairs
+  inside the union when the two cells coincide).  By Theorem 2 the
+  shortest path distance on this coarse graph equals ``dist(vs, vt)``.
+* **fine proof** — Φ of the nodes the reported path crosses in
+  intermediate cells, letting the client re-add the path's edge
+  weights and match them against the coarse distance.
+
+A third tiny ADS, the *cell directory*, maps each cell to its sorted
+member list so the client can detect withheld cell members (see
+DESIGN.md §3 — the paper leaves this completeness check implicit).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.checks import (
+    NetworkTreeBundle,
+    check_reported_path,
+    decode_tuples,
+    sign_descriptor,
+    verify_descriptor,
+    verify_section_root,
+)
+from repro.core.framework import VerificationResult, distances_close
+from repro.core.method import SignatureVerifier, VerificationMethod, register_method
+from repro.core.proofs import (
+    DIRECTORY_TREE,
+    DISTANCE_TREE,
+    NETWORK_TREE,
+    QueryResponse,
+    SignedDescriptor,
+    TreeConfig,
+    TreeSection,
+)
+from repro.crypto.signer import Signer
+from repro.errors import EncodingError
+from repro.graph.graph import SpatialGraph
+from repro.graph.tuples import CellDirectoryTuple, DistanceTuple, HypTuple
+from repro.hiti.coarse import build_coarse_graph
+from repro.hiti.hyperedges import HyperEdgeSet, compute_hyperedges
+from repro.hiti.partition import GridPartition, GridSpec
+from repro.merkle.tree import MerkleTree
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.path import Path
+
+
+@register_method
+class HypMethod(VerificationMethod):
+    """Hyper-graph verification over a 2-level HiTi grid."""
+
+    name = "HYP"
+
+    def __init__(self, graph: SpatialGraph, bundle: NetworkTreeBundle,
+                 partition: GridPartition, hyper: HyperEdgeSet,
+                 distance_tree: MerkleTree, directory_tree: MerkleTree,
+                 directory_payloads: "dict[int, tuple[int, bytes]]",
+                 descriptor: SignedDescriptor) -> None:
+        super().__init__()
+        self._graph = graph
+        self._bundle = bundle
+        self._partition = partition
+        self._hyper = hyper
+        self._distance_tree = distance_tree
+        self._directory_tree = directory_tree
+        #: cell id -> (leaf position, payload)
+        self._directory_payloads = directory_payloads
+        self._descriptor = descriptor
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: SpatialGraph, signer: Signer, *, fanout: int = 2,
+              ordering: str = "hbt", hash_name: str = "sha1",
+              num_cells: int = 100, algo_sp: str = "dijkstra",
+              **params) -> "HypMethod":
+        if params:
+            raise EncodingError(f"HYP got unknown parameters {sorted(params)}")
+        start = time.perf_counter()
+        partition = GridPartition(graph, num_cells)
+        hyper = compute_hyperedges(graph, partition.all_borders())
+        distance_tree = MerkleTree(
+            (DistanceTuple(a, b, w).encode() for a, b, w in hyper.iter_pairs()),
+            fanout=fanout, hash_fn=hash_name,
+        )
+        directory_payloads: dict[int, tuple[int, bytes]] = {}
+        payload_list: list[bytes] = []
+        for position, cell in enumerate(partition.occupied_cells):
+            payload = CellDirectoryTuple(
+                cell, tuple(partition.members_of(cell))
+            ).encode()
+            directory_payloads[cell] = (position, payload)
+            payload_list.append(payload)
+        directory_tree = MerkleTree(payload_list, fanout=fanout, hash_fn=hash_name)
+        construction = time.perf_counter() - start
+
+        def tuple_factory(node_id: int) -> HypTuple:
+            node = graph.node(node_id)
+            adjacency = tuple(sorted(
+                (int(v), float(w)) for v, w in graph.neighbors(node_id).items()
+            ))
+            return HypTuple(node.id, node.x, node.y, adjacency,
+                            cell_id=partition.cell(node_id),
+                            is_border=partition.is_border(node_id))
+
+        bundle = NetworkTreeBundle(graph, tuple_factory, ordering=ordering,
+                                   fanout=fanout, hash_name=hash_name)
+        descriptor = sign_descriptor(
+            SignedDescriptor(
+                method=cls.name,
+                hash_name=hash_name,
+                params=partition.spec.encode(),
+                trees=(
+                    TreeConfig(NETWORK_TREE, bundle.tree.num_leaves, fanout,
+                               bundle.tree.root),
+                    TreeConfig(DISTANCE_TREE, distance_tree.num_leaves, fanout,
+                               distance_tree.root),
+                    TreeConfig(DIRECTORY_TREE, directory_tree.num_leaves, fanout,
+                               directory_tree.root),
+                ),
+            ),
+            signer,
+        )
+        method = cls(graph, bundle, partition, hyper, distance_tree,
+                     directory_tree, directory_payloads, descriptor)
+        method.construction_seconds = construction
+        method.algo_sp = algo_sp
+        return method
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def expected_pairs(borders_s: "list[int]", borders_t: "list[int]",
+                       same_cell: bool) -> "set[tuple[int, int]]":
+        """The hyper-edge pairs a proof must disclose (unordered, a < b)."""
+        pairs: set[tuple[int, int]] = set()
+        if same_cell:
+            borders = sorted(set(borders_s))
+            for i, a in enumerate(borders):
+                for b in borders[i + 1:]:
+                    pairs.add((a, b))
+        else:
+            for a in borders_s:
+                for b in borders_t:
+                    pairs.add((min(a, b), max(a, b)))
+        return pairs
+
+    def answer(self, source: int, target: int, *,
+               forced_path: "Path | None" = None) -> QueryResponse:
+        if forced_path is None:
+            path = self._shortest_path(source, target)
+        else:
+            path = forced_path
+        cell_s = self._partition.cell(source)
+        cell_t = self._partition.cell(target)
+        members = set(self._partition.members_of(cell_s))
+        members.update(self._partition.members_of(cell_t))
+
+        network_nodes = members | set(path.nodes)
+        network_section = self._bundle.section_for(network_nodes)
+
+        borders_s = self._partition.borders_of(cell_s)
+        borders_t = self._partition.borders_of(cell_t)
+        pairs = self.expected_pairs(borders_s, borders_t, cell_s == cell_t)
+        positions = sorted(self._hyper.pair_index(a, b) for a, b in pairs)
+        pair_at = {self._hyper.pair_index(a, b): (a, b) for a, b in pairs}
+        payloads = [
+            DistanceTuple(*pair_at[pos],
+                          self._hyper.weight(*pair_at[pos])).encode()
+            for pos in positions
+        ]
+        sections = {NETWORK_TREE: network_section}
+        if positions:
+            sections[DISTANCE_TREE] = TreeSection(
+                DISTANCE_TREE, positions, payloads,
+                self._distance_tree.prove(positions),
+            )
+        dir_cells = sorted({cell_s, cell_t})
+        dir_positions = [self._directory_payloads[c][0] for c in dir_cells]
+        dir_payloads = [self._directory_payloads[c][1] for c in dir_cells]
+        sections[DIRECTORY_TREE] = TreeSection(
+            DIRECTORY_TREE, dir_positions, dir_payloads,
+            self._directory_tree.prove(dir_positions),
+        )
+        return QueryResponse(
+            method=self.name,
+            source=source,
+            target=target,
+            path_nodes=path.nodes,
+            path_cost=path.cost,
+            sections=sections,
+            descriptor=self._descriptor,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def verify(cls, source: int, target: int, response: QueryResponse,
+               verify_signature: SignatureVerifier) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature)
+        if failure is not None:
+            return failure
+        try:
+            GridSpec.decode(response.descriptor.params)  # structural sanity
+            net_section = response.section(NETWORK_TREE)
+            dir_section = response.section(DIRECTORY_TREE)
+            tuples = decode_tuples(net_section, HypTuple)
+            directories = [CellDirectoryTuple.decode(p) for p in dir_section.payloads]
+            hyper_tuples: list[DistanceTuple] = []
+            if DISTANCE_TREE in response.sections:
+                dist_section = response.section(DISTANCE_TREE)
+                hyper_tuples = [DistanceTuple.decode(p) for p in dist_section.payloads]
+        except EncodingError as exc:
+            return VerificationResult.failure("malformed-proof", str(exc))
+
+        for section in response.sections.values():
+            failure = verify_section_root(response.descriptor, section)
+            if failure is not None:
+                return failure
+
+        if source not in tuples or target not in tuples:
+            return VerificationResult.failure(
+                "endpoint-missing", "no authenticated tuple for source or target"
+            )
+        cell_s = tuples[source].cell_id
+        cell_t = tuples[target].cell_id
+
+        # --- cell directory completeness -----------------------------
+        directory_cells = {d.cell_id for d in directories}
+        if directory_cells != {cell_s, cell_t}:
+            return VerificationResult.failure(
+                "directory-mismatch",
+                f"directories cover cells {sorted(directory_cells)}, "
+                f"expected {sorted({cell_s, cell_t})}",
+            )
+        cell_members: dict[int, set[int]] = {}
+        for directory in directories:
+            cell_members[directory.cell_id] = set(directory.member_ids)
+            provided = {
+                node_id for node_id, tup in tuples.items()
+                if tup.cell_id == directory.cell_id
+            }
+            if provided != set(directory.member_ids):
+                return VerificationResult.failure(
+                    "incomplete-cell",
+                    f"cell {directory.cell_id}: disclosed members do not match "
+                    f"the authenticated directory",
+                )
+
+        # --- hyper-edge completeness ----------------------------------
+        borders_s = sorted(v for v in cell_members[cell_s] if tuples[v].is_border)
+        borders_t = sorted(v for v in cell_members[cell_t] if tuples[v].is_border)
+        expected = cls.expected_pairs(borders_s, borders_t, cell_s == cell_t)
+        weight_of: dict[tuple[int, int], float] = {}
+        for tup in hyper_tuples:
+            key = (min(tup.a, tup.b), max(tup.a, tup.b))
+            if key in weight_of:
+                return VerificationResult.failure(
+                    "malformed-proof", f"duplicate hyper-edge tuple for {key}"
+                )
+            weight_of[key] = tup.distance
+        missing = expected - set(weight_of)
+        if missing:
+            return VerificationResult.failure(
+                "incomplete-hyperedges",
+                f"{len(missing)} required hyper-edges are undisclosed "
+                f"(e.g. {sorted(missing)[0]})",
+            )
+
+        # --- coarse graph search (Theorem 2) --------------------------
+        cell_tuples = {
+            node_id: tup for node_id, tup in tuples.items()
+            if tup.cell_id in (cell_s, cell_t)
+        }
+        coarse = build_coarse_graph(
+            cell_tuples,
+            [(a, b, weight_of[(a, b)]) for a, b in expected],
+        )
+        result = dijkstra(coarse, source, target=target)
+        if target not in result.dist:
+            return VerificationResult.failure(
+                "target-unreachable",
+                "target is unreachable in the coarse proof graph",
+            )
+        coarse_distance = result.dist[target]
+
+        # --- fine proof: the reported path itself ----------------------
+        failure = check_reported_path(source, target, response, tuples)
+        if failure is not None:
+            return failure
+        if not distances_close(coarse_distance, response.path_cost):
+            return VerificationResult.failure(
+                "not-optimal",
+                f"coarse graph distance {coarse_distance} != reported "
+                f"path cost {response.path_cost}",
+            )
+        return VerificationResult.success(
+            distance=coarse_distance,
+            coarse_nodes=coarse.num_nodes,
+            hyper_edges=len(expected),
+        )

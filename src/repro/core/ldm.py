@@ -1,0 +1,338 @@
+"""LDM — landmark-based verification (paper §V-A).
+
+The owner picks ``c`` landmarks, quantizes every node's landmark
+distance vector to ``b`` bits (Lemma 3) and compresses vectors within
+threshold ξ (Lemma 4).  The vector information rides inside each
+extended tuple Φ(v) (Eq. 4) and is therefore authenticated by the
+network Merkle tree.
+
+The proof ΓS is the *A\\* cone* (Lemma 2): every node ``v`` with
+``dist(vs, v) + LB(v, vt) <= dist(vs, vt)``, together with the tuples
+of its neighbors and of every referenced representative node.  The
+client re-runs A\\* over the disclosed subgraph using the same lower
+bound.
+
+The quantized/compressed bound is admissible but *not consistent*, so
+the client's A\\* allows node re-opening; admissibility alone then
+guarantees that the target's first settlement is optimal, and the
+Lemma-2 cone covers every node such a search can pop before the target
+(each pop's key lower-bounds the optimum, so pops never exceed
+``dist(vs, vt)`` while the target is unsettled).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checks import (
+    NetworkTreeBundle,
+    check_reported_path,
+    decode_tuples,
+    sign_descriptor,
+    verify_descriptor,
+    verify_section_root,
+)
+from repro.core.framework import ABS_TOL, REL_TOL, VerificationResult, distances_close
+from repro.core.method import SignatureVerifier, VerificationMethod, register_method
+from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeConfig
+from repro.crypto.signer import Signer
+from repro.encoding import Decoder, Encoder
+from repro.errors import EncodingError
+from repro.graph.graph import SpatialGraph
+from repro.graph.tuples import LdmTuple
+from repro.landmarks.compression import (
+    CompressedVectors,
+    compress_exact_greedy,
+    compress_leader,
+    lemma4_lower_bound,
+)
+from repro.landmarks.quantization import quantize_vectors
+from repro.landmarks.selection import select_landmarks
+from repro.landmarks.vectors import LandmarkVectors
+from repro.order import hilbert_order
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.path import Path
+
+
+@dataclass(frozen=True)
+class LdmParams:
+    """Signed LDM parameters (descriptor payload)."""
+
+    landmarks: tuple[int, ...]
+    bits: int
+    d_max: float
+    lam: float
+    xi: float
+
+    def encode(self) -> bytes:
+        """Canonical encoding."""
+        enc = Encoder()
+        enc.write_uint_seq(self.landmarks)
+        enc.write_uint(self.bits)
+        enc.write_f64(self.d_max)
+        enc.write_f64(self.lam)
+        enc.write_f64(self.xi)
+        return enc.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LdmParams":
+        """Inverse of :meth:`encode`."""
+        dec = Decoder(data)
+        params = cls(
+            landmarks=tuple(dec.read_uint_seq()),
+            bits=dec.read_uint(),
+            d_max=dec.read_f64(),
+            lam=dec.read_f64(),
+            xi=dec.read_f64(),
+        )
+        dec.expect_end()
+        return params
+
+
+@register_method
+class LdmMethod(VerificationMethod):
+    """Landmark-based verification with quantization and compression."""
+
+    name = "LDM"
+
+    def __init__(self, graph: SpatialGraph, bundle: NetworkTreeBundle,
+                 compressed: CompressedVectors, params: LdmParams,
+                 descriptor: SignedDescriptor) -> None:
+        super().__init__()
+        self._graph = graph
+        self._bundle = bundle
+        self._compressed = compressed
+        self._params = params
+        self._descriptor = descriptor
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: SpatialGraph, signer: Signer, *, fanout: int = 2,
+              ordering: str = "hbt", hash_name: str = "sha1",
+              c: int = 100, bits: int = 12, xi: float = 50.0,
+              landmark_strategy: str = "farthest", compressor: str = "leader",
+              seed: int = 0, algo_sp: str = "dijkstra",
+              **params) -> "LdmMethod":
+        if params:
+            raise EncodingError(f"LDM got unknown parameters {sorted(params)}")
+        start = time.perf_counter()
+        landmarks = select_landmarks(graph, c, strategy=landmark_strategy, seed=seed)
+        vectors = LandmarkVectors(graph, landmarks)
+        codes, spec = quantize_vectors(vectors.vectors, bits)
+        ids = graph.node_ids()
+        if compressor == "leader":
+            compressed = compress_leader(ids, codes, spec, xi,
+                                         scan_order=hilbert_order(graph))
+        elif compressor == "exact":
+            compressed = compress_exact_greedy(ids, codes, spec, xi)
+        else:
+            raise EncodingError(f"unknown compressor {compressor!r}")
+        construction = time.perf_counter() - start
+
+        ldm_params = LdmParams(
+            landmarks=tuple(landmarks), bits=bits,
+            d_max=spec.d_max, lam=spec.lam, xi=xi,
+        )
+
+        def tuple_factory(node_id: int) -> LdmTuple:
+            node = graph.node(node_id)
+            adjacency = tuple(sorted(
+                (int(v), float(w)) for v, w in graph.neighbors(node_id).items()
+            ))
+            if node_id in compressed.codes_of:
+                return LdmTuple(
+                    node.id, node.x, node.y, adjacency,
+                    codes=tuple(int(code) for code in compressed.codes_of[node_id]),
+                    bits=bits,
+                )
+            theta, eps_units = compressed.ref_of[node_id]
+            return LdmTuple(node.id, node.x, node.y, adjacency,
+                            codes=None, ref_id=theta, eps_units=eps_units, bits=bits)
+
+        bundle = NetworkTreeBundle(graph, tuple_factory, ordering=ordering,
+                                   fanout=fanout, hash_name=hash_name)
+        descriptor = sign_descriptor(
+            SignedDescriptor(
+                method=cls.name,
+                hash_name=hash_name,
+                params=ldm_params.encode(),
+                trees=(TreeConfig(NETWORK_TREE, bundle.tree.num_leaves, fanout,
+                                  bundle.tree.root),),
+            ),
+            signer,
+        )
+        method = cls(graph, bundle, compressed, ldm_params, descriptor)
+        method.construction_seconds = construction
+        method.algo_sp = algo_sp
+        return method
+
+    # ------------------------------------------------------------------
+    def answer(self, source: int, target: int, *,
+               forced_path: "Path | None" = None) -> QueryResponse:
+        if forced_path is None:
+            path = self._shortest_path(source, target)
+        else:
+            path = forced_path
+        distance = path.cost
+        # Lemma 2 cone: server margin is wider than the client's expansion
+        # margin so float noise can never make an honest proof incomplete.
+        margin = 2 * (REL_TOL * distance + ABS_TOL)
+        ball = dijkstra(self._graph, source, radius=distance + margin)
+        lb = self._compressed.lower_bound
+        qualifying = [
+            v for v, d in ball.dist.items() if d + lb(v, target) <= distance + margin
+        ]
+        include: set[int] = set(qualifying)
+        include.add(source)
+        include.add(target)
+        for v in qualifying:
+            include.update(self._graph.neighbors(v).keys())
+        # Every included compressed node drags in its representative,
+        # whose vector the client needs to evaluate the bound.
+        for v in list(include):
+            ref = self._compressed.ref_of.get(v)
+            if ref is not None:
+                include.add(ref[0])
+        section = self._bundle.section_for(include)
+        return QueryResponse(
+            method=self.name,
+            source=source,
+            target=target,
+            path_nodes=path.nodes,
+            path_cost=path.cost,
+            sections={NETWORK_TREE: section},
+            descriptor=self._descriptor,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def verify(cls, source: int, target: int, response: QueryResponse,
+               verify_signature: SignatureVerifier) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature)
+        if failure is not None:
+            return failure
+        try:
+            params = LdmParams.decode(response.descriptor.params)
+            section = response.section(NETWORK_TREE)
+            tuples = decode_tuples(section, LdmTuple)
+        except EncodingError as exc:
+            return VerificationResult.failure("malformed-proof", str(exc))
+        failure = verify_section_root(response.descriptor, section)
+        if failure is not None:
+            return failure
+        failure = check_reported_path(source, target, response, tuples)
+        if failure is not None:
+            return failure
+
+        verdict = _client_astar(source, target, response.path_cost, tuples, params)
+        if isinstance(verdict, VerificationResult):
+            return verdict
+        if not distances_close(verdict, response.path_cost):
+            return VerificationResult.failure(
+                "not-optimal",
+                f"subgraph A* distance {verdict} != reported {response.path_cost}",
+            )
+        return VerificationResult.success(distance=verdict, subgraph_nodes=len(tuples))
+
+
+class _BoundEvaluator:
+    """Client-side Lemma 4 bound over decoded tuples (with caching)."""
+
+    def __init__(self, tuples: "dict[int, LdmTuple]", params: LdmParams) -> None:
+        self._tuples = tuples
+        self._params = params
+        self._effective: dict[int, tuple[np.ndarray, int]] = {}
+
+    def effective(self, node_id: int) -> "tuple[np.ndarray, int] | None":
+        """``(representative codes, ε units)`` or None if unresolvable."""
+        cached = self._effective.get(node_id)
+        if cached is not None:
+            return cached
+        tup = self._tuples.get(node_id)
+        if tup is None:
+            return None
+        # The bits field only travels with code-carrying tuples (compressed
+        # tuples hold a reference, not codes), so it is checked on whichever
+        # tuple actually supplies the vector.
+        if tup.is_compressed:
+            rep = self._tuples.get(tup.ref_id)
+            if rep is None or rep.is_compressed or rep.bits != self._params.bits:
+                return None
+            resolved = (np.asarray(rep.codes, dtype=np.int64), tup.eps_units)
+        else:
+            if tup.bits != self._params.bits:
+                return None
+            resolved = (np.asarray(tup.codes, dtype=np.int64), 0)
+        self._effective[node_id] = resolved
+        return resolved
+
+    def lower_bound(self, u_eff: "tuple[np.ndarray, int]",
+                    v_eff: "tuple[np.ndarray, int]") -> float:
+        """Lemma 4 bound between two resolved nodes."""
+        return lemma4_lower_bound(u_eff[0], u_eff[1], v_eff[0], v_eff[1],
+                                  self._params.lam)
+
+
+def _client_astar(source: int, target: int, reported: float,
+                  tuples: "dict[int, LdmTuple]",
+                  params: LdmParams) -> "float | VerificationResult":
+    """Validity-checked A* (with re-opening) over the disclosed subgraph."""
+    if source not in tuples:
+        return VerificationResult.failure("source-missing",
+                                          f"no tuple for source node {source}")
+    if target not in tuples:
+        return VerificationResult.failure("target-missing",
+                                          f"no tuple for target node {target}")
+    bounds = _BoundEvaluator(tuples, params)
+    target_eff = bounds.effective(target)
+    if target_eff is None:
+        return VerificationResult.failure(
+            "missing-representative", f"cannot resolve vector of target {target}"
+        )
+    margin = reported + REL_TOL * reported + ABS_TOL
+
+    source_eff = bounds.effective(source)
+    if source_eff is None:
+        return VerificationResult.failure(
+            "missing-representative", f"cannot resolve vector of source {source}"
+        )
+    best: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, float, int]] = [
+        (bounds.lower_bound(source_eff, target_eff), 0.0, source)
+    ]
+    while heap:
+        key, g, u = heapq.heappop(heap)
+        if g > best.get(u, float("inf")):
+            continue  # superseded by a re-opening
+        if u == target:
+            return g
+        if key > margin:
+            return VerificationResult.failure(
+                "not-optimal",
+                f"every remaining route exceeds the reported distance {reported}",
+            )
+        for v, w in tuples[u].adjacency:
+            nd = g + w
+            if v not in tuples:
+                return VerificationResult.failure(
+                    "incomplete-subgraph",
+                    f"neighbor {v} of expanded node {u} was not disclosed",
+                )
+            if nd >= best.get(v, float("inf")):
+                continue
+            v_eff = bounds.effective(v)
+            if v_eff is None:
+                return VerificationResult.failure(
+                    "missing-representative",
+                    f"cannot resolve vector of node {v}",
+                )
+            best[v] = nd
+            heapq.heappush(heap, (nd + bounds.lower_bound(v_eff, target_eff), nd, v))
+    return VerificationResult.failure(
+        "target-unreachable",
+        f"target {target} is unreachable in the disclosed subgraph",
+    )

@@ -1,0 +1,153 @@
+"""Verification method base class and registry.
+
+A *verification method* bundles the three roles of Figure 2:
+
+* **owner** — :meth:`VerificationMethod.build` constructs the ADS and
+  authenticated hints and signs the descriptor (done once, offline);
+* **provider** — :meth:`VerificationMethod.answer` runs the shortest
+  path search and assembles ``(path, ΓS, ΓT)`` per query;
+* **client** — :meth:`VerificationMethod.verify` checks a response
+  using only the response bytes, the query, and the owner's public
+  key (it never touches the graph).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Type
+
+from repro.crypto.signer import Signer
+from repro.errors import MethodError
+from repro.core.framework import VerificationResult
+from repro.core.proofs import QueryResponse, SignedDescriptor
+from repro.graph.graph import SpatialGraph
+from repro.shortestpath.path import Path
+
+#: ``verify(message, signature) -> bool`` — the client's view of the owner key.
+SignatureVerifier = Callable[[bytes, bytes], bool]
+
+
+class VerificationMethod(ABC):
+    """Base class for DIJ / FULL / LDM / HYP."""
+
+    #: Method name as used in the paper and in descriptors.
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self._descriptor: SignedDescriptor | None = None
+        #: Owner-side hint construction time, excluding the base graph
+        #: Merkle tree that every method shares (paper Fig. 8c omits DIJ
+        #: because it has no hints).
+        self.construction_seconds: float = 0.0
+        #: The provider's search algorithm ``algo_sp`` (Algorithm 1 line 1).
+        #: The proofs never depend on how the provider found the path.
+        self.algo_sp: str = "dijkstra"
+
+    def _shortest_path(self, source: int, target: int) -> "Path":
+        """Run the provider's chosen ``algo_sp``."""
+        from repro.shortestpath.bidirectional import bidirectional_search
+        from repro.shortestpath.dijkstra import dijkstra
+
+        graph = self._graph  # every concrete method holds the graph
+        if self.algo_sp == "dijkstra":
+            return dijkstra(graph, source, target=target).path_to(target)
+        if self.algo_sp == "bidirectional":
+            return bidirectional_search(graph, source, target)
+        raise MethodError(
+            f"unknown provider algorithm {self.algo_sp!r}; "
+            f"choose 'dijkstra' or 'bidirectional'"
+        )
+
+    def update_edge_weight(self, u: int, v: int, weight: float,
+                           signer: "Signer") -> None:
+        """Owner-side incremental weight update.
+
+        Only DIJ supports this (its sole ADS is the network Merkle
+        tree, refreshable in ``O(log n)`` hashes).  The hint-bearing
+        methods must rebuild: a weight change invalidates materialized
+        distances, landmark vectors and hyper-edges wholesale.
+        """
+        raise MethodError(
+            f"{self.name} hints depend on global distances; rebuild the "
+            f"method after weight changes (only DIJ supports incremental "
+            f"updates)"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    @abstractmethod
+    def build(
+        cls,
+        graph: SpatialGraph,
+        signer: Signer,
+        *,
+        fanout: int = 2,
+        ordering: str = "hbt",
+        hash_name: str = "sha1",
+        **params,
+    ) -> "VerificationMethod":
+        """Owner role: construct ADS + hints and sign the descriptor."""
+
+    @abstractmethod
+    def answer(self, source: int, target: int, *,
+               forced_path: "Path | None" = None) -> QueryResponse:
+        """Provider role: compute the path and assemble the proofs.
+
+        ``forced_path`` is an adversarial-testing hook: when given, the
+        provider reports that path (and builds proofs around its cost)
+        instead of the true shortest path.  Honest providers leave it
+        ``None``.
+        """
+
+    @classmethod
+    @abstractmethod
+    def verify(
+        cls,
+        source: int,
+        target: int,
+        response: QueryResponse,
+        verify_signature: SignatureVerifier,
+    ) -> VerificationResult:
+        """Client role: accept or reject a response."""
+
+    # ------------------------------------------------------------------
+    @property
+    def descriptor(self) -> SignedDescriptor:
+        """The signed descriptor produced by :meth:`build`."""
+        if self._descriptor is None:
+            raise MethodError(f"{self.name}: build() has not completed")
+        return self._descriptor
+
+
+class _Stopwatch:
+    """Context manager measuring wall-clock seconds."""
+
+    def __enter__(self) -> "_Stopwatch":
+        self.seconds = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+METHODS: dict[str, Type[VerificationMethod]] = {}
+
+
+def register_method(cls: Type[VerificationMethod]) -> Type[VerificationMethod]:
+    """Class decorator adding a method to the registry."""
+    if cls.name in METHODS:
+        raise MethodError(f"duplicate method name {cls.name!r}")
+    METHODS[cls.name] = cls
+    return cls
+
+
+def get_method(name: str) -> Type[VerificationMethod]:
+    """Registry lookup by paper name (DIJ, FULL, LDM, HYP)."""
+    try:
+        return METHODS[name]
+    except KeyError:
+        raise MethodError(
+            f"unknown method {name!r}; available: {sorted(METHODS)}"
+        ) from None

@@ -1,0 +1,23 @@
+"""Cryptographic primitives: hash functions and pure-Python RSA signatures.
+
+The paper relies on a one-way hash (SHA-1 in 2010) and a public-key
+signature scheme (RSA).  Both are provided here with no dependencies
+beyond the standard library: hashing wraps :mod:`hashlib`, and RSA is
+implemented from scratch (Miller-Rabin prime generation and full-domain
+-hash signatures) in :mod:`repro.crypto.rsa`.
+"""
+
+from repro.crypto.hashing import HashFunction, get_hash
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.crypto.signer import NullSigner, RsaSigner, Signer
+
+__all__ = [
+    "HashFunction",
+    "get_hash",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "generate_keypair",
+    "Signer",
+    "RsaSigner",
+    "NullSigner",
+]

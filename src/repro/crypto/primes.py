@@ -1,0 +1,81 @@
+"""Prime generation for RSA key pairs.
+
+Implements deterministic trial division over small primes followed by
+the Miller-Rabin probabilistic primality test.  A seeded
+:class:`random.Random` makes key generation reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import CryptoError
+
+# Primes below 1000 for cheap pre-filtering of candidates.
+_SMALL_PRIMES: list[int] = []
+
+
+def _sieve(limit: int) -> list[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = b"\x00" * len(flags[i * i :: i])
+    return [i for i, flag in enumerate(flags) if flag]
+
+
+def small_primes() -> list[int]:
+    """Primes below 1000 (memoized)."""
+    if not _SMALL_PRIMES:
+        _SMALL_PRIMES.extend(_sieve(1000))
+    return _SMALL_PRIMES
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = None) -> bool:
+    """Miller-Rabin primality test.
+
+    With 40 rounds the error probability is below 2^-80, far beyond what
+    this package needs.
+    """
+    if n < 2:
+        return False
+    for p in small_primes():
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random()
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly *bits* bits.
+
+    The two top bits are forced to 1 so that the product of two such
+    primes has exactly ``2 * bits`` bits.
+    """
+    if bits < 16:
+        raise CryptoError(f"prime size too small: {bits} bits")
+    for _ in range(100_000):
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+    raise CryptoError(f"failed to find a {bits}-bit prime")  # pragma: no cover

@@ -1,0 +1,112 @@
+"""Pure-Python RSA signatures with full-domain hashing.
+
+The data owner signs Merkle roots (more precisely, a *method
+descriptor* digest, see :mod:`repro.core.proofs`); clients verify with
+the owner's public key.  The scheme here is textbook RSA over a
+full-domain hash: the message digest is expanded with an MGF1-style
+counter construction to the width of the modulus, which avoids the
+malleability of raw ``pow(digest, d, n)`` on short digests.
+
+This is a from-scratch implementation intended for a research
+reproduction: it is correct and adequately hard to forge, but it makes
+no claims about side-channel resistance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import HashFunction, get_hash
+from repro.crypto.primes import generate_prime
+from repro.errors import CryptoError
+
+DEFAULT_KEY_BITS = 1024
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Size of the modulus (and of every signature) in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """An RSA key pair; keep ``d`` private."""
+
+    public: RsaPublicKey
+    d: int
+
+
+def generate_keypair(bits: int = DEFAULT_KEY_BITS, seed: int | None = None) -> RsaKeyPair:
+    """Generate an RSA key pair with a *bits*-bit modulus.
+
+    ``seed`` makes generation deterministic (useful in tests); leave it
+    ``None`` for an OS-seeded RNG.
+    """
+    if bits < 256:
+        raise CryptoError(f"modulus too small: {bits} bits")
+    rng = random.Random(seed) if seed is not None else random.SystemRandom()
+    # random.SystemRandom lacks getrandbits determinism concerns; both expose
+    # the same interface used by generate_prime.
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if math.gcd(_PUBLIC_EXPONENT, phi) != 1:
+            continue
+        d = pow(_PUBLIC_EXPONENT, -1, phi)
+        return RsaKeyPair(public=RsaPublicKey(n=n, e=_PUBLIC_EXPONENT), d=d)
+
+
+def _full_domain_hash(message: bytes, n: int, hash_fn: HashFunction) -> int:
+    """Expand ``H(message)`` to an integer slightly below *n* (MGF1 style)."""
+    target_bytes = (n.bit_length() + 7) // 8
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < target_bytes:
+        blocks.append(hash_fn.digest(counter.to_bytes(4, "big"), message))
+        counter += 1
+    expanded = b"".join(blocks)[:target_bytes]
+    # Clear the top byte so the value is guaranteed to be below n.
+    value = int.from_bytes(b"\x00" + expanded[1:], "big")
+    return value
+
+
+def sign(message: bytes, keypair: RsaKeyPair, hash_fn: "str | HashFunction" = "sha1") -> bytes:
+    """Sign *message* and return a fixed-width signature."""
+    hash_fn = get_hash(hash_fn)
+    public = keypair.public
+    m = _full_domain_hash(message, public.n, hash_fn)
+    sig = pow(m, keypair.d, public.n)
+    return sig.to_bytes(public.modulus_bytes, "big")
+
+
+def verify(
+    message: bytes,
+    signature: bytes,
+    public: RsaPublicKey,
+    hash_fn: "str | HashFunction" = "sha1",
+) -> bool:
+    """Check *signature* over *message* against *public*; never raises."""
+    hash_fn = get_hash(hash_fn)
+    if len(signature) != public.modulus_bytes:
+        return False
+    sig = int.from_bytes(signature, "big")
+    if sig >= public.n:
+        return False
+    recovered = pow(sig, public.e, public.n)
+    expected = _full_domain_hash(message, public.n, hash_fn)
+    return recovered == expected

@@ -1,0 +1,104 @@
+"""Signer/verifier abstraction used by the verification framework.
+
+The owner signs with a :class:`Signer`; the proof carries the signature
+and clients verify against the owner's public key.  :class:`NullSigner`
+exists for benchmarks that want to isolate Merkle/search costs from RSA
+cost — it still has a nonzero "signature" so size accounting stays
+honest (a real deployment always ships one signature per proof).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto import rsa
+from repro.crypto.hashing import HashFunction, get_hash
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+
+
+class Signer(ABC):
+    """Abstract signature scheme with a public verification side."""
+
+    @abstractmethod
+    def sign(self, message: bytes) -> bytes:
+        """Produce a signature over *message*."""
+
+    @abstractmethod
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Check a signature; must never raise on malformed input."""
+
+    @property
+    @abstractmethod
+    def signature_size(self) -> int:
+        """Signature size in bytes (used for proof-size accounting)."""
+
+
+class RsaSigner(Signer):
+    """RSA full-domain-hash signer (see :mod:`repro.crypto.rsa`)."""
+
+    def __init__(
+        self,
+        keypair: RsaKeyPair | None = None,
+        *,
+        bits: int = rsa.DEFAULT_KEY_BITS,
+        seed: int | None = None,
+        hash_fn: "str | HashFunction" = "sha1",
+    ) -> None:
+        self._keypair = keypair or rsa.generate_keypair(bits, seed=seed)
+        self._hash = get_hash(hash_fn)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The owner's public key, distributed out of band to clients."""
+        return self._keypair.public
+
+    def sign(self, message: bytes) -> bytes:
+        return rsa.sign(message, self._keypair, self._hash)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return rsa.verify(message, signature, self._keypair.public, self._hash)
+
+    @property
+    def signature_size(self) -> int:
+        return self._keypair.public.modulus_bytes
+
+    def verifier_for_public_key(self) -> "RsaVerifier":
+        """A verify-only view safe to hand to clients."""
+        return RsaVerifier(self._keypair.public, self._hash)
+
+
+class RsaVerifier:
+    """Verify-only counterpart of :class:`RsaSigner` (no private key)."""
+
+    def __init__(self, public: RsaPublicKey, hash_fn: "str | HashFunction" = "sha1") -> None:
+        self._public = public
+        self._hash = get_hash(hash_fn)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return rsa.verify(message, signature, self._public, self._hash)
+
+
+class NullSigner(Signer):
+    """HMAC-free stand-in signer for micro-benchmarks.
+
+    Uses a keyed hash so that honest-vs-tampered tests still work, while
+    skipping modular exponentiation.  The "signature" is padded to
+    *signature_size* bytes to keep communication-size accounting
+    comparable with :class:`RsaSigner`.
+    """
+
+    def __init__(self, key: bytes = b"repro-null-signer", signature_size: int = 128) -> None:
+        self._key = key
+        self._size = signature_size
+        self._hash = get_hash("sha256")
+
+    def sign(self, message: bytes) -> bytes:
+        mac = self._hash.digest(self._key, message)
+        return mac.ljust(self._size, b"\x00")[: self._size]
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return signature == self.sign(message)
+
+    @property
+    def signature_size(self) -> int:
+        return self._size

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Verification *failures* (an honest
+"this proof does not check out") are reported as values, not exceptions
+(see :class:`repro.core.framework.VerificationResult`); exceptions are
+reserved for programming errors and malformed inputs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or graph operation."""
+
+
+class NoPathError(GraphError):
+    """Raised when no path exists between the queried nodes."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"no path from node {source} to node {target}")
+        self.source = source
+        self.target = target
+
+
+class EncodingError(ReproError):
+    """Malformed canonical encoding."""
+
+
+class MerkleError(ReproError):
+    """Invalid Merkle tree operation or malformed Merkle proof."""
+
+
+class CryptoError(ReproError):
+    """Key generation / signing failure."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation could not satisfy the request."""
+
+
+class MethodError(ReproError):
+    """Verification method misuse (e.g. querying before build)."""

@@ -1,0 +1,27 @@
+"""Weighted spatial graph substrate.
+
+The paper models a road network as an undirected graph ``G = (V, E, W)``
+whose nodes carry coordinates (used by the Hilbert/kd orderings and by
+the HiTi grid) and whose edge weights are arbitrary non-negative costs
+(distance, travel time, tolls — explicitly *not* assumed Euclidean).
+"""
+
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.graph import Node, SpatialGraph
+from repro.graph.synthetic import grid_network, random_geometric_network, road_network
+from repro.graph.tuples import BaseTuple, DistanceTuple, HypTuple, LdmTuple
+
+__all__ = [
+    "Node",
+    "SpatialGraph",
+    "BaseTuple",
+    "LdmTuple",
+    "HypTuple",
+    "DistanceTuple",
+    "grid_network",
+    "road_network",
+    "random_geometric_network",
+    "connected_components",
+    "largest_component",
+    "is_connected",
+]

@@ -1,0 +1,43 @@
+"""Connectivity utilities (iterative, recursion-free)."""
+
+from __future__ import annotations
+
+from repro.graph.graph import SpatialGraph
+
+
+def connected_components(graph: SpatialGraph) -> list[set[int]]:
+    """Connected components as sets of node ids, largest first."""
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for start in graph.node_ids():
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if v not in component:
+                    component.add(v)
+                    stack.append(v)
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: SpatialGraph) -> SpatialGraph:
+    """The induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return SpatialGraph()
+    if len(components) == 1:
+        return graph
+    return graph.subgraph(components[0])
+
+
+def is_connected(graph: SpatialGraph) -> bool:
+    """True when the graph has exactly one connected component."""
+    if graph.num_nodes == 0:
+        return True
+    return len(connected_components(graph)) == 1

@@ -1,0 +1,253 @@
+"""Undirected weighted spatial graph.
+
+This is the substrate every other subsystem builds on: orderings walk
+it, Merkle trees authenticate its extended tuples, shortest path
+algorithms search it, and the HiTi partition tiles its coordinate
+space.
+
+Design notes
+------------
+* Adjacency is a ``dict[int, dict[int, float]]`` — node id to
+  ``{neighbor id: weight}``.  Road networks are sparse (|E| ~ |V|), so
+  hash maps beat matrices by orders of magnitude in memory.
+* Bulk distance computations (all-pairs for FULL, multi-source for
+  LDM/HYP construction) go through :meth:`SpatialGraph.to_csr`, which
+  exports a cached :class:`scipy.sparse.csr_matrix` plus the id <->
+  index maps.
+* Mutation bumps an internal version counter that invalidates the CSR
+  cache, so callers can freely interleave edits and exports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A graph node: identifier plus planar coordinates.
+
+    For non-spatial graphs the paper substitutes nulls for coordinates;
+    here use ``0.0`` and pick a non-spatial ordering (bfs/dfs/random).
+    """
+
+    id: int
+    x: float
+    y: float
+
+
+class SpatialGraph:
+    """Undirected weighted graph with node coordinates.
+
+    >>> g = SpatialGraph()
+    >>> g.add_node(1, 0.0, 0.0); g.add_node(2, 3.0, 4.0)
+    >>> g.add_edge(1, 2, 5.0)
+    >>> g.weight(1, 2)
+    5.0
+    """
+
+    __slots__ = ("_nodes", "_adj", "_num_edges", "_version", "_csr_cache")
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, Node] = {}
+        self._adj: dict[int, dict[int, float]] = {}
+        self._num_edges = 0
+        self._version = 0
+        self._csr_cache: tuple[int, object] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, x: float = 0.0, y: float = 0.0) -> None:
+        """Add a node; re-adding an existing id with new coords is an error."""
+        if node_id in self._nodes:
+            existing = self._nodes[node_id]
+            if existing.x != x or existing.y != y:
+                raise GraphError(
+                    f"node {node_id} already exists at ({existing.x}, {existing.y})"
+                )
+            return
+        self._nodes[node_id] = Node(node_id, float(x), float(y))
+        self._adj[node_id] = {}
+        self._version += 1
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add an undirected edge; both endpoints must already exist."""
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if u not in self._nodes or v not in self._nodes:
+            missing = u if u not in self._nodes else v
+            raise GraphError(f"edge ({u}, {v}) references unknown node {missing}")
+        weight = float(weight)
+        if weight < 0 or math.isnan(weight) or math.isinf(weight):
+            raise GraphError(f"edge ({u}, {v}) has invalid weight {weight}")
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._version += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove an undirected edge (used by tamper/ablation tooling)."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_node(self, node_id: int) -> bool:
+        """True if *node_id* is in the graph."""
+        return node_id in self._nodes
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the undirected edge (u, v) exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def node(self, node_id: int) -> Node:
+        """The :class:`Node` record for *node_id*."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge (u, v)."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) does not exist") from None
+
+    def neighbors(self, node_id: int) -> Mapping[int, float]:
+        """Read-only view of ``{neighbor: weight}`` for *node_id*."""
+        try:
+            return self._adj[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
+
+    def degree(self, node_id: int) -> int:
+        """Number of incident edges."""
+        return len(self.neighbors(node_id))
+
+    @property
+    def num_nodes(self) -> int:
+        """|V|."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """|E| (each undirected edge counted once)."""
+        return self._num_edges
+
+    def node_ids(self) -> list[int]:
+        """Sorted list of node ids."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate nodes in ascending id order."""
+        for node_id in self.node_ids():
+            yield self._nodes[node_id]
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate undirected edges once each, as ``(u, v, w)`` with u < v."""
+        for u in self.node_ids():
+            for v, w in sorted(self._adj[u].items()):
+                if u < v:
+                    yield (u, v, w)
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all node coordinates."""
+        if not self._nodes:
+            raise GraphError("bounding box of an empty graph")
+        xs = [n.x for n in self._nodes.values()]
+        ys = [n.y for n in self._nodes.values()]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def euclidean(self, u: int, v: int) -> float:
+        """Euclidean distance between the coordinates of two nodes."""
+        a, b = self.node(u), self.node(v)
+        return math.hypot(a.x - b.x, a.y - b.y)
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+    def subgraph(self, node_ids: Iterable[int]) -> "SpatialGraph":
+        """Induced subgraph on *node_ids* (edges with both endpoints kept)."""
+        keep = set(node_ids)
+        sub = SpatialGraph()
+        for node_id in keep:
+            node = self.node(node_id)
+            sub.add_node(node.id, node.x, node.y)
+        for node_id in keep:
+            for nbr, w in self._adj[node_id].items():
+                if nbr in keep and node_id < nbr:
+                    sub.add_edge(node_id, nbr, w)
+        return sub
+
+    def copy(self) -> "SpatialGraph":
+        """Deep copy."""
+        return self.subgraph(self._nodes)
+
+    def to_csr(self):
+        """Export ``(matrix, ids, index_of)`` for scipy bulk algorithms.
+
+        * ``matrix`` — symmetric :class:`scipy.sparse.csr_matrix` of weights;
+        * ``ids`` — node id for each matrix row (ascending id order);
+        * ``index_of`` — inverse map ``{node id: row}``.
+
+        The export is cached until the graph is mutated.
+        """
+        if self._csr_cache is not None and self._csr_cache[0] == self._version:
+            return self._csr_cache[1]
+        import numpy as np
+        from scipy.sparse import csr_matrix
+
+        ids = self.node_ids()
+        index_of = {node_id: i for i, node_id in enumerate(ids)}
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for u in ids:
+            ui = index_of[u]
+            for v, w in self._adj[u].items():
+                rows.append(ui)
+                cols.append(index_of[v])
+                data.append(w)
+        matrix = csr_matrix(
+            (np.asarray(data), (np.asarray(rows), np.asarray(cols))),
+            shape=(len(ids), len(ids)),
+        )
+        result = (matrix, ids, index_of)
+        self._csr_cache = (self._version, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`GraphError` on breach."""
+        edge_count = 0
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if self._adj.get(v, {}).get(u) != w:
+                    raise GraphError(f"asymmetric adjacency on edge ({u}, {v})")
+                if w < 0:
+                    raise GraphError(f"negative weight on edge ({u}, {v})")
+                edge_count += 1
+        if edge_count != 2 * self._num_edges:
+            raise GraphError(
+                f"edge count mismatch: counted {edge_count // 2}, stored {self._num_edges}"
+            )
+
+    def __repr__(self) -> str:
+        return f"SpatialGraph(|V|={self.num_nodes}, |E|={self.num_edges})"
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes

@@ -1,0 +1,113 @@
+"""Graph serialization: native text format and DIMACS reader.
+
+The native format is line-oriented and self-contained::
+
+    # comment
+    v <id> <x> <y>
+    e <u> <v> <weight>
+
+The DIMACS shortest-path format (``.gr`` graph + ``.co`` coordinates),
+used by the 9th DIMACS implementation challenge road networks, is also
+supported so that users with access to real road data can plug it in
+directly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+
+
+def write_graph(graph: SpatialGraph, path: "str | os.PathLike") -> None:
+    """Write *graph* in the native text format."""
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(f"# repro graph |V|={graph.num_nodes} |E|={graph.num_edges}\n")
+        for node in graph.nodes():
+            out.write(f"v {node.id} {node.x!r} {node.y!r}\n")
+        for u, v, w in graph.edges():
+            out.write(f"e {u} {v} {w!r}\n")
+
+
+def read_graph(path: "str | os.PathLike") -> SpatialGraph:
+    """Read a graph written by :func:`write_graph`."""
+    graph = SpatialGraph()
+    with open(path, "r", encoding="utf-8") as infile:
+        for lineno, line in enumerate(infile, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if parts[0] == "v" and len(parts) == 4:
+                    graph.add_node(int(parts[1]), float(parts[2]), float(parts[3]))
+                elif parts[0] == "e" and len(parts) == 4:
+                    graph.add_edge(int(parts[1]), int(parts[2]), float(parts[3]))
+                else:
+                    raise GraphError(f"{path}:{lineno}: unrecognized line {line!r}")
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: {exc}") from exc
+    return graph
+
+
+def read_dimacs(gr_path: "str | os.PathLike",
+                co_path: "str | os.PathLike | None" = None) -> SpatialGraph:
+    """Read a DIMACS ``.gr`` file (and optional ``.co`` coordinates).
+
+    Duplicate arcs keep the smallest weight; arcs are treated as
+    undirected edges, matching the paper's road network model.
+    """
+    graph = SpatialGraph()
+    coords: dict[int, tuple[float, float]] = {}
+    if co_path is not None:
+        with open(co_path, "r", encoding="utf-8") as infile:
+            for line in infile:
+                parts = line.split()
+                if parts and parts[0] == "v":
+                    coords[int(parts[1])] = (float(parts[2]), float(parts[3]))
+
+    pending: list[tuple[int, int, float]] = []
+    declared_nodes = 0
+    with open(gr_path, "r", encoding="utf-8") as infile:
+        for line in infile:
+            parts = line.split()
+            if not parts or parts[0] == "c":
+                continue
+            if parts[0] == "p":
+                declared_nodes = int(parts[2])
+            elif parts[0] == "a":
+                pending.append((int(parts[1]), int(parts[2]), float(parts[3])))
+
+    for node_id in range(1, declared_nodes + 1):
+        x, y = coords.get(node_id, (0.0, 0.0))
+        graph.add_node(node_id, x, y)
+    for u, v, w in pending:
+        if u == v:
+            continue
+        if graph.has_edge(u, v):
+            if w < graph.weight(u, v):
+                graph.remove_edge(u, v)
+                graph.add_edge(u, v, w)
+        else:
+            graph.add_edge(u, v, w)
+    return graph
+
+
+def write_workload(queries: "list[tuple[int, int]]", out: TextIO) -> None:
+    """Write one ``source target`` pair per line."""
+    for vs, vt in queries:
+        out.write(f"{vs} {vt}\n")
+
+
+def read_workload(infile: TextIO) -> "list[tuple[int, int]]":
+    """Inverse of :func:`write_workload`."""
+    queries = []
+    for line in infile:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        vs, vt = line.split()
+        queries.append((int(vs), int(vt)))
+    return queries

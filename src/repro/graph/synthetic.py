@@ -1,0 +1,188 @@
+"""Synthetic spatial road networks.
+
+The paper evaluates on four Digital Chart of the World road networks
+that are no longer distributed.  The :func:`road_network` generator
+reproduces their structural fingerprint:
+
+* nodes normalized to a ``[0, canvas]^2`` square (paper: 10,000);
+* edge/node ratio ~ 1.05 — DCW graphs are dominated by degree-2
+  polyline chains, which we obtain by building a sparse *junction*
+  graph on a jittered grid and then subdividing each junction edge
+  into several chain segments;
+* edge weights = Euclidean segment length x a per-edge congestion
+  factor, so weights correlate with, but do not equal, Euclidean
+  distance (the paper explicitly targets non-Euclidean weights).
+
+Two simpler generators support tests: :func:`grid_network` (regular
+lattice with unit weights, exact distances easy to reason about) and
+:func:`random_geometric_network`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import GraphError
+from repro.graph.components import largest_component
+from repro.graph.graph import SpatialGraph
+
+
+def grid_network(rows: int, cols: int, *, spacing: float = 1.0,
+                 weight: float = 1.0) -> SpatialGraph:
+    """A ``rows x cols`` lattice with constant edge weights.
+
+    Node ids are ``r * cols + c``; coordinates are ``(c, r) * spacing``.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid must have at least one row and column")
+    graph = SpatialGraph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node(r * cols + c, c * spacing, r * spacing)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1, weight)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols, weight)
+    return graph
+
+
+def random_geometric_network(n_nodes: int, radius: float, *, seed: int = 0,
+                             canvas: float = 10_000.0) -> SpatialGraph:
+    """Uniform random nodes, edges between pairs within *radius*.
+
+    Returns the largest connected component, so the result may have
+    fewer than *n_nodes* nodes.  Edge weights are Euclidean lengths.
+    """
+    rng = random.Random(seed)
+    graph = SpatialGraph()
+    points: list[tuple[float, float]] = []
+    for node_id in range(n_nodes):
+        x, y = rng.uniform(0, canvas), rng.uniform(0, canvas)
+        points.append((x, y))
+        graph.add_node(node_id, x, y)
+    # Cell binning: only compare points in neighboring bins.
+    bins: dict[tuple[int, int], list[int]] = {}
+    for node_id, (x, y) in enumerate(points):
+        bins.setdefault((int(x // radius), int(y // radius)), []).append(node_id)
+    for (bx, by), members in bins.items():
+        candidates: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                candidates.extend(bins.get((bx + dx, by + dy), []))
+        for u in members:
+            ux, uy = points[u]
+            for v in candidates:
+                if v <= u:
+                    continue
+                vx, vy = points[v]
+                dist = math.hypot(ux - vx, uy - vy)
+                if dist <= radius and dist > 0:
+                    graph.add_edge(u, v, dist)
+    return largest_component(graph)
+
+
+def road_network(n_nodes: int, *, seed: int = 0, canvas: float = 10_000.0,
+                 extra_edge_fraction: float = 0.30,
+                 mean_subdivision: float = 4.0,
+                 congestion: tuple[float, float] = (1.0, 1.4)) -> SpatialGraph:
+    """DCW-style synthetic road network with ~*n_nodes* nodes.
+
+    Construction:
+
+    1. Place ``J ~ n_nodes / (mean_subdivision * (1 + f) - f)`` junctions
+       on a jittered ``g x g`` grid over the canvas (``f`` is
+       *extra_edge_fraction*); this yields an edge/node ratio of about
+       1.05 after subdivision, matching the DCW datasets.
+    2. Connect junctions with a random spanning tree over the grid
+       4-neighborhood (guarantees connectivity) plus ``f * J`` extra
+       grid edges (creates alternative routes, hence non-trivial
+       shortest path structure).
+    3. Subdivide every junction edge into ``k`` segments (k random with
+       the requested mean), inserting chain nodes with slight lateral
+       jitter — the degree-2 polylines characteristic of road data.
+    4. Weight each segment by its Euclidean length times a per-road
+       congestion factor drawn uniformly from *congestion*.
+
+    The node count is approximate (within a few percent); the exact
+    value is ``graph.num_nodes``.
+    """
+    if n_nodes < 9:
+        raise GraphError(f"road_network needs n_nodes >= 9, got {n_nodes}")
+    rng = random.Random(seed)
+    f = extra_edge_fraction
+    m = mean_subdivision
+    # nodes-after = J + E_j*(m-1), edges_j = (1+f)*J  =>  J = n / (1 + (1+f)(m-1))
+    n_junctions = max(4, round(n_nodes / (1.0 + (1.0 + f) * (m - 1.0))))
+    grid = max(2, round(math.sqrt(n_junctions)))
+    n_junctions = grid * grid
+
+    graph = SpatialGraph()
+    cell = canvas / grid
+    jitter = 0.30 * cell
+    positions: dict[int, tuple[float, float]] = {}
+    for r in range(grid):
+        for c in range(grid):
+            junction = r * grid + c
+            x = min(canvas, max(0.0, (c + 0.5) * cell + rng.uniform(-jitter, jitter)))
+            y = min(canvas, max(0.0, (r + 0.5) * cell + rng.uniform(-jitter, jitter)))
+            positions[junction] = (x, y)
+            graph.add_node(junction, x, y)
+
+    # Candidate edges: grid 4-neighborhood.
+    candidates: list[tuple[int, int]] = []
+    for r in range(grid):
+        for c in range(grid):
+            junction = r * grid + c
+            if c + 1 < grid:
+                candidates.append((junction, junction + 1))
+            if r + 1 < grid:
+                candidates.append((junction, junction + grid))
+    rng.shuffle(candidates)
+
+    # Random spanning tree via union-find, then extra edges.
+    parent = list(range(n_junctions))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    junction_edges: list[tuple[int, int]] = []
+    leftovers: list[tuple[int, int]] = []
+    for u, v in candidates:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            junction_edges.append((u, v))
+        else:
+            leftovers.append((u, v))
+    extra = min(len(leftovers), round(f * n_junctions))
+    junction_edges.extend(leftovers[:extra])
+
+    # Subdivide each junction edge into chains of degree-2 nodes.
+    next_id = n_junctions
+    for u, v in junction_edges:
+        (ux, uy), (vx, vy) = positions[u], positions[v]
+        k = max(1, round(rng.gauss(m, m / 3.0)))
+        factor = rng.uniform(*congestion)
+        prev = u
+        length = math.hypot(vx - ux, vy - uy)
+        lateral = 0.05 * length
+        for step in range(1, k):
+            t = step / k
+            px = ux + t * (vx - ux) + rng.uniform(-lateral, lateral)
+            py = uy + t * (vy - uy) + rng.uniform(-lateral, lateral)
+            px = min(canvas, max(0.0, px))
+            py = min(canvas, max(0.0, py))
+            graph.add_node(next_id, px, py)
+            graph.add_edge(prev, next_id,
+                           max(1e-9, graph.euclidean(prev, next_id)) * factor)
+            prev = next_id
+            next_id += 1
+        graph.add_edge(prev, v, max(1e-9, graph.euclidean(prev, v)) * factor)
+    return graph

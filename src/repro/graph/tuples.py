@@ -1,0 +1,226 @@
+"""Extended tuples Φ(v) and distance tuples.
+
+The *extended tuple* is the unit of authentication in every method: it
+packages a node's attributes together with its full adjacency list, so
+that a client holding an authenticated Φ(v) knows *all* edges incident
+to v (Eq. 1 in the paper).  LDM extends it with the (quantized,
+possibly compressed) landmark vector (Eq. 4); HYP extends it with the
+cell id and border flag (Eq. 7).
+
+Distance tuples ``<a, b, dist(a, b)>`` are the leaves of the distance
+Merkle B-trees used by FULL and HYP.
+
+All tuples encode canonically via :mod:`repro.encoding`, with adjacency
+sorted by neighbor id, so owner, provider and client always derive the
+same digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.encoding import Decoder, Encoder
+from repro.errors import EncodingError
+from repro.graph.graph import SpatialGraph
+
+
+def _canonical_adjacency(neighbors: Mapping[int, float]) -> tuple[tuple[int, float], ...]:
+    return tuple(sorted((int(v), float(w)) for v, w in neighbors.items()))
+
+
+@dataclass(frozen=True)
+class BaseTuple:
+    """Φ(v) = <id, x, y, {<v', W(v, v')>}> — Eq. (1)."""
+
+    node_id: int
+    x: float
+    y: float
+    adjacency: tuple[tuple[int, float], ...]
+
+    @classmethod
+    def from_graph(cls, graph: SpatialGraph, node_id: int) -> "BaseTuple":
+        """Build Φ(v) for *node_id* directly from the graph."""
+        node = graph.node(node_id)
+        return cls(node.id, node.x, node.y, _canonical_adjacency(graph.neighbors(node_id)))
+
+    def _encode_header(self, enc: Encoder) -> None:
+        enc.write_uint(self.node_id).write_f64(self.x).write_f64(self.y)
+        enc.write_uint(len(self.adjacency))
+        for nbr, w in self.adjacency:
+            enc.write_uint(nbr).write_f64(w)
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding (hash input and proof payload)."""
+        enc = Encoder()
+        self._encode_header(enc)
+        return enc.getvalue()
+
+    @staticmethod
+    def _decode_header(dec: Decoder) -> tuple[int, float, float, tuple[tuple[int, float], ...]]:
+        node_id = dec.read_uint()
+        x = dec.read_f64()
+        y = dec.read_f64()
+        count = dec.read_uint()
+        adjacency = tuple((dec.read_uint(), dec.read_f64()) for _ in range(count))
+        return node_id, x, y, adjacency
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BaseTuple":
+        """Inverse of :meth:`encode`."""
+        dec = Decoder(data)
+        tup = cls(*cls._decode_header(dec))
+        dec.expect_end()
+        return tup
+
+
+@dataclass(frozen=True)
+class LdmTuple(BaseTuple):
+    """Φ(v) with landmark vector information — Eq. (4).
+
+    Exactly one of the following holds:
+
+    * *uncompressed*: ``codes`` carries the b-bit quantized landmark
+      distance codes and ``ref_id is None``;
+    * *compressed*: ``codes is None`` and ``(ref_id, eps_units)`` names
+      the representative θ and the compression error ε expressed in
+      integer multiples of the quantization step λ (ε is a max of
+      absolute differences of quantized values, hence always a multiple
+      of λ).
+    """
+
+    codes: tuple[int, ...] | None = None
+    ref_id: int | None = None
+    eps_units: int | None = None
+    bits: int = 12
+
+    def __post_init__(self) -> None:
+        compressed = self.ref_id is not None
+        if compressed == (self.codes is not None):
+            raise EncodingError("LdmTuple must carry either codes or a reference")
+        if compressed and self.eps_units is None:
+            raise EncodingError("compressed LdmTuple needs eps_units")
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when this node's vector is represented by another node's."""
+        return self.ref_id is not None
+
+    def encode(self) -> bytes:
+        enc = Encoder()
+        self._encode_header(enc)
+        if self.is_compressed:
+            enc.write_bool(True)
+            enc.write_uint(self.ref_id)
+            enc.write_uint(self.eps_units)
+        else:
+            enc.write_bool(False)
+            enc.write_uint(self.bits)
+            enc.write_packed_codes(self.codes, self.bits)
+        return enc.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LdmTuple":
+        dec = Decoder(data)
+        node_id, x, y, adjacency = cls._decode_header(dec)
+        if dec.read_bool():
+            tup = cls(node_id, x, y, adjacency,
+                      codes=None, ref_id=dec.read_uint(), eps_units=dec.read_uint())
+        else:
+            bits = dec.read_uint()
+            codes = tuple(dec.read_packed_codes(bits))
+            tup = cls(node_id, x, y, adjacency, codes=codes, bits=bits)
+        dec.expect_end()
+        return tup
+
+
+@dataclass(frozen=True)
+class HypTuple(BaseTuple):
+    """Φ(v) with HiTi cell information — Eq. (7)."""
+
+    cell_id: int = 0
+    is_border: bool = False
+
+    def encode(self) -> bytes:
+        enc = Encoder()
+        self._encode_header(enc)
+        enc.write_uint(self.cell_id)
+        enc.write_bool(self.is_border)
+        return enc.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HypTuple":
+        dec = Decoder(data)
+        node_id, x, y, adjacency = cls._decode_header(dec)
+        tup = cls(node_id, x, y, adjacency,
+                  cell_id=dec.read_uint(), is_border=dec.read_bool())
+        dec.expect_end()
+        return tup
+
+
+@dataclass(frozen=True, order=True)
+class DistanceTuple:
+    """Materialized distance entry ``<a, b, dist(a, b)>``.
+
+    The composite key ``(a, b)`` orders the leaves of distance Merkle
+    B-trees (FULL stores all node pairs; HYP stores border-node pairs
+    with ``a < b`` since the graph is undirected).
+    """
+
+    a: int
+    b: int
+    distance: float = field(compare=False)
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The B-tree composite key."""
+        return (self.a, self.b)
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding."""
+        return (
+            Encoder()
+            .write_uint(self.a)
+            .write_uint(self.b)
+            .write_f64(self.distance)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DistanceTuple":
+        """Inverse of :meth:`encode`."""
+        dec = Decoder(data)
+        tup = cls(dec.read_uint(), dec.read_uint(), dec.read_f64())
+        dec.expect_end()
+        return tup
+
+
+@dataclass(frozen=True)
+class CellDirectoryTuple:
+    """HYP cell directory entry: ``<cell id, sorted member node ids>``.
+
+    This is the soundness-completing ADS described in DESIGN.md §3: it
+    lets a client confirm that the provider disclosed *every* node of
+    the source/target cells in the coarse proof.
+    """
+
+    cell_id: int
+    member_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.member_ids)) != tuple(self.member_ids):
+            raise EncodingError("cell directory members must be sorted")
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding."""
+        enc = Encoder().write_uint(self.cell_id)
+        enc.write_uint_seq(self.member_ids)
+        return enc.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CellDirectoryTuple":
+        """Inverse of :meth:`encode`."""
+        dec = Decoder(data)
+        tup = cls(dec.read_uint(), tuple(dec.read_uint_seq()))
+        dec.expect_end()
+        return tup

@@ -1,0 +1,51 @@
+"""Coarse graph assembly for HYP verification.
+
+The coarse graph ``G_coarse`` (paper §V-B) contains the full subgraphs
+of the source and target cells plus hyper-edges connecting their
+border nodes.  By Theorem 2 its shortest path distance equals the true
+``dist(vs, vt)``.  Both the provider (when forming the proof) and the
+client (when re-searching the proof) use this builder, which keeps the
+two sides byte-for-byte consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.graph.graph import SpatialGraph
+from repro.graph.tuples import HypTuple
+
+
+def build_coarse_graph(
+    cell_tuples: "Mapping[int, HypTuple]",
+    hyper_edges: "Iterable[tuple[int, int, float]]",
+) -> SpatialGraph:
+    """Assemble ``G_coarse`` from cell tuples and hyper-edge weights.
+
+    * ``cell_tuples`` — Φ(v) for every node of the source and target
+      cells, keyed by node id;
+    * ``hyper_edges`` — ``(a, b, W*)`` triples between border nodes.
+
+    Real edges are added only when **both** endpoints are present
+    (edges leaving the two cells are represented by hyper-edges).
+    When a real edge and a hyper-edge connect the same pair, the
+    smaller weight wins (the hyper-edge weight is the true distance,
+    hence never larger than any single edge).
+    """
+    coarse = SpatialGraph()
+    for tup in cell_tuples.values():
+        coarse.add_node(tup.node_id, tup.x, tup.y)
+    for tup in cell_tuples.values():
+        for nbr, w in tup.adjacency:
+            if nbr in cell_tuples and tup.node_id < nbr:
+                coarse.add_edge(tup.node_id, nbr, w)
+    for a, b, w in hyper_edges:
+        if a == b:
+            continue
+        if coarse.has_edge(a, b):
+            if w < coarse.weight(a, b):
+                coarse.remove_edge(a, b)
+                coarse.add_edge(a, b, w)
+        else:
+            coarse.add_edge(a, b, w)
+    return coarse

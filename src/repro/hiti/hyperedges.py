@@ -1,0 +1,104 @@
+"""Hyper-edge materialization: exact distances between border nodes.
+
+Following the paper's footnote 1, the owner materializes a hyper-edge
+``E*(b1, b2)`` with weight ``W*(b1, b2) = dist(b1, b2)`` for **every**
+unordered pair of border nodes.  The pairs are laid out in the
+canonical upper-triangle order of the sorted border list, which gives
+each pair a computable index in the distance Merkle B-tree without
+storing a key array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+from repro.shortestpath.bulk import multi_source_distances
+
+
+def triangle_index(i: int, j: int, n: int) -> int:
+    """Rank of pair ``(i, j)`` (``i < j``) in upper-triangle order."""
+    if not 0 <= i < j < n:
+        raise GraphError(f"invalid pair ({i}, {j}) for n={n}")
+    return i * n - (i * (i + 1)) // 2 + (j - i - 1)
+
+
+def triangle_size(n: int) -> int:
+    """Number of unordered pairs over *n* items."""
+    return n * (n - 1) // 2
+
+
+class HyperEdgeSet:
+    """All-pairs border distances with triangle indexing.
+
+    ``distances[i, j]`` is the exact graph distance between
+    ``borders[i]`` and ``borders[j]``.
+    """
+
+    __slots__ = ("borders", "position_of", "distances")
+
+    def __init__(self, borders: "list[int]", distances: np.ndarray) -> None:
+        if distances.shape != (len(borders), len(borders)):
+            raise GraphError(
+                f"distance matrix shape {distances.shape} does not match "
+                f"{len(borders)} border nodes"
+            )
+        self.borders = list(borders)
+        self.position_of = {b: i for i, b in enumerate(borders)}
+        self.distances = distances
+
+    @property
+    def num_borders(self) -> int:
+        """Number of border nodes."""
+        return len(self.borders)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of materialized hyper-edges."""
+        return triangle_size(len(self.borders))
+
+    def weight(self, a: int, b: int) -> float:
+        """``W*(a, b)`` for two border node ids."""
+        try:
+            return float(self.distances[self.position_of[a], self.position_of[b]])
+        except KeyError as exc:
+            raise GraphError(f"node {exc.args[0]} is not a border node") from None
+
+    def pair_index(self, a: int, b: int) -> int:
+        """Leaf index of the hyper-edge tuple for ``{a, b}``."""
+        i, j = self.position_of[a], self.position_of[b]
+        if i > j:
+            i, j = j, i
+        return triangle_index(i, j, len(self.borders))
+
+    def iter_pairs(self):
+        """Yield ``(a, b, W*(a, b))`` in triangle (leaf) order."""
+        borders = self.borders
+        n = len(borders)
+        for i in range(n):
+            row = self.distances[i]
+            for j in range(i + 1, n):
+                yield borders[i], borders[j], float(row[j])
+
+
+def compute_hyperedges(graph: SpatialGraph, borders: "list[int]") -> HyperEdgeSet:
+    """Materialize hyper-edges (one multi-source Dijkstra per border).
+
+    This is the dominant cost of HYP construction (paper Fig. 13b).
+    Raises if some pair is disconnected — HYP, like the paper, assumes
+    a connected network.
+    """
+    if not borders:
+        raise GraphError("no border nodes: use at least 2x2 cells on a connected graph")
+    borders = sorted(borders)
+    all_dist = multi_source_distances(graph, borders)  # (B, |V|)
+    _, ids, index_of = graph.to_csr()
+    cols = [index_of[b] for b in borders]
+    matrix = all_dist[:, cols]
+    if np.isinf(matrix).any():
+        raise GraphError("disconnected border pair; HYP requires a connected graph")
+    # Runs from different sources agree only up to float rounding;
+    # symmetrize so W*(a, b) is one well-defined value.
+    matrix = np.minimum(matrix, matrix.T)
+    return HyperEdgeSet(borders, matrix)

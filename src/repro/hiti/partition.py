@@ -1,0 +1,128 @@
+"""Grid partition of a spatial graph and border-node detection."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.encoding import Decoder, Encoder
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry of the HiTi grid; part of the signed method descriptor.
+
+    Cells are numbered row-major: ``cell = row * nx + col``.
+    """
+
+    min_x: float
+    min_y: float
+    cell_w: float
+    cell_h: float
+    nx: int
+    ny: int
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells ``p``."""
+        return self.nx * self.ny
+
+    def cell_of(self, x: float, y: float) -> int:
+        """Cell id for a coordinate (clamped to the grid edges)."""
+        col = int((x - self.min_x) / self.cell_w) if self.cell_w > 0 else 0
+        row = int((y - self.min_y) / self.cell_h) if self.cell_h > 0 else 0
+        col = min(max(col, 0), self.nx - 1)
+        row = min(max(row, 0), self.ny - 1)
+        return row * self.nx + col
+
+    def encode(self) -> bytes:
+        """Canonical encoding (embedded in the HYP descriptor)."""
+        return (
+            Encoder()
+            .write_f64(self.min_x)
+            .write_f64(self.min_y)
+            .write_f64(self.cell_w)
+            .write_f64(self.cell_h)
+            .write_uint(self.nx)
+            .write_uint(self.ny)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "GridSpec":
+        """Inverse of :meth:`encode`."""
+        dec = Decoder(data)
+        spec = cls(dec.read_f64(), dec.read_f64(), dec.read_f64(), dec.read_f64(),
+                   dec.read_uint(), dec.read_uint())
+        dec.expect_end()
+        return spec
+
+
+class GridPartition:
+    """Assignment of graph nodes to grid cells, with border detection.
+
+    A node ``v`` in cell ``C`` is a *border* node iff some neighbor of
+    ``v`` lies in a different cell (paper §V-B).
+    """
+
+    __slots__ = ("spec", "cell_of_node", "members", "border_flags")
+
+    def __init__(self, graph: SpatialGraph, num_cells: int) -> None:
+        side = round(math.sqrt(num_cells))
+        if side * side != num_cells or side < 1:
+            raise GraphError(
+                f"num_cells must be a perfect square (paper uses 25..625), got {num_cells}"
+            )
+        min_x, min_y, max_x, max_y = graph.bounding_box()
+        # Nudge the extent so max-coordinate nodes fall inside the last cell.
+        width = (max_x - min_x) or 1.0
+        height = (max_y - min_y) or 1.0
+        self.spec = GridSpec(
+            min_x=min_x,
+            min_y=min_y,
+            cell_w=width / side * (1 + 1e-12),
+            cell_h=height / side * (1 + 1e-12),
+            nx=side,
+            ny=side,
+        )
+        self.cell_of_node: dict[int, int] = {}
+        self.members: dict[int, list[int]] = {}
+        for node in graph.nodes():
+            cell = self.spec.cell_of(node.x, node.y)
+            self.cell_of_node[node.id] = cell
+            self.members.setdefault(cell, []).append(node.id)
+        for member_list in self.members.values():
+            member_list.sort()
+
+        self.border_flags: dict[int, bool] = {}
+        for node_id, cell in self.cell_of_node.items():
+            self.border_flags[node_id] = any(
+                self.cell_of_node[nbr] != cell for nbr in graph.neighbors(node_id)
+            )
+
+    def cell(self, node_id: int) -> int:
+        """Cell id of a node."""
+        return self.cell_of_node[node_id]
+
+    def is_border(self, node_id: int) -> bool:
+        """Whether the node touches another cell."""
+        return self.border_flags[node_id]
+
+    def members_of(self, cell: int) -> list[int]:
+        """Sorted node ids of a cell (empty list for an empty cell)."""
+        return self.members.get(cell, [])
+
+    def borders_of(self, cell: int) -> list[int]:
+        """Sorted border node ids of a cell."""
+        return [v for v in self.members_of(cell) if self.border_flags[v]]
+
+    def all_borders(self) -> list[int]:
+        """Sorted list of every border node in the graph."""
+        return sorted(v for v, flag in self.border_flags.items() if flag)
+
+    @property
+    def occupied_cells(self) -> list[int]:
+        """Cells that contain at least one node, ascending."""
+        return sorted(self.members)

@@ -1,0 +1,26 @@
+"""Landmark distance machinery for the LDM method (paper §V-A).
+
+Pipeline: select ``c`` landmarks -> compute per-node distance vectors
+Ψ(v) (Eq. 2) -> quantize each entry to ``b`` bits (Eq. 5, Lemma 3) ->
+compress vectors within threshold ξ (Lemma 4).  The result per node is
+either a quantized code vector or a ``(θ, ε)`` reference to a
+representative node.
+"""
+
+from repro.landmarks.compression import CompressedVectors, compress_exact_greedy, compress_leader
+from repro.landmarks.quantization import QuantizationSpec, quantize_vectors
+from repro.landmarks.selection import farthest_landmarks, random_landmarks, select_landmarks
+from repro.landmarks.vectors import LandmarkVectors, exact_lower_bound
+
+__all__ = [
+    "select_landmarks",
+    "random_landmarks",
+    "farthest_landmarks",
+    "LandmarkVectors",
+    "exact_lower_bound",
+    "QuantizationSpec",
+    "quantize_vectors",
+    "CompressedVectors",
+    "compress_exact_greedy",
+    "compress_leader",
+]

@@ -1,0 +1,56 @@
+"""Exact landmark distance vectors and the Theorem 1 lower bound."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+from repro.shortestpath.bulk import multi_source_distances
+
+
+class LandmarkVectors:
+    """Exact per-node landmark distance vectors Ψ(v) (Eq. 2).
+
+    ``vectors`` is a ``(c, |V|)`` float64 array: row ``i`` holds
+    ``dist(s_i, v)`` for every node ``v`` in ``graph.node_ids()``
+    order.
+    """
+
+    __slots__ = ("landmarks", "ids", "index_of", "vectors")
+
+    def __init__(self, graph: SpatialGraph, landmarks: Sequence[int]) -> None:
+        if not landmarks:
+            raise GraphError("need at least one landmark")
+        self.landmarks = tuple(landmarks)
+        self.vectors = multi_source_distances(graph, list(landmarks))
+        if np.isinf(self.vectors).any():
+            raise GraphError(
+                "graph is disconnected: landmark vectors contain infinite "
+                "distances; restrict to the largest component first"
+            )
+        self.ids = graph.node_ids()
+        self.index_of = {node_id: i for i, node_id in enumerate(self.ids)}
+
+    @property
+    def c(self) -> int:
+        """Number of landmarks."""
+        return len(self.landmarks)
+
+    def vector_of(self, node_id: int) -> np.ndarray:
+        """Ψ(v): the node's distance to every landmark."""
+        try:
+            return self.vectors[:, self.index_of[node_id]]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """Theorem 1: ``max_i |dist(s_i, u) - dist(s_i, v)| <= dist(u, v)``."""
+        return float(np.abs(self.vector_of(u) - self.vector_of(v)).max())
+
+
+def exact_lower_bound(vec_u: np.ndarray, vec_v: np.ndarray) -> float:
+    """Theorem 1 bound from two raw vectors."""
+    return float(np.abs(vec_u - vec_v).max())

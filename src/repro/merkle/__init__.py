@@ -1,0 +1,25 @@
+"""Merkle hash tree authentication structures.
+
+Two structures back all four verification methods:
+
+* :class:`~repro.merkle.tree.MerkleTree` — an f-ary Merkle hash tree
+  over an ordered sequence of payloads (the paper's network
+  certification tree, §III-B, with configurable fanout, Fig. 11a);
+* :class:`~repro.merkle.btree.MerkleBTree` — a key-sorted authenticated
+  dictionary over composite integer keys (the paper's "distance Merkle
+  B-tree" used by FULL and HYP).
+"""
+
+from repro.merkle.proof import MerkleProofEntry, decode_proof_entries, encode_proof_entries
+from repro.merkle.tree import MerkleTree, reconstruct_root
+from repro.merkle.btree import MerkleBTree, pair_key
+
+__all__ = [
+    "MerkleTree",
+    "MerkleBTree",
+    "MerkleProofEntry",
+    "reconstruct_root",
+    "pair_key",
+    "encode_proof_entries",
+    "decode_proof_entries",
+]

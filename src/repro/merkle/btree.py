@@ -1,0 +1,109 @@
+"""Key-sorted authenticated dictionary (the paper's "Merkle B-tree").
+
+FULL materializes ``<vi, vj, dist>`` tuples sorted by the composite key
+``(vi.id, vj.id)`` in a Merkle B-tree; HYP does the same for hyper-edge
+weights between border-node pairs.  Structurally this is an f-ary
+Merkle tree whose leaves are ordered by key, plus a key index that maps
+lookups to leaf positions; proofs are the standard Merkle covers, i.e.
+the "sibling digests along the root path" the paper describes.
+
+Keys are single integers.  Composite pair keys are flattened with
+:func:`pair_key`, which both FULL (all ordered pairs) and HYP
+(unordered border pairs) use.  The key array is a NumPy ``int64``
+vector, so a tree over millions of distance tuples stays compact and
+lookups are ``searchsorted`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.crypto.hashing import HashFunction
+from repro.errors import MerkleError
+from repro.merkle.proof import MerkleProofEntry
+from repro.merkle.tree import MerkleTree
+
+
+def pair_key(a: int, b: int, universe: int) -> int:
+    """Flatten the composite key ``(a, b)`` into one integer.
+
+    ``universe`` must exceed every id; the mapping is ``a * universe + b``
+    which preserves the lexicographic order of ``(a, b)``.
+    """
+    if a < 0 or b < 0 or a >= universe or b >= universe:
+        raise MerkleError(f"pair ({a}, {b}) outside universe {universe}")
+    return a * universe + b
+
+
+class MerkleBTree:
+    """Authenticated dictionary over sorted integer keys.
+
+    Parameters
+    ----------
+    keys:
+        Strictly increasing integer keys (one per payload).
+    payloads:
+        Canonical encodings aligned with *keys*; consumed streaming.
+    fanout, hash_fn:
+        As for :class:`~repro.merkle.tree.MerkleTree`.
+    """
+
+    __slots__ = ("_keys", "_tree")
+
+    def __init__(
+        self,
+        keys: "Sequence[int] | np.ndarray",
+        payloads: Iterable[bytes],
+        *,
+        fanout: int = 2,
+        hash_fn: "str | HashFunction" = "sha1",
+    ) -> None:
+        key_array = np.asarray(keys, dtype=np.int64)
+        if key_array.ndim != 1 or key_array.size == 0:
+            raise MerkleError("keys must be a non-empty 1-D sequence")
+        if key_array.size > 1 and not np.all(np.diff(key_array) > 0):
+            raise MerkleError("keys must be strictly increasing")
+        self._keys = key_array
+        self._tree = MerkleTree(payloads, fanout=fanout, hash_fn=hash_fn)
+        if self._tree.num_leaves != key_array.size:
+            raise MerkleError(
+                f"{key_array.size} keys but {self._tree.num_leaves} payloads"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> MerkleTree:
+        """The underlying Merkle tree (root, digests)."""
+        return self._tree
+
+    @property
+    def root(self) -> bytes:
+        """Root digest (signed by the owner)."""
+        return self._tree.root
+
+    @property
+    def num_entries(self) -> int:
+        """Number of key/payload entries."""
+        return int(self._keys.size)
+
+    def index_of(self, key: int) -> int:
+        """Leaf position of *key*; raises :class:`MerkleError` if absent."""
+        pos = int(np.searchsorted(self._keys, key))
+        if pos >= self._keys.size or int(self._keys[pos]) != key:
+            raise MerkleError(f"key {key} not present")
+        return pos
+
+    def indices_of(self, keys: Iterable[int]) -> list[int]:
+        """Leaf positions for several keys (all must be present)."""
+        return [self.index_of(key) for key in keys]
+
+    def prove(self, keys: Iterable[int]) -> "tuple[list[int], list[MerkleProofEntry]]":
+        """Cover proof for the payloads stored under *keys*.
+
+        Returns ``(leaf indices, ΓT entries)``; the caller ships the
+        payloads, the indices and the entries to the client.
+        """
+        indices = self.indices_of(keys)
+        return indices, self._tree.prove(indices)

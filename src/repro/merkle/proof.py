@@ -1,0 +1,40 @@
+"""Merkle proof entries and their wire encoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding import Decoder, Encoder
+
+
+@dataclass(frozen=True, order=True)
+class MerkleProofEntry:
+    """One hash entry of an integrity proof ΓT.
+
+    ``(level, index)`` locates the digest in the tree: level 0 holds
+    leaf digests, the top level holds the root.  Following Merkle's
+    rule, an entry is included iff its subtree contains no disclosed
+    leaf while its parent's subtree does.
+    """
+
+    level: int
+    index: int
+    digest: bytes
+
+
+def encode_proof_entries(entries: "list[MerkleProofEntry]", enc: Encoder) -> None:
+    """Append *entries* to an encoder (count-prefixed)."""
+    enc.write_uint(len(entries))
+    for entry in entries:
+        enc.write_uint(entry.level)
+        enc.write_uint(entry.index)
+        enc.write_bytes(entry.digest)
+
+
+def decode_proof_entries(dec: Decoder) -> "list[MerkleProofEntry]":
+    """Inverse of :func:`encode_proof_entries`."""
+    count = dec.read_uint()
+    return [
+        MerkleProofEntry(dec.read_uint(), dec.read_uint(), dec.read_bytes())
+        for _ in range(count)
+    ]

@@ -1,0 +1,290 @@
+"""f-ary Merkle hash tree with multi-leaf cover proofs.
+
+Structure (paper §III-B / Fig. 3b): leaves are the digests of the
+ordered payloads (extended tuples, distance tuples); each internal
+entry is the digest of the concatenation of its (up to f) children;
+the final short level may have fewer children, exactly like the ``⊥``
+slots in the paper's figure.  The root is signed by the data owner.
+
+Implementation notes
+--------------------
+* Levels are stored as **contiguous byte strings** (one digest after
+  another), not per-node objects.  A tree over 10 million leaves with
+  SHA-1 costs ~200 MB of levels for fanout 2 and builds in seconds,
+  which is what makes the FULL method's all-pairs distance tree
+  feasible in Python.
+* Domain separation: leaf digests are ``H(0x00 || payload)`` and
+  internal digests ``H(0x01 || children)``, preventing the classic
+  leaf/internal second-preimage confusion.  (The 2010 paper predates
+  that practice; it changes nothing measurable.)
+* ``prove`` implements Merkle's inclusion rule for an arbitrary leaf
+  subset: a hash entry enters ΓT iff its subtree contains no disclosed
+  leaf and its parent's subtree does.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping, Sequence
+
+from repro.crypto.hashing import HashFunction, get_hash
+from repro.errors import MerkleError
+from repro.merkle.proof import MerkleProofEntry
+
+_LEAF_TAG = b"\x00"
+_NODE_TAG = b"\x01"
+
+
+def leaf_digest(payload: bytes, hash_fn: "str | HashFunction") -> bytes:
+    """Digest of a leaf payload (domain-separated)."""
+    return get_hash(hash_fn).digest(_LEAF_TAG, payload)
+
+
+class MerkleTree:
+    """f-ary Merkle hash tree over an ordered sequence of payloads.
+
+    Parameters
+    ----------
+    payloads:
+        Iterable of canonical byte encodings, in leaf order.  Consumed
+        streaming, so generators over millions of tuples are fine.
+    fanout:
+        Number of children per internal node (paper sweeps 2..32).
+    hash_fn:
+        Hash name or :class:`HashFunction` (default SHA-1, as in 2010).
+    leaf_digests:
+        Alternative to *payloads*: pre-computed leaf digests as one
+        contiguous byte string (length must be a multiple of the digest
+        size).  Exactly one of the two must be given.
+    """
+
+    __slots__ = ("hash_fn", "fanout", "_levels", "_num_leaves")
+
+    def __init__(
+        self,
+        payloads: "Iterable[bytes] | None" = None,
+        *,
+        fanout: int = 2,
+        hash_fn: "str | HashFunction" = "sha1",
+        leaf_digests: "bytes | None" = None,
+    ) -> None:
+        if fanout < 2:
+            raise MerkleError(f"fanout must be >= 2, got {fanout}")
+        if (payloads is None) == (leaf_digests is None):
+            raise MerkleError("provide exactly one of payloads / leaf_digests")
+        self.hash_fn = get_hash(hash_fn)
+        self.fanout = fanout
+        d = self.hash_fn.digest_size
+
+        if payloads is not None:
+            factory = self.hash_fn.new
+            buf = bytearray()
+            for payload in payloads:
+                hasher = factory()
+                hasher.update(_LEAF_TAG)
+                hasher.update(payload)
+                buf += hasher.digest()
+            level0 = bytes(buf)
+        else:
+            if len(leaf_digests) % d != 0:
+                raise MerkleError(
+                    f"leaf_digests length {len(leaf_digests)} is not a multiple "
+                    f"of the digest size {d}"
+                )
+            level0 = bytes(leaf_digests)
+
+        self._num_leaves = len(level0) // d
+        if self._num_leaves == 0:
+            raise MerkleError("cannot build a Merkle tree over zero leaves")
+
+        levels = [level0]
+        factory = self.hash_fn.new
+        f = fanout
+        current = level0
+        while len(current) > d:
+            count = len(current) // d
+            nxt = bytearray()
+            for i in range(0, count, f):
+                hasher = factory()
+                hasher.update(_NODE_TAG)
+                hasher.update(current[i * d : (i + f) * d])
+                nxt += hasher.digest()
+            current = bytes(nxt)
+            levels.append(current)
+        self._levels = levels
+
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves."""
+        return self._num_leaves
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels including the leaf level and the root level."""
+        return len(self._levels)
+
+    @property
+    def root(self) -> bytes:
+        """The root digest (what the owner signs)."""
+        return self._levels[-1]
+
+    def level_size(self, level: int) -> int:
+        """Number of entries at *level* (0 = leaves)."""
+        return len(self._levels[level]) // self.hash_fn.digest_size
+
+    def digest_at(self, level: int, index: int) -> bytes:
+        """The digest stored at ``(level, index)``."""
+        if not 0 <= level < len(self._levels):
+            raise MerkleError(f"level {level} out of range")
+        if not 0 <= index < self.level_size(level):
+            raise MerkleError(f"index {index} out of range at level {level}")
+        d = self.hash_fn.digest_size
+        return self._levels[level][index * d : (index + 1) * d]
+
+    # ------------------------------------------------------------------
+    def update_leaf(self, index: int, payload: bytes) -> None:
+        """Replace one leaf payload and refresh digests up to the root.
+
+        Cost is ``O(f · log_f n)`` hashes — this is what makes dynamic
+        road networks (weight updates, closures) affordable: the owner
+        re-signs the new root instead of rebuilding the tree.
+        """
+        if not 0 <= index < self._num_leaves:
+            raise MerkleError(f"leaf index {index} out of range")
+        d = self.hash_fn.digest_size
+        f = self.fanout
+        factory = self.hash_fn.new
+
+        hasher = factory()
+        hasher.update(_LEAF_TAG)
+        hasher.update(payload)
+        digest = hasher.digest()
+
+        levels = self._levels
+        level0 = bytearray(levels[0])
+        level0[index * d : (index + 1) * d] = digest
+        levels[0] = bytes(level0)
+
+        child = index
+        for level in range(1, len(levels)):
+            parent = child // f
+            child_count = len(levels[level - 1]) // d
+            lo, hi = parent * f, min((parent + 1) * f, child_count)
+            hasher = factory()
+            hasher.update(_NODE_TAG)
+            hasher.update(levels[level - 1][lo * d : hi * d])
+            row = bytearray(levels[level])
+            row[parent * d : (parent + 1) * d] = hasher.digest()
+            levels[level] = bytes(row)
+            child = parent
+
+    def prove(self, disclosed: "Sequence[int] | set[int]") -> list[MerkleProofEntry]:
+        """Integrity proof ΓT for the *disclosed* leaf indices.
+
+        Returns the minimal set of hash entries that, combined with the
+        disclosed leaves' own digests, reconstructs the root.
+        """
+        indices = sorted(set(disclosed))
+        if not indices:
+            raise MerkleError("cannot prove an empty disclosure set")
+        if indices[0] < 0 or indices[-1] >= self._num_leaves:
+            raise MerkleError(
+                f"leaf indices must be in [0, {self._num_leaves}); got "
+                f"[{indices[0]}, {indices[-1]}]"
+            )
+        entries: list[MerkleProofEntry] = []
+        f = self.fanout
+        top = len(self._levels) - 1
+
+        def intersects(level: int, index: int) -> bool:
+            # Leaves covered by (level, index) are [index*f^level, (index+1)*f^level).
+            lo = index * (f ** level)
+            hi = min(self._num_leaves, (index + 1) * (f ** level))
+            pos = bisect_left(indices, lo)
+            return pos < len(indices) and indices[pos] < hi
+
+        def walk(level: int, index: int) -> None:
+            if not intersects(level, index):
+                entries.append(MerkleProofEntry(level, index, self.digest_at(level, index)))
+                return
+            if level == 0:
+                return  # disclosed leaf: client recomputes its digest
+            child_count = self.level_size(level - 1)
+            for child in range(index * f, min((index + 1) * f, child_count)):
+                walk(level - 1, child)
+
+        walk(top, 0)
+        return entries
+
+
+def reconstruct_root(
+    num_leaves: int,
+    fanout: int,
+    hash_fn: "str | HashFunction",
+    disclosed_leaves: Mapping[int, bytes],
+    entries: "Iterable[MerkleProofEntry]",
+) -> bytes:
+    """Client-side root reconstruction.
+
+    Parameters
+    ----------
+    disclosed_leaves:
+        ``{leaf index: payload encoding}`` for the tuples in ΓS.  The
+        leaf digests are recomputed here, so a tampered tuple changes
+        the reconstructed root.
+    entries:
+        The ΓT hash entries produced by :meth:`MerkleTree.prove`.
+
+    Raises
+    ------
+    MerkleError
+        If the proof is structurally incomplete (a needed digest is
+        missing) or malformed.  A *wrong* root is not detected here —
+        the caller compares the returned root against the signed one.
+    """
+    if num_leaves <= 0:
+        raise MerkleError("num_leaves must be positive")
+    if fanout < 2:
+        raise MerkleError(f"fanout must be >= 2, got {fanout}")
+    hash_fn = get_hash(hash_fn)
+    if not disclosed_leaves:
+        raise MerkleError("no disclosed leaves")
+    indices = sorted(disclosed_leaves)
+    if indices[0] < 0 or indices[-1] >= num_leaves:
+        raise MerkleError("disclosed leaf index out of range")
+
+    digest_of: dict[tuple[int, int], bytes] = {}
+    for entry in entries:
+        digest_of[(entry.level, entry.index)] = entry.digest
+
+    # Level sizes, bottom-up.
+    sizes = [num_leaves]
+    while sizes[-1] > 1:
+        sizes.append((sizes[-1] + fanout - 1) // fanout)
+    top = len(sizes) - 1
+
+    def intersects(level: int, index: int) -> bool:
+        lo = index * (fanout ** level)
+        hi = min(num_leaves, (index + 1) * (fanout ** level))
+        pos = bisect_left(indices, lo)
+        return pos < len(indices) and indices[pos] < hi
+
+    def compute(level: int, index: int) -> bytes:
+        if not intersects(level, index):
+            try:
+                return digest_of[(level, index)]
+            except KeyError:
+                raise MerkleError(
+                    f"integrity proof is missing hash entry (level={level}, "
+                    f"index={index})"
+                ) from None
+        if level == 0:
+            return hash_fn.digest(_LEAF_TAG, disclosed_leaves[index])
+        child_count = sizes[level - 1]
+        parts = [_NODE_TAG]
+        for child in range(index * fanout, min((index + 1) * fanout, child_count)):
+            parts.append(compute(level - 1, child))
+        return hash_fn.digest(*parts)
+
+    return compute(top, 0)

@@ -1,0 +1,36 @@
+"""Graph-node orderings for the Merkle tree leaf layout.
+
+The size of the integrity proof ΓT depends on how well the leaf order
+preserves network proximity (paper §III-B, Fig. 10).  Five orderings
+are provided under the paper's names:
+
+========  =========================================
+``rand``  random permutation (worst case baseline)
+``bfs``   breadth-first traversal order
+``dfs``   depth-first traversal order
+``hbt``   Hilbert space-filling curve on coordinates
+``kd``    kd-tree (median split) leaf order
+========  =========================================
+"""
+
+from repro.order.orderings import (
+    ORDERINGS,
+    bfs_order,
+    dfs_order,
+    hilbert_index,
+    hilbert_order,
+    kd_order,
+    order_nodes,
+    random_order,
+)
+
+__all__ = [
+    "ORDERINGS",
+    "order_nodes",
+    "random_order",
+    "bfs_order",
+    "dfs_order",
+    "hilbert_order",
+    "hilbert_index",
+    "kd_order",
+]

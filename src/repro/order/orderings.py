@@ -1,0 +1,154 @@
+"""Implementations of the five graph-node orderings.
+
+Every ordering function takes a :class:`~repro.graph.graph.SpatialGraph`
+and returns a permutation of its node ids as a list.  Determinism: ties
+are always broken by ascending node id, and the random ordering is
+seeded, so the owner and any auditor reproduce identical Merkle trees.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+
+
+def random_order(graph: SpatialGraph, *, seed: int = 0) -> list[int]:
+    """Seeded random permutation of the node ids."""
+    ids = graph.node_ids()
+    random.Random(seed).shuffle(ids)
+    return ids
+
+
+def bfs_order(graph: SpatialGraph, *, start: int | None = None) -> list[int]:
+    """Breadth-first order; restarts at the smallest unvisited id per component."""
+    order: list[int] = []
+    visited: set[int] = set()
+    ids = graph.node_ids()
+    starts = [start] if start is not None else []
+    starts.extend(ids)
+    for root in starts:
+        if root in visited:
+            continue
+        queue = deque([root])
+        visited.add(root)
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in sorted(graph.neighbors(u)):
+                if v not in visited:
+                    visited.add(v)
+                    queue.append(v)
+    return order
+
+
+def dfs_order(graph: SpatialGraph, *, start: int | None = None) -> list[int]:
+    """Depth-first (preorder) order; iterative, so deep chains are safe."""
+    order: list[int] = []
+    visited: set[int] = set()
+    ids = graph.node_ids()
+    starts = [start] if start is not None else []
+    starts.extend(ids)
+    for root in starts:
+        if root in visited:
+            continue
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            if u in visited:
+                continue
+            visited.add(u)
+            order.append(u)
+            for v in sorted(graph.neighbors(u), reverse=True):
+                if v not in visited:
+                    stack.append(v)
+    return order
+
+
+def hilbert_index(x: int, y: int, order: int) -> int:
+    """Distance along a Hilbert curve of 2^order x 2^order cells.
+
+    Classic bit-interleaving walk (Hamilton's xy2d): at each scale the
+    quadrant is identified and the coordinates are rotated/reflected
+    into the canonical orientation.
+    """
+    rx = ry = 0
+    d = 0
+    s = 1 << (order - 1)
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hilbert_order(graph: SpatialGraph, *, order: int = 16) -> list[int]:
+    """Sort nodes by Hilbert curve index of their coordinates."""
+    if graph.num_nodes == 0:
+        return []
+    min_x, min_y, max_x, max_y = graph.bounding_box()
+    span = max(max_x - min_x, max_y - min_y) or 1.0
+    scale = ((1 << order) - 1) / span
+
+    def key(node_id: int) -> tuple[int, int]:
+        node = graph.node(node_id)
+        gx = int((node.x - min_x) * scale)
+        gy = int((node.y - min_y) * scale)
+        return (hilbert_index(gx, gy, order), node_id)
+
+    return sorted(graph.node_ids(), key=key)
+
+
+def kd_order(graph: SpatialGraph) -> list[int]:
+    """kd-tree order: recursive median splits, alternating axes.
+
+    The left/right recursion emits a leaf ordering in which spatially
+    close nodes land in the same subtree — the "spatial partitioning
+    (kd-tree) ordering" of the paper.
+    """
+    ids = graph.node_ids()
+    coords = {node_id: (graph.node(node_id).x, graph.node(node_id).y) for node_id in ids}
+    order: list[int] = []
+    # Explicit stack of (nodes, axis) to avoid recursion limits.
+    stack: list[tuple[list[int], int]] = [(ids, 0)]
+    while stack:
+        bucket, axis = stack.pop()
+        if len(bucket) <= 2:
+            order.extend(sorted(bucket, key=lambda n: (coords[n][axis], n)))
+            continue
+        bucket.sort(key=lambda n: (coords[n][axis], n))
+        mid = len(bucket) // 2
+        # Push right first so the left half is processed first (preorder).
+        stack.append((bucket[mid:], 1 - axis))
+        stack.append((bucket[:mid], 1 - axis))
+    return order
+
+
+ORDERINGS: dict[str, Callable[..., list[int]]] = {
+    "rand": random_order,
+    "bfs": bfs_order,
+    "dfs": dfs_order,
+    "hbt": hilbert_order,
+    "kd": kd_order,
+}
+
+
+def order_nodes(graph: SpatialGraph, ordering: str = "hbt", **kwargs) -> list[int]:
+    """Order the graph's nodes by a named ordering (see :data:`ORDERINGS`)."""
+    try:
+        fn = ORDERINGS[ordering]
+    except KeyError:
+        raise GraphError(
+            f"unknown ordering {ordering!r}; choose from {sorted(ORDERINGS)}"
+        ) from None
+    return fn(graph, **kwargs)

@@ -1,0 +1,26 @@
+"""Shortest path computation.
+
+Pure-Python single-query algorithms (Dijkstra, A*, bidirectional
+Dijkstra) used by providers and clients, plus NumPy/SciPy bulk backends
+(Floyd-Warshall, multi-source Dijkstra) used by the data owner when
+materializing authenticated hints.
+"""
+
+from repro.shortestpath.astar import astar
+from repro.shortestpath.bidirectional import bidirectional_search
+from repro.shortestpath.bulk import all_pairs_distances, multi_source_distances
+from repro.shortestpath.dijkstra import SearchResult, dijkstra, shortest_path
+from repro.shortestpath.floyd_warshall import floyd_warshall
+from repro.shortestpath.path import Path
+
+__all__ = [
+    "Path",
+    "SearchResult",
+    "dijkstra",
+    "shortest_path",
+    "astar",
+    "bidirectional_search",
+    "floyd_warshall",
+    "all_pairs_distances",
+    "multi_source_distances",
+]

@@ -1,0 +1,62 @@
+"""A* search with a pluggable lower bound.
+
+The paper's A* (§II-C) differs from Dijkstra only in that each heap key
+is increased by a lower bound ``LB(v, vt)`` on the remaining distance.
+With a *consistent* bound (the landmark bound of Theorem 1 is
+consistent) the first settlement of the target is optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import GraphError, NoPathError
+from repro.graph.graph import SpatialGraph
+from repro.shortestpath.path import Path
+
+
+def astar(
+    graph: SpatialGraph,
+    source: int,
+    target: int,
+    lower_bound: Callable[[int], float],
+) -> Path:
+    """Shortest path from *source* to *target* guided by *lower_bound*.
+
+    ``lower_bound(v)`` must return a value <= the true graph distance
+    from ``v`` to *target* (Theorem 1 guarantees this for landmark
+    bounds).  Raises :class:`NoPathError` when the target is
+    unreachable.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"unknown source node {source}")
+    if not graph.has_node(target):
+        raise GraphError(f"unknown target node {target}")
+
+    dist: dict[int, float] = {}
+    parent: dict[int, int] = {}
+    best: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, float, int]] = [(lower_bound(source), 0.0, source)]
+
+    while heap:
+        _, d, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        if u == target:
+            nodes = [target]
+            while nodes[-1] != source:
+                nodes.append(parent[nodes[-1]])
+            nodes.reverse()
+            return Path(nodes=tuple(nodes), cost=d)
+        for v, w in graph.neighbors(u).items():
+            if v in dist:
+                continue
+            nd = d + w
+            known = best.get(v)
+            if known is None or nd < known:
+                best[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd + lower_bound(v), nd, v))
+    raise NoPathError(source, target)

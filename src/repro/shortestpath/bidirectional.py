@@ -1,0 +1,72 @@
+"""Bidirectional Dijkstra (paper §II-C, [24]).
+
+Two expansions run concurrently from the source and the target; the
+search stops once the sum of the two frontier keys can no longer beat
+the best meeting point.  On road networks this roughly halves the
+search space; the service provider may use it as its ``algo_sp``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import GraphError, NoPathError
+from repro.graph.graph import SpatialGraph
+from repro.shortestpath.path import Path
+
+
+def bidirectional_search(graph: SpatialGraph, source: int, target: int) -> Path:
+    """Shortest path via simultaneous forward/backward Dijkstra."""
+    if not graph.has_node(source):
+        raise GraphError(f"unknown source node {source}")
+    if not graph.has_node(target):
+        raise GraphError(f"unknown target node {target}")
+    if source == target:
+        return Path(nodes=(source,), cost=0.0)
+
+    dist = ({source: 0.0}, {target: 0.0})
+    settled: tuple[set[int], set[int]] = (set(), set())
+    parent: tuple[dict[int, int], dict[int, int]] = ({}, {})
+    heaps = ([(0.0, source)], [(0.0, target)])
+
+    best_cost = float("inf")
+    meeting = -1
+
+    while heaps[0] and heaps[1]:
+        # Heap tops lower-bound all future settlements on each side, so
+        # once their sum cannot beat the best meeting point, stop.
+        if heaps[0][0][0] + heaps[1][0][0] >= best_cost:
+            break
+        # Expand the side with the smaller frontier key.
+        side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+        d, u = heapq.heappop(heaps[side])
+        if u in settled[side]:
+            continue
+        settled[side].add(u)
+        for v, w in graph.neighbors(u).items():
+            nd = d + w
+            known = dist[side].get(v)
+            if (known is None or nd < known) and v not in settled[side]:
+                dist[side][v] = nd
+                parent[side][v] = u
+                heapq.heappush(heaps[side], (nd, v))
+            other = dist[1 - side].get(v)
+            if other is not None:
+                total = nd + other
+                if total < best_cost:
+                    best_cost = total
+                    meeting = v
+
+    if meeting < 0:
+        raise NoPathError(source, target)
+
+    forward_nodes = [meeting]
+    while forward_nodes[-1] != source:
+        forward_nodes.append(parent[0][forward_nodes[-1]])
+    forward_nodes.reverse()
+    backward_nodes = []
+    node = meeting
+    while node != target:
+        node = parent[1][node]
+        backward_nodes.append(node)
+    return Path(nodes=tuple(forward_nodes + backward_nodes), cost=best_cost)

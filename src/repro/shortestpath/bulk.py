@@ -1,0 +1,53 @@
+"""Bulk distance computation via SciPy sparse graph routines.
+
+The data owner's hint construction is distance-heavy: FULL needs all
+pairs, LDM needs one single-source tree per landmark, HYP one per
+border node.  All three funnel through these two functions so that the
+construction-time *ratios* reported by the benchmarks reflect the same
+backend (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+from scipy.sparse.csgraph import floyd_warshall as csgraph_floyd_warshall
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+
+
+def multi_source_distances(graph: SpatialGraph, sources: Sequence[int]) -> np.ndarray:
+    """Distances from each source to every node.
+
+    Returns a ``(len(sources), |V|)`` float64 array; columns follow
+    ``graph.node_ids()`` order; unreachable entries are ``inf``.
+    """
+    matrix, ids, index_of = graph.to_csr()
+    try:
+        rows = [index_of[s] for s in sources]
+    except KeyError as exc:
+        raise GraphError(f"unknown source node {exc.args[0]}") from None
+    if not rows:
+        return np.empty((0, len(ids)))
+    return csgraph_dijkstra(matrix, directed=False, indices=rows)
+
+
+def all_pairs_distances(graph: SpatialGraph, *, method: str = "auto") -> np.ndarray:
+    """All-pairs distance matrix in ``graph.node_ids()`` order.
+
+    ``method``:
+
+    * ``"auto"`` — Dijkstra from every node (fastest on sparse road
+      networks);
+    * ``"floyd-warshall"`` — SciPy's dense Floyd-Warshall, matching the
+      paper's prescribed algorithm at ``O(|V|^3)``.
+    """
+    matrix, ids, _ = graph.to_csr()
+    if method == "auto":
+        return csgraph_dijkstra(matrix, directed=False)
+    if method == "floyd-warshall":
+        return csgraph_floyd_warshall(matrix, directed=False)
+    raise GraphError(f"unknown all-pairs method {method!r}")

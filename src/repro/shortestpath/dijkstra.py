@@ -1,0 +1,94 @@
+"""Dijkstra's algorithm with early termination and radius expansion.
+
+Both stopping modes the paper needs are supported:
+
+* *target* — stop as soon as the target is settled (provider answering
+  a query);
+* *radius* — settle **every** node whose distance is at most the
+  radius (the DIJ subgraph proof of Lemma 1 needs exactly the set
+  ``{v : dist(vs, v) <= dist(vs, vt)}``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError, NoPathError
+from repro.graph.graph import SpatialGraph
+from repro.shortestpath.path import Path
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a Dijkstra expansion from one source.
+
+    ``dist`` maps every *settled* node to its exact shortest path
+    distance; ``parent`` supports path reconstruction.
+    """
+
+    source: int
+    dist: dict[int, float] = field(default_factory=dict)
+    parent: dict[int, int] = field(default_factory=dict)
+
+    def path_to(self, target: int) -> Path:
+        """Reconstruct the shortest path from the source to *target*."""
+        if target not in self.dist:
+            raise NoPathError(self.source, target)
+        nodes = [target]
+        while nodes[-1] != self.source:
+            nodes.append(self.parent[nodes[-1]])
+        nodes.reverse()
+        return Path(nodes=tuple(nodes), cost=self.dist[target])
+
+
+def dijkstra(
+    graph: SpatialGraph,
+    source: int,
+    *,
+    target: "int | None" = None,
+    radius: "float | None" = None,
+) -> SearchResult:
+    """Run Dijkstra from *source*.
+
+    * With *target*: stops when the target is settled.
+    * With *radius*: settles every node at distance <= radius, then
+      stops (*radius* takes precedence over *target* for stopping).
+    * With neither: settles the whole connected component.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"unknown source node {source}")
+    if target is not None and not graph.has_node(target):
+        raise GraphError(f"unknown target node {target}")
+
+    result = SearchResult(source=source)
+    dist = result.dist
+    parent = result.parent
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    best: dict[int, float] = {source: 0.0}
+
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in dist:
+            continue  # stale entry
+        if radius is not None and d > radius:
+            break
+        dist[u] = d
+        if u == target and radius is None:
+            break
+        for v, w in graph.neighbors(u).items():
+            if v in dist:
+                continue
+            nd = d + w
+            known = best.get(v)
+            if known is None or nd < known:
+                best[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return result
+
+
+def shortest_path(graph: SpatialGraph, source: int, target: int) -> Path:
+    """The shortest path between two nodes (raises :class:`NoPathError`)."""
+    result = dijkstra(graph, source, target=target)
+    return result.path_to(target)

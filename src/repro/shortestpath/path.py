@@ -1,0 +1,54 @@
+"""Path value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path ``v_z0, v_z1, ..., v_zk`` with its total cost.
+
+    ``cost`` is the sum of edge weights along the path (the paper's
+    ``dist(P)``).  Construct with :meth:`from_nodes` to have the cost
+    computed and the edges validated against a graph.
+    """
+
+    nodes: tuple[int, ...]
+    cost: float
+
+    @classmethod
+    def from_nodes(cls, graph: SpatialGraph, nodes: "list[int] | tuple[int, ...]") -> "Path":
+        """Build a path from a node sequence, validating every edge."""
+        nodes = tuple(nodes)
+        if not nodes:
+            raise GraphError("a path needs at least one node")
+        cost = 0.0
+        for u, v in zip(nodes, nodes[1:]):
+            cost += graph.weight(u, v)  # raises if the edge is absent
+        return cls(nodes=nodes, cost=cost)
+
+    @property
+    def source(self) -> int:
+        """First node."""
+        return self.nodes[0]
+
+    @property
+    def target(self) -> int:
+        """Last node."""
+        return self.nodes[-1]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges on the path."""
+        return len(self.nodes) - 1
+
+    def edges(self):
+        """Iterate consecutive ``(u, v)`` pairs."""
+        return zip(self.nodes, self.nodes[1:])
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,12 @@
+"""Query workloads and benchmark datasets (paper §VI-A)."""
+
+from repro.workload.datasets import DATASET_SPECS, dataset_names, load_dataset
+from repro.workload.queries import QueryWorkload, generate_workload
+
+__all__ = [
+    "QueryWorkload",
+    "generate_workload",
+    "load_dataset",
+    "dataset_names",
+    "DATASET_SPECS",
+]

@@ -1,0 +1,62 @@
+"""Shared fixtures: graphs of several shapes and session-scoped signers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.signer import NullSigner, RsaSigner
+from repro.graph.graph import SpatialGraph
+from repro.graph.synthetic import grid_network, road_network
+from repro.workload.datasets import normalize_weights
+
+
+@pytest.fixture(scope="session")
+def rsa_signer() -> RsaSigner:
+    """A deterministic RSA signer (768-bit keeps keygen fast in tests)."""
+    return RsaSigner(bits=768, seed=20100301)
+
+
+@pytest.fixture()
+def null_signer() -> NullSigner:
+    """Keyed-hash stand-in signer for tests that exercise other layers."""
+    return NullSigner()
+
+
+@pytest.fixture(scope="session")
+def grid5() -> SpatialGraph:
+    """5x5 unit-weight lattice: distances are Manhattan distances."""
+    return grid_network(5, 5)
+
+
+@pytest.fixture(scope="session")
+def diamond() -> SpatialGraph:
+    """A 6-node graph with a unique shortest path and a longer detour.
+
+    Layout::
+
+        0 --1-- 1 --1-- 2 --1-- 3     (top route, cost 3)
+        0 --2-- 4 --2-- 5 --2-- 3     (bottom route, cost 6)
+    """
+    graph = SpatialGraph()
+    coords = {0: (0, 1), 1: (1, 2), 2: (2, 2), 3: (3, 1), 4: (1, 0), 5: (2, 0)}
+    for node_id, (x, y) in coords.items():
+        graph.add_node(node_id, float(x), float(y))
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 1.0)
+    graph.add_edge(2, 3, 1.0)
+    graph.add_edge(0, 4, 2.0)
+    graph.add_edge(4, 5, 2.0)
+    graph.add_edge(5, 3, 2.0)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def road300() -> SpatialGraph:
+    """A small synthetic road network normalized to diameter ~4500."""
+    return normalize_weights(road_network(300, seed=42), 4500.0)
+
+
+@pytest.fixture(scope="session")
+def road700() -> SpatialGraph:
+    """A mid-size synthetic road network for integration tests."""
+    return normalize_weights(road_network(700, seed=7), 4500.0)

@@ -1,0 +1,49 @@
+"""Core-test fixtures: built methods shared across the module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dij import DijMethod
+from repro.core.full import FullMethod
+from repro.core.hyp import HypMethod
+from repro.core.ldm import LdmMethod
+from repro.crypto.signer import NullSigner
+from repro.workload.queries import generate_workload
+
+QUERY_RANGE = 1500.0
+
+
+@pytest.fixture(scope="package")
+def signer():
+    return NullSigner()
+
+
+@pytest.fixture(scope="package")
+def workload(road300):
+    return generate_workload(road300, QUERY_RANGE, count=8, seed=77)
+
+
+@pytest.fixture(scope="package")
+def dij(road300, signer):
+    return DijMethod.build(road300, signer)
+
+
+@pytest.fixture(scope="package")
+def full(road300, signer):
+    return FullMethod.build(road300, signer)
+
+
+@pytest.fixture(scope="package")
+def ldm(road300, signer):
+    return LdmMethod.build(road300, signer, c=24)
+
+
+@pytest.fixture(scope="package")
+def hyp(road300, signer):
+    return HypMethod.build(road300, signer, num_cells=25)
+
+
+@pytest.fixture(scope="package")
+def methods(dij, full, ldm, hyp):
+    return {"DIJ": dij, "FULL": full, "LDM": ldm, "HYP": hyp}

@@ -1,0 +1,105 @@
+"""Unit-level tests for the adversary toolkit itself."""
+
+import pytest
+
+from repro.core import adversary
+from repro.core.proofs import NETWORK_TREE
+from repro.errors import MethodError
+from repro.graph.tuples import BaseTuple
+
+
+class TestTamperWeight:
+    def test_changes_exactly_one_weight(self, dij, workload):
+        vs, vt = workload.queries[0]
+        honest = dij.answer(vs, vt)
+        tampered = adversary.tamper_weight(honest, delta=5.0)
+        before = [BaseTuple.decode(p)
+                  for p in honest.sections[NETWORK_TREE].payloads]
+        after = [BaseTuple.decode(p)
+                 for p in tampered.sections[NETWORK_TREE].payloads]
+        changed = [
+            (b, a) for b, a in zip(before, after) if b != a
+        ]
+        assert len(changed) == 1
+        b, a = changed[0]
+        assert b.node_id == a.node_id
+        diffs = [
+            (wb, wa) for (nb, wb), (na, wa) in zip(b.adjacency, a.adjacency)
+            if wb != wa
+        ]
+        assert len(diffs) == 1
+        assert diffs[0][1] == pytest.approx(diffs[0][0] + 5.0)
+
+    def test_original_untouched(self, dij, workload):
+        vs, vt = workload.queries[0]
+        honest = dij.answer(vs, vt)
+        original_payloads = list(honest.sections[NETWORK_TREE].payloads)
+        adversary.tamper_weight(honest)
+        assert honest.sections[NETWORK_TREE].payloads == original_payloads
+
+
+class TestDropTuple:
+    def test_drop_reduces_payloads_and_adds_entry(self, dij, workload):
+        vs, vt = workload.queries[0]
+        honest = dij.answer(vs, vt)
+        tampered = adversary.drop_tuple(honest)
+        h_section = honest.sections[NETWORK_TREE]
+        t_section = tampered.sections[NETWORK_TREE]
+        assert len(t_section.payloads) == len(h_section.payloads) - 1
+        assert len(t_section.entries) == len(h_section.entries) + 1
+        extra = t_section.entries[-1]
+        assert extra.level == 0
+
+    def test_keep_set_respected(self, dij, workload):
+        vs, vt = workload.queries[0]
+        honest = dij.answer(vs, vt)
+        all_ids = {
+            BaseTuple.decode(p).node_id
+            for p in honest.sections[NETWORK_TREE].payloads
+        }
+        with pytest.raises(MethodError):
+            adversary.drop_tuple(honest, keep=all_ids)
+
+
+class TestSuboptimalPath:
+    def test_detour_is_genuine_but_longer(self, dij, road300, workload):
+        vs, vt = workload.queries[0]
+        honest = dij.answer(vs, vt)
+        response = adversary.suboptimal_path(dij, road300, vs, vt)
+        assert response.path_cost > honest.path_cost
+        # Detour must be a real path in the graph.
+        for u, v in zip(response.path_nodes, response.path_nodes[1:]):
+            assert road300.has_edge(u, v)
+
+    def test_degenerate_query_rejected(self, dij, road300):
+        node = road300.node_ids()[0]
+        with pytest.raises(MethodError):
+            adversary.suboptimal_path(dij, road300, node, node)
+
+
+class TestOtherMutations:
+    def test_inflate_cost(self, dij, workload):
+        vs, vt = workload.queries[0]
+        honest = dij.answer(vs, vt)
+        tampered = adversary.inflate_cost(honest, factor=2.0)
+        assert tampered.path_cost == pytest.approx(2 * honest.path_cost)
+        assert tampered.path_nodes == honest.path_nodes
+
+    def test_strip_signature_keeps_length(self, dij, workload):
+        vs, vt = workload.queries[0]
+        honest = dij.answer(vs, vt)
+        tampered = adversary.strip_signature(honest)
+        assert len(tampered.descriptor.signature) == len(honest.descriptor.signature)
+        assert tampered.descriptor.signature != honest.descriptor.signature
+
+    def test_forge_distance(self, full, workload):
+        vs, vt = workload.queries[0]
+        honest = full.answer(vs, vt)
+        tampered = adversary.forge_distance(honest, delta=-3.0)
+        from repro.core.proofs import DISTANCE_TREE
+        from repro.graph.tuples import DistanceTuple
+
+        before = DistanceTuple.decode(honest.sections[DISTANCE_TREE].payloads[0])
+        after = DistanceTuple.decode(tampered.sections[DISTANCE_TREE].payloads[0])
+        assert after.distance == pytest.approx(before.distance - 3.0)
+        assert (after.a, after.b) == (before.a, before.b)

@@ -1,0 +1,81 @@
+"""Tests for batched proofs."""
+
+import pytest
+
+from repro.core.batch import BatchResponse, answer_batch, verify_batch
+from repro.errors import MethodError
+
+
+@pytest.mark.parametrize("method_name", ["DIJ", "LDM"])
+class TestBatchHonest:
+    def test_all_queries_verify(self, methods, workload, signer, method_name):
+        method = methods[method_name]
+        queries = list(workload.queries[:5])
+        batch = answer_batch(method, queries)
+        results = verify_batch(batch, signer.verify)
+        assert len(results) == 5
+        for (vs, vt), result in zip(queries, results):
+            assert result.ok, (vs, vt, result.reason, result.detail)
+
+    def test_batch_smaller_than_individual(self, methods, workload, signer,
+                                           method_name):
+        method = methods[method_name]
+        queries = list(workload.queries[:5])
+        batch = answer_batch(method, queries)
+        individual = sum(
+            len(method.answer(vs, vt).encode()) for vs, vt in queries
+        )
+        assert batch.total_bytes < individual
+
+    def test_wire_roundtrip(self, methods, workload, signer, method_name):
+        method = methods[method_name]
+        queries = list(workload.queries[:3])
+        batch = BatchResponse.decode(answer_batch(method, queries).encode())
+        for result in verify_batch(batch, signer.verify):
+            assert result.ok
+
+    def test_per_query_costs_match_individual(self, methods, workload,
+                                              signer, method_name):
+        method = methods[method_name]
+        queries = list(workload.queries[:3])
+        batch = answer_batch(method, queries)
+        for i, (vs, vt) in enumerate(queries):
+            assert batch.costs[i] == method.answer(vs, vt).path_cost
+
+
+class TestBatchAdversarial:
+    def test_tampered_batch_rejected_everywhere(self, dij, workload, signer):
+        batch = answer_batch(dij, list(workload.queries[:3]))
+        payload = batch.section.payloads[0]
+        batch.section.payloads[0] = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        results = verify_batch(batch, signer.verify)
+        assert all(not r.ok for r in results)
+        # Depending on how the corrupted varint decodes, the reject comes
+        # from the hash check or from tuple decoding; both are sound.
+        assert {r.reason for r in results} <= {"root-mismatch", "malformed-proof"}
+
+    def test_inflated_single_cost_rejected_only_there(self, dij, workload,
+                                                      signer):
+        batch = answer_batch(dij, list(workload.queries[:3]))
+        costs = list(batch.costs)
+        costs[1] *= 1.5
+        batch.costs = tuple(costs)
+        results = verify_batch(batch, signer.verify)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+
+    def test_swapped_paths_rejected(self, dij, workload, signer):
+        batch = answer_batch(dij, list(workload.queries[:2]))
+        batch.paths = (batch.paths[1], batch.paths[0])
+        results = verify_batch(batch, signer.verify)
+        assert not any(r.ok for r in results)
+
+
+class TestBatchErrors:
+    def test_non_batchable_method(self, full, workload):
+        with pytest.raises(MethodError):
+            answer_batch(full, list(workload.queries[:2]))
+
+    def test_empty_batch(self, dij):
+        with pytest.raises(MethodError):
+            answer_batch(dij, [])

@@ -1,0 +1,188 @@
+"""Unit tests for the shared client-side verification steps."""
+
+import pytest
+
+from repro.core.checks import (
+    NetworkTreeBundle,
+    adjacency_weight,
+    check_reported_path,
+    decode_tuples,
+    sign_descriptor,
+    verify_descriptor,
+    verify_section_root,
+)
+from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeConfig, TreeSection
+from repro.crypto.signer import NullSigner
+from repro.errors import EncodingError
+from repro.graph.tuples import BaseTuple
+
+
+@pytest.fixture()
+def bundle(diamond):
+    return NetworkTreeBundle(
+        diamond, lambda v: BaseTuple.from_graph(diamond, v),
+        ordering="hbt", fanout=2, hash_name="sha1",
+    )
+
+
+@pytest.fixture()
+def descriptor(bundle):
+    signer = NullSigner()
+    return sign_descriptor(
+        SignedDescriptor(
+            method="DIJ", hash_name="sha1", params=b"",
+            trees=(TreeConfig(NETWORK_TREE, bundle.tree.num_leaves, 2,
+                              bundle.tree.root),),
+        ),
+        signer,
+    ), signer
+
+
+def make_response(bundle, descriptor, nodes, path, cost):
+    return QueryResponse(
+        method="DIJ", source=path[0], target=path[-1],
+        path_nodes=tuple(path), path_cost=cost,
+        sections={NETWORK_TREE: bundle.section_for(nodes)},
+        descriptor=descriptor,
+    )
+
+
+class TestNetworkTreeBundle:
+    def test_positions_cover_all_nodes(self, bundle, diamond):
+        assert sorted(bundle.position_of) == diamond.node_ids()
+        assert sorted(bundle.position_of.values()) == list(range(diamond.num_nodes))
+
+    def test_section_payloads_sorted_by_position(self, bundle):
+        section = bundle.section_for([5, 0, 3])
+        assert section.positions == sorted(section.positions)
+
+    def test_section_root_verifies(self, bundle, descriptor):
+        desc, _ = descriptor
+        section = bundle.section_for([0, 1, 2])
+        assert verify_section_root(desc, section) is None
+
+    def test_build_seconds_recorded(self, bundle):
+        assert bundle.build_seconds >= 0.0
+
+
+class TestVerifyDescriptor:
+    def test_pass(self, bundle, descriptor):
+        desc, signer = descriptor
+        response = make_response(bundle, desc, [0, 1], [0, 1], 1.0)
+        assert verify_descriptor("DIJ", response, signer.verify) is None
+
+    def test_method_mismatch(self, bundle, descriptor):
+        desc, signer = descriptor
+        response = make_response(bundle, desc, [0, 1], [0, 1], 1.0)
+        failure = verify_descriptor("FULL", response, signer.verify)
+        assert failure is not None and failure.reason == "method-mismatch"
+
+    def test_bad_signature(self, bundle, descriptor):
+        desc, signer = descriptor
+        bad = desc.with_signature(b"\x00" * len(desc.signature))
+        response = make_response(bundle, bad, [0, 1], [0, 1], 1.0)
+        failure = verify_descriptor("DIJ", response, signer.verify)
+        assert failure is not None and failure.reason == "bad-signature"
+
+
+class TestVerifySectionRoot:
+    def test_unknown_tree(self, bundle, descriptor):
+        desc, _ = descriptor
+        section = bundle.section_for([0])
+        section.tree = "mystery"
+        failure = verify_section_root(desc, section)
+        assert failure is not None and failure.reason == "unknown-tree"
+
+    def test_tampered_payload(self, bundle, descriptor):
+        desc, _ = descriptor
+        section = bundle.section_for([0, 1])
+        flipped = bytes([section.payloads[0][0] ^ 0xFF])
+        section.payloads[0] = flipped + section.payloads[0][1:]
+        failure = verify_section_root(desc, section)
+        assert failure is not None and failure.reason == "root-mismatch"
+
+    def test_missing_entries(self, bundle, descriptor):
+        desc, _ = descriptor
+        section = bundle.section_for([0])
+        section.entries = section.entries[:-1]
+        failure = verify_section_root(desc, section)
+        assert failure is not None and failure.reason == "malformed-proof"
+
+
+class TestDecodeTuples:
+    def test_roundtrip(self, bundle, diamond):
+        section = bundle.section_for(diamond.node_ids())
+        tuples = decode_tuples(section, BaseTuple)
+        assert sorted(tuples) == diamond.node_ids()
+
+    def test_duplicate_rejected(self, bundle):
+        section = bundle.section_for([0])
+        section.positions.append(99)
+        section.payloads.append(section.payloads[0])
+        with pytest.raises(EncodingError):
+            decode_tuples(section, BaseTuple)
+
+    def test_adjacency_weight(self, diamond):
+        tup = BaseTuple.from_graph(diamond, 0)
+        assert adjacency_weight(tup, 1) == 1.0
+        assert adjacency_weight(tup, 3) is None
+
+
+class TestCheckReportedPath:
+    def tuples_for(self, bundle, nodes):
+        return decode_tuples(bundle.section_for(nodes), BaseTuple)
+
+    def test_valid_path(self, bundle, descriptor, diamond):
+        desc, _ = descriptor
+        response = make_response(bundle, desc, diamond.node_ids(),
+                                 [0, 1, 2, 3], 3.0)
+        tuples = self.tuples_for(bundle, diamond.node_ids())
+        assert check_reported_path(0, 3, response, tuples) is None
+
+    def test_endpoint_mismatch(self, bundle, descriptor, diamond):
+        desc, _ = descriptor
+        response = make_response(bundle, desc, diamond.node_ids(),
+                                 [0, 1, 2, 3], 3.0)
+        tuples = self.tuples_for(bundle, diamond.node_ids())
+        failure = check_reported_path(0, 5, response, tuples)
+        assert failure is not None and failure.reason == "endpoint-mismatch"
+
+    def test_phantom_edge(self, bundle, descriptor, diamond):
+        desc, _ = descriptor
+        response = make_response(bundle, desc, diamond.node_ids(),
+                                 [0, 2, 3], 2.0)  # 0-2 is not an edge
+        tuples = self.tuples_for(bundle, diamond.node_ids())
+        failure = check_reported_path(0, 3, response, tuples)
+        assert failure is not None and failure.reason == "phantom-edge"
+
+    def test_cost_mismatch(self, bundle, descriptor, diamond):
+        desc, _ = descriptor
+        response = make_response(bundle, desc, diamond.node_ids(),
+                                 [0, 1, 2, 3], 99.0)
+        tuples = self.tuples_for(bundle, diamond.node_ids())
+        failure = check_reported_path(0, 3, response, tuples)
+        assert failure is not None and failure.reason == "cost-mismatch"
+
+    def test_missing_tuple(self, bundle, descriptor, diamond):
+        desc, _ = descriptor
+        response = make_response(bundle, desc, diamond.node_ids(),
+                                 [0, 1, 2, 3], 3.0)
+        tuples = self.tuples_for(bundle, [0, 1, 3])  # node 2 undisclosed
+        failure = check_reported_path(0, 3, response, tuples)
+        assert failure is not None and failure.reason == "path-node-missing"
+
+    def test_cycle_rejected(self, bundle, descriptor, diamond):
+        desc, _ = descriptor
+        response = make_response(bundle, desc, diamond.node_ids(),
+                                 [0, 1, 0, 1], 3.0)
+        tuples = self.tuples_for(bundle, diamond.node_ids())
+        failure = check_reported_path(0, 1, response, tuples)
+        assert failure is not None and failure.reason == "path-cycle"
+
+    def test_empty_path(self, bundle, descriptor, diamond):
+        desc, _ = descriptor
+        response = make_response(bundle, desc, diamond.node_ids(), [0], 0.0)
+        response.path_nodes = ()
+        tuples = self.tuples_for(bundle, diamond.node_ids())
+        failure = check_reported_path(0, 3, response, tuples)
+        assert failure is not None and failure.reason == "empty-path"

@@ -1,0 +1,74 @@
+"""Determinism guarantees: same inputs must yield identical ADS roots.
+
+The provider and any auditor must be able to reproduce the owner's
+trees bit for bit from the published graph and parameters — otherwise
+root comparison would be meaningless.
+"""
+
+import pytest
+
+from repro.core.method import get_method
+from repro.core.proofs import NETWORK_TREE
+from repro.graph.io import read_graph, write_graph
+
+
+@pytest.mark.parametrize("name,params", [
+    ("DIJ", {}),
+    ("FULL", {}),
+    ("LDM", dict(c=10)),
+    ("HYP", dict(num_cells=16)),
+])
+class TestBuildDeterminism:
+    def test_same_graph_same_roots(self, road300, signer, name, params):
+        a = get_method(name).build(road300, signer, **params)
+        b = get_method(name).build(road300, signer, **params)
+        assert a.descriptor.message() == b.descriptor.message()
+        for tree_a, tree_b in zip(a.descriptor.trees, b.descriptor.trees):
+            assert tree_a.root == tree_b.root
+
+    def test_roundtripped_graph_same_roots(self, road300, signer, tmp_path,
+                                           name, params):
+        # Serialize the graph to disk and back (what outsourcing does);
+        # the rebuilt ADS must be identical.
+        path = tmp_path / "network.txt"
+        write_graph(road300, path)
+        loaded = read_graph(path)
+        a = get_method(name).build(road300, signer, **params)
+        b = get_method(name).build(loaded, signer, **params)
+        assert a.descriptor.tree(NETWORK_TREE).root == \
+            b.descriptor.tree(NETWORK_TREE).root
+
+    def test_responses_are_deterministic(self, road300, signer, workload,
+                                         name, params):
+        method = get_method(name).build(road300, signer, **params)
+        vs, vt = workload.queries[0]
+        assert method.answer(vs, vt).encode() == method.answer(vs, vt).encode()
+
+
+class TestParameterSensitivity:
+    def test_different_ordering_different_root(self, road300, signer):
+        a = get_method("DIJ").build(road300, signer, ordering="hbt")
+        b = get_method("DIJ").build(road300, signer, ordering="bfs")
+        assert a.descriptor.tree(NETWORK_TREE).root != \
+            b.descriptor.tree(NETWORK_TREE).root
+
+    def test_different_fanout_different_root(self, road300, signer):
+        a = get_method("DIJ").build(road300, signer, fanout=2)
+        b = get_method("DIJ").build(road300, signer, fanout=4)
+        assert a.descriptor.tree(NETWORK_TREE).root != \
+            b.descriptor.tree(NETWORK_TREE).root
+
+    def test_different_hash_different_root(self, road300, signer):
+        a = get_method("DIJ").build(road300, signer, hash_name="sha1")
+        b = get_method("DIJ").build(road300, signer, hash_name="sha256")
+        assert a.descriptor.tree(NETWORK_TREE).root != \
+            b.descriptor.tree(NETWORK_TREE).root
+        assert len(b.descriptor.tree(NETWORK_TREE).root) == 32
+
+    def test_sha256_end_to_end(self, road300, signer, workload):
+        method = get_method("LDM").build(road300, signer, c=8,
+                                         hash_name="sha256")
+        vs, vt = workload.queries[0]
+        response = method.answer(vs, vt)
+        result = get_method("LDM").verify(vs, vt, response, signer.verify)
+        assert result.ok, (result.reason, result.detail)

@@ -1,0 +1,119 @@
+"""Tests for incremental updates and the provider's algorithm choice."""
+
+import pytest
+
+from repro.core.dij import DijMethod
+from repro.core.method import get_method
+from repro.errors import MethodError
+from repro.merkle.tree import MerkleTree, reconstruct_root
+from repro.shortestpath.dijkstra import dijkstra
+
+
+class TestMerkleLeafUpdate:
+    def test_update_matches_rebuild(self):
+        payloads = [b"p%d" % i for i in range(23)]
+        tree = MerkleTree(payloads, fanout=3)
+        payloads[7] = b"updated"
+        tree.update_leaf(7, b"updated")
+        rebuilt = MerkleTree(payloads, fanout=3)
+        assert tree.root == rebuilt.root
+
+    @pytest.mark.parametrize("fanout", [2, 4, 16])
+    @pytest.mark.parametrize("index", [0, 9, 30])
+    def test_update_positions_and_fanouts(self, fanout, index):
+        payloads = [b"x%d" % i for i in range(31)]
+        tree = MerkleTree(payloads, fanout=fanout)
+        payloads[index] = b"new-payload"
+        tree.update_leaf(index, b"new-payload")
+        assert tree.root == MerkleTree(payloads, fanout=fanout).root
+
+    def test_proofs_valid_after_update(self):
+        payloads = [b"y%d" % i for i in range(40)]
+        tree = MerkleTree(payloads)
+        payloads[11] = b"fresh"
+        tree.update_leaf(11, b"fresh")
+        entries = tree.prove([11, 25])
+        root = reconstruct_root(40, 2, "sha1",
+                                {11: b"fresh", 25: payloads[25]}, entries)
+        assert root == tree.root
+
+    def test_out_of_range_rejected(self):
+        tree = MerkleTree([b"a", b"b"])
+        from repro.errors import MerkleError
+
+        with pytest.raises(MerkleError):
+            tree.update_leaf(2, b"c")
+
+    def test_single_leaf_tree(self):
+        tree = MerkleTree([b"only"])
+        tree.update_leaf(0, b"new")
+        assert tree.root == MerkleTree([b"new"]).root
+
+
+class TestDijIncrementalUpdate:
+    def test_update_then_verify(self, road300, signer, workload):
+        graph = road300.copy()
+        method = DijMethod.build(graph, signer)
+        vs, vt = workload.queries[0]
+        before = method.answer(vs, vt)
+
+        # Double the weight of the first edge on the current optimal path.
+        u, v = before.path_nodes[0], before.path_nodes[1]
+        method.update_edge_weight(u, v, graph.weight(u, v) * 2, signer)
+
+        after = method.answer(vs, vt)
+        result = get_method("DIJ").verify(vs, vt, after, signer.verify)
+        assert result.ok, (result.reason, result.detail)
+        expected = dijkstra(graph, vs, target=vt).dist[vt]
+        assert after.path_cost == pytest.approx(expected)
+
+    def test_old_response_fails_under_new_descriptor_key_rotation(
+        self, road300, signer, workload
+    ):
+        graph = road300.copy()
+        method = DijMethod.build(graph, signer)
+        vs, vt = workload.queries[1]
+        before = method.answer(vs, vt)
+        u, v = before.path_nodes[0], before.path_nodes[1]
+        method.update_edge_weight(u, v, graph.weight(u, v) * 3, signer)
+        # The old response still carries the old (validly signed)
+        # descriptor, so it verifies as a statement about the old graph;
+        # a *mixed* response — old tuples with the new descriptor — must
+        # fail because the root changed.
+        import copy
+
+        mixed = copy.deepcopy(before)
+        mixed.descriptor = method.descriptor
+        result = get_method("DIJ").verify(vs, vt, mixed, signer.verify)
+        assert not result.ok
+        assert result.reason == "root-mismatch"
+
+    def test_hint_methods_refuse_incremental(self, ldm, signer):
+        with pytest.raises(MethodError):
+            ldm.update_edge_weight(0, 1, 2.0, signer)
+
+
+class TestProviderAlgorithmChoice:
+    @pytest.mark.parametrize("name,params", [
+        ("DIJ", {}),
+        ("FULL", {}),
+        ("LDM", dict(c=8)),
+        ("HYP", dict(num_cells=25)),
+    ])
+    def test_bidirectional_provider_produces_valid_proofs(
+        self, road300, signer, workload, name, params
+    ):
+        method = get_method(name).build(road300, signer,
+                                        algo_sp="bidirectional", **params)
+        vs, vt = workload.queries[0]
+        response = method.answer(vs, vt)
+        result = get_method(name).verify(vs, vt, response, signer.verify)
+        assert result.ok, (name, result.reason, result.detail)
+        expected = dijkstra(road300, vs, target=vt).dist[vt]
+        assert response.path_cost == pytest.approx(expected)
+
+    def test_unknown_algorithm_rejected(self, road300, signer, workload):
+        method = DijMethod.build(road300, signer, algo_sp="teleport")
+        vs, vt = workload.queries[0]
+        with pytest.raises(MethodError):
+            method.answer(vs, vt)

@@ -1,0 +1,113 @@
+"""Tests for the proof-size estimation model (paper future work)."""
+
+import pytest
+
+from repro.core.estimate import BallProfile, ProofSizeModel, cover_digests, mean_tuple_bytes
+from repro.errors import MethodError
+
+
+@pytest.fixture(scope="module")
+def model(road700):
+    return ProofSizeModel.for_graph(road700, seed=3)
+
+
+class TestBallProfile:
+    def test_monotone(self, road700):
+        profile = BallProfile.sample(road700, seed=1)
+        sizes = [profile.ball(r) for r in (0, 100, 500, 1000, 2000, 10**9)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 1.0
+        assert sizes[-1] <= road700.num_nodes
+
+    def test_interpolation_between_tabulated_points(self, road700):
+        profile = BallProfile.sample(road700, seed=1)
+        r0, r1 = profile.radii[3], profile.radii[4]
+        mid = profile.ball((r0 + r1) / 2)
+        assert min(profile.ball(r0), profile.ball(r1)) <= mid <= max(
+            profile.ball(r0), profile.ball(r1)
+        )
+
+    def test_path_hops_scales_linearly(self, road700):
+        profile = BallProfile.sample(road700, seed=1)
+        assert profile.path_hops(2000) == pytest.approx(2 * profile.path_hops(1000))
+        assert profile.path_hops(0) == 1.0
+
+    def test_deterministic(self, road700):
+        a = BallProfile.sample(road700, seed=5)
+        b = BallProfile.sample(road700, seed=5)
+        assert a.radii == b.radii and a.ball_sizes == b.ball_sizes
+
+
+class TestCoverModel:
+    def test_zero_cases(self):
+        assert cover_digests(0, 1, 100, 2) == 0.0
+        assert cover_digests(5, 1, 1, 2) == 0.0
+
+    def test_single_leaf_logarithmic(self):
+        # One disclosed leaf out of 1024 at fanout 2: ~10 sibling digests.
+        assert cover_digests(1, 1, 1024, 2) == pytest.approx(10.0)
+
+    def test_more_runs_cost_more(self):
+        contiguous = cover_digests(64, 1, 4096, 2)
+        scattered = cover_digests(64, 64, 4096, 2)
+        assert scattered > contiguous
+
+    def test_fanout_increases_cover(self):
+        assert cover_digests(4, 4, 4096, 16) > cover_digests(4, 4, 4096, 2)
+
+
+class TestMeanTupleBytes:
+    def test_positive_and_stable(self, road700):
+        a = mean_tuple_bytes(road700, seed=1)
+        b = mean_tuple_bytes(road700, seed=1)
+        assert a == b > 20
+
+    def test_vector_payload_added(self, road700):
+        base = mean_tuple_bytes(road700, seed=1)
+        with_vec = mean_tuple_bytes(road700, vector_bytes=150.0, seed=1)
+        assert with_vec == pytest.approx(base + 150.0)
+
+
+class TestPredictions:
+    def test_unknown_method(self, model):
+        with pytest.raises(MethodError):
+            model.predict("NOPE", 1000.0)
+
+    def test_all_methods_positive_and_growing(self, model):
+        for name in ("DIJ", "FULL", "LDM", "HYP"):
+            small = model.predict(name, 500.0)
+            large = model.predict(name, 4000.0)
+            assert 0 < small <= large
+
+    def test_dij_grows_fastest(self, model):
+        growth = {
+            name: model.predict(name, 4000.0) / model.predict(name, 500.0)
+            for name in ("DIJ", "FULL", "LDM", "HYP")
+        }
+        assert growth["DIJ"] >= max(growth.values()) - 1e-9
+
+    def test_rank_returns_sorted(self, model):
+        ranking = model.rank(2000.0)
+        values = [v for _, v in ranking]
+        assert values == sorted(values)
+        assert {n for n, _ in ranking} == {"DIJ", "FULL", "LDM", "HYP"}
+        assert ranking[0][0] == "FULL"  # smallest proof at any scale
+
+    def test_accuracy_against_measurements(self, road700, model):
+        """The model must land within ~2x of reality on a real workload."""
+        from repro.bench import run_workload
+        from repro.core.method import get_method
+        from repro.crypto.signer import NullSigner
+        from repro.workload.queries import generate_workload
+
+        signer = NullSigner()
+        workload = generate_workload(road700, 2000.0, count=5, seed=9,
+                                     tolerance=1.0)
+        for name, params in [("DIJ", {}), ("FULL", {}),
+                             ("LDM", dict(c=100)), ("HYP", dict(num_cells=100))]:
+            method = get_method(name).build(road700, signer, **params)
+            run = run_workload(method, workload, signer.verify)
+            predicted = model.predict(name, 2000.0)
+            actual = run.total_kb * 1024
+            ratio = max(predicted / actual, actual / predicted)
+            assert ratio < 2.5, f"{name}: predicted {predicted}, actual {actual}"

@@ -1,0 +1,102 @@
+"""Tests for the three-party framework and tolerance helpers."""
+
+import pytest
+
+from repro.core.framework import (
+    Client,
+    DataOwner,
+    ServiceProvider,
+    VerificationResult,
+    definitely_greater,
+    distances_close,
+)
+from repro.core.method import METHODS, get_method, register_method
+from repro.errors import MethodError
+
+
+class TestTolerances:
+    def test_close_under_rounding_noise(self):
+        assert distances_close(1000.0, 1000.0 + 1e-10)
+        assert distances_close(0.0, 0.0)
+
+    def test_not_close_for_real_differences(self):
+        assert not distances_close(1000.0, 1000.1)
+
+    def test_definitely_greater(self):
+        assert definitely_greater(10.0, 9.0)
+        assert not definitely_greater(10.0, 10.0 + 1e-12)
+        assert not definitely_greater(9.0, 10.0)
+
+
+class TestVerificationResult:
+    def test_bool_protocol(self):
+        assert VerificationResult.success()
+        assert not VerificationResult.failure("nope")
+
+    def test_success_records_checks(self):
+        result = VerificationResult.success(distance=8.0)
+        assert result.checks["distance"] == 8.0
+        assert result.reason == "ok"
+
+    def test_failure_fields(self):
+        result = VerificationResult.failure("root-mismatch", "tree x")
+        assert result.reason == "root-mismatch"
+        assert result.detail == "tree x"
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        assert set(METHODS) == {"DIJ", "FULL", "LDM", "HYP"}
+
+    def test_unknown_method(self):
+        with pytest.raises(MethodError):
+            get_method("SHORTCUT")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(MethodError):
+            register_method(METHODS["DIJ"])
+
+
+class TestRoles:
+    def test_full_workflow(self, road300, signer, workload):
+        owner = DataOwner(road300, signer=signer)
+        method = owner.publish("DIJ")
+        provider = ServiceProvider(method)
+        client = Client(signer.verify)
+        vs, vt = workload.queries[0]
+        response = provider.answer(vs, vt)
+        assert client.verify(vs, vt, response).ok
+
+    def test_client_dispatches_on_response_method(self, road300, signer, workload):
+        owner = DataOwner(road300, signer=signer)
+        provider = ServiceProvider(owner.publish("LDM", c=8))
+        client = Client(signer.verify)
+        vs, vt = workload.queries[0]
+        response = provider.answer(vs, vt)
+        assert response.method == "LDM"
+        assert client.verify(vs, vt, response).ok
+
+    def test_client_rejects_unknown_method(self, road300, signer, workload):
+        owner = DataOwner(road300, signer=signer)
+        provider = ServiceProvider(owner.publish("DIJ"))
+        client = Client(signer.verify)
+        vs, vt = workload.queries[0]
+        response = provider.answer(vs, vt)
+        response.method = "WEIRD"
+        result = client.verify(vs, vt, response)
+        assert not result.ok
+        assert result.reason == "unknown-method"
+
+    def test_owner_default_signer_is_rsa(self, grid5):
+        owner = DataOwner(grid5)
+        from repro.crypto.signer import RsaSigner
+
+        assert isinstance(owner.signer, RsaSigner)
+
+    def test_descriptor_access_before_build(self):
+        from repro.core.dij import DijMethod
+
+        method = DijMethod.__new__(DijMethod)
+        method._descriptor = None
+        with pytest.raises(MethodError):
+            _ = method.descriptor

@@ -1,0 +1,88 @@
+"""LDM edge cases, including regressions caught by the ablation study."""
+
+import pytest
+
+from repro.core.ldm import LdmMethod
+from repro.core.method import get_method
+
+
+class TestQuantizationBitsRegression:
+    """Compressed tuples carry no bits field on the wire; the client must
+    check bits on the representative (which holds the codes), not on the
+    compressed tuple whose decoded default would be wrong for b != 12."""
+
+    @pytest.mark.parametrize("bits", [4, 8, 16])
+    def test_honest_verify_at_nondefault_bits(self, road300, signer,
+                                              workload, bits):
+        method = LdmMethod.build(road300, signer, c=24, bits=bits)
+        for vs, vt in workload.queries[:3]:
+            response = method.answer(vs, vt)
+            result = get_method("LDM").verify(vs, vt, response, signer.verify)
+            assert result.ok, (bits, result.reason, result.detail)
+
+
+class TestExtremeParameters:
+    def test_single_landmark(self, road300, signer, workload):
+        method = LdmMethod.build(road300, signer, c=1)
+        vs, vt = workload.queries[0]
+        response = method.answer(vs, vt)
+        assert get_method("LDM").verify(vs, vt, response, signer.verify).ok
+
+    def test_one_bit_quantization(self, road300, signer, workload):
+        # b=1 makes the bound nearly useless: LDM degenerates towards DIJ
+        # but must stay correct.
+        method = LdmMethod.build(road300, signer, c=8, bits=1)
+        vs, vt = workload.queries[0]
+        response = method.answer(vs, vt)
+        assert get_method("LDM").verify(vs, vt, response, signer.verify).ok
+
+    def test_huge_xi_compresses_almost_everything(self, road300, signer,
+                                                  workload):
+        method = LdmMethod.build(road300, signer, c=16, xi=10_000.0)
+        assert method._compressed.num_compressed > 0.8 * road300.num_nodes
+        vs, vt = workload.queries[0]
+        response = method.answer(vs, vt)
+        assert get_method("LDM").verify(vs, vt, response, signer.verify).ok
+
+    def test_trivial_query_source_equals_target(self, road300, signer):
+        method = LdmMethod.build(road300, signer, c=8)
+        node = road300.node_ids()[0]
+        response = method.answer(node, node)
+        assert response.path_cost == 0.0
+        assert get_method("LDM").verify(node, node, response, signer.verify).ok
+
+    def test_adjacent_nodes_query(self, road300, signer):
+        method = LdmMethod.build(road300, signer, c=8)
+        u, v, w = next(iter(road300.edges()))
+        response = method.answer(u, v)
+        assert get_method("LDM").verify(u, v, response, signer.verify).ok
+
+
+class TestGridGraphs:
+    """Grids have massive shortest path ties; verification must not care
+    which optimal path the provider picks."""
+
+    def test_all_methods_on_grid(self, grid5, signer):
+        for name, params in [("DIJ", {}), ("FULL", {}),
+                             ("LDM", dict(c=4)), ("HYP", dict(num_cells=4))]:
+            method = get_method(name).build(grid5, signer, **params)
+            response = method.answer(0, 24)  # corner to corner, many ties
+            result = get_method(name).verify(0, 24, response, signer.verify)
+            assert result.ok, (name, result.reason, result.detail)
+            assert response.path_cost == pytest.approx(8.0)
+
+    def test_zero_weight_edges(self, signer):
+        from repro.graph.graph import SpatialGraph
+
+        g = SpatialGraph()
+        for i in range(4):
+            g.add_node(i, float(i), 0.0)
+        g.add_edge(0, 1, 0.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 0.0)
+        for name, params in [("DIJ", {}), ("LDM", dict(c=2))]:
+            method = get_method(name).build(g, signer, **params)
+            response = method.answer(0, 3)
+            result = get_method(name).verify(0, 3, response, signer.verify)
+            assert result.ok, (name, result.reason)
+            assert response.path_cost == pytest.approx(1.0)

@@ -1,0 +1,146 @@
+"""Tests for proof containers: descriptor, sections, response."""
+
+import pytest
+
+from repro.core.proofs import (
+    NETWORK_TREE,
+    ProofSizes,
+    QueryResponse,
+    SignedDescriptor,
+    TreeConfig,
+    TreeSection,
+)
+from repro.errors import EncodingError
+from repro.merkle.proof import MerkleProofEntry
+
+
+def make_descriptor(signature=b"sig"):
+    return SignedDescriptor(
+        method="DIJ",
+        hash_name="sha1",
+        params=b"\x01\x02",
+        trees=(TreeConfig(NETWORK_TREE, 100, 2, b"r" * 20),),
+        signature=signature,
+    )
+
+
+class TestSignedDescriptor:
+    def test_encode_decode_roundtrip(self):
+        descriptor = make_descriptor()
+        decoded = SignedDescriptor.decode(descriptor.encode())
+        assert decoded == descriptor
+
+    def test_message_excludes_signature(self):
+        a = make_descriptor(b"one")
+        b = make_descriptor(b"two")
+        assert a.message() == b.message()
+        assert a.encode() != b.encode()
+
+    def test_message_binds_everything(self):
+        base = make_descriptor()
+        variants = [
+            SignedDescriptor("LDM", base.hash_name, base.params, base.trees),
+            SignedDescriptor(base.method, "sha256", base.params, base.trees),
+            SignedDescriptor(base.method, base.hash_name, b"", base.trees),
+            SignedDescriptor(base.method, base.hash_name, base.params,
+                             (TreeConfig(NETWORK_TREE, 101, 2, b"r" * 20),)),
+            SignedDescriptor(base.method, base.hash_name, base.params,
+                             (TreeConfig(NETWORK_TREE, 100, 4, b"r" * 20),)),
+            SignedDescriptor(base.method, base.hash_name, base.params,
+                             (TreeConfig(NETWORK_TREE, 100, 2, b"x" * 20),)),
+        ]
+        messages = {v.message() for v in variants}
+        assert len(messages) == len(variants)
+        assert base.message() not in messages
+
+    def test_tree_lookup(self):
+        descriptor = make_descriptor()
+        assert descriptor.tree(NETWORK_TREE).num_leaves == 100
+        assert descriptor.has_tree(NETWORK_TREE)
+        assert not descriptor.has_tree("distance")
+        with pytest.raises(EncodingError):
+            descriptor.tree("distance")
+
+    def test_with_signature(self):
+        descriptor = make_descriptor(b"")
+        signed = descriptor.with_signature(b"new")
+        assert signed.signature == b"new"
+        assert signed.message() == descriptor.message()
+
+
+class TestTreeSection:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EncodingError):
+            TreeSection(NETWORK_TREE, [1, 2], [b"a"])
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(EncodingError):
+            TreeSection(NETWORK_TREE, [1, 1], [b"a", b"b"])
+
+    def test_leaf_map(self):
+        section = TreeSection(NETWORK_TREE, [4, 2], [b"x", b"y"])
+        assert section.leaf_map() == {4: b"x", 2: b"y"}
+
+    def test_size_accounting_nonzero(self):
+        section = TreeSection(
+            NETWORK_TREE, [1], [b"payload"],
+            [MerkleProofEntry(0, 0, b"d" * 20)],
+        )
+        assert section.s_prf_bytes() > len(b"payload")
+        assert section.t_prf_bytes() > 20
+
+
+def make_response():
+    section = TreeSection(
+        NETWORK_TREE, [3, 9], [b"tuple-a", b"tuple-b"],
+        [MerkleProofEntry(1, 0, b"d" * 20), MerkleProofEntry(0, 2, b"e" * 20)],
+    )
+    return QueryResponse(
+        method="DIJ",
+        source=3,
+        target=9,
+        path_nodes=(3, 5, 9),
+        path_cost=12.5,
+        sections={NETWORK_TREE: section},
+        descriptor=make_descriptor(),
+    )
+
+
+class TestQueryResponse:
+    def test_encode_decode_roundtrip(self):
+        response = make_response()
+        decoded = QueryResponse.decode(response.encode())
+        assert decoded.method == response.method
+        assert decoded.source == response.source
+        assert decoded.target == response.target
+        assert decoded.path_nodes == response.path_nodes
+        assert decoded.path_cost == response.path_cost
+        assert decoded.descriptor == response.descriptor
+        section = decoded.sections[NETWORK_TREE]
+        original = response.sections[NETWORK_TREE]
+        assert section.positions == original.positions
+        assert section.payloads == original.payloads
+        assert section.entries == original.entries
+
+    def test_unknown_section(self):
+        with pytest.raises(EncodingError):
+            make_response().section("distance")
+
+    def test_sizes_sum(self):
+        sizes = make_response().sizes()
+        assert isinstance(sizes, ProofSizes)
+        assert sizes.total_bytes == (
+            sizes.s_prf_bytes + sizes.t_prf_bytes + sizes.path_bytes
+        )
+        assert sizes.total_kbytes == pytest.approx(sizes.total_bytes / 1024)
+        assert sizes.s_items == 2
+        assert sizes.t_items == 2
+
+    def test_size_tracks_wire_size(self):
+        # The breakdown must be close to the real wire size (within the
+        # small framing overhead of section names and counts).
+        response = make_response()
+        wire = len(response.encode())
+        accounted = response.sizes().total_bytes
+        assert accounted <= wire
+        assert wire - accounted < 64

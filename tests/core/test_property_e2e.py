@@ -1,0 +1,84 @@
+"""Property-based end-to-end tests over random networks and queries.
+
+For arbitrary synthetic road networks and arbitrary query pairs, every
+method must (a) accept its own honest response and (b) report exactly
+the reference shortest path distance.  This is the system-level
+invariant everything else exists to uphold.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.method import get_method
+from repro.crypto.signer import NullSigner
+from repro.graph.synthetic import road_network
+
+SIGNER = NullSigner()
+_METHOD_CACHE: dict = {}
+
+
+def _setup(seed: int):
+    if seed not in _METHOD_CACHE:
+        graph = road_network(90, seed=seed)
+        methods = {
+            "DIJ": get_method("DIJ").build(graph, SIGNER),
+            "FULL": get_method("FULL").build(graph, SIGNER),
+            "LDM": get_method("LDM").build(graph, SIGNER, c=6, bits=8),
+            "HYP": get_method("HYP").build(graph, SIGNER, num_cells=9),
+        }
+        reference = nx.Graph()
+        for u, v, w in graph.edges():
+            reference.add_edge(u, v, weight=w)
+        _METHOD_CACHE[seed] = (graph, methods, reference)
+    return _METHOD_CACHE[seed]
+
+
+@given(
+    seed=st.integers(min_value=1, max_value=4),
+    pair=st.tuples(st.integers(min_value=0, max_value=10**6),
+                   st.integers(min_value=0, max_value=10**6)),
+    method_name=st.sampled_from(["DIJ", "FULL", "LDM", "HYP"]),
+)
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_honest_response_always_verifies_with_exact_distance(
+    seed, pair, method_name
+):
+    graph, methods, reference = _setup(seed)
+    ids = graph.node_ids()
+    vs = ids[pair[0] % len(ids)]
+    vt = ids[pair[1] % len(ids)]
+    if vs == vt and method_name == "FULL":
+        return  # FULL explicitly rejects degenerate queries
+    method = methods[method_name]
+    response = method.answer(vs, vt)
+    result = get_method(method_name).verify(vs, vt, response, SIGNER.verify)
+    assert result.ok, (method_name, vs, vt, result.reason, result.detail)
+    expected = nx.dijkstra_path_length(reference, vs, vt)
+    assert response.path_cost == pytest.approx(expected)
+
+
+@given(
+    seed=st.integers(min_value=1, max_value=4),
+    pair=st.tuples(st.integers(min_value=0, max_value=10**6),
+                   st.integers(min_value=0, max_value=10**6)),
+    factor=st.floats(min_value=1.0001, max_value=3.0),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_inflated_cost_never_verifies(seed, pair, factor):
+    graph, methods, _ = _setup(seed)
+    ids = graph.node_ids()
+    vs = ids[pair[0] % len(ids)]
+    vt = ids[pair[1] % len(ids)]
+    if vs == vt:
+        return
+    from repro.core import adversary
+
+    method = methods["DIJ"]
+    honest = method.answer(vs, vt)
+    tampered = adversary.inflate_cost(honest, factor=factor)
+    result = get_method("DIJ").verify(vs, vt, tampered, SIGNER.verify)
+    assert not result.ok

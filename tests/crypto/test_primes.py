@@ -1,0 +1,52 @@
+"""Tests for prime generation and Miller-Rabin."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime, small_primes
+from repro.errors import CryptoError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 991, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [1, 0, 4, 100, 561, 6601, 41041, 2**31, 7919 * 104729]
+# 561, 6601, 41041 are Carmichael numbers — Fermat liars, Miller-Rabin must
+# still reject them.
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_accepts_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites_including_carmichael(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_and_small(self):
+        assert not is_probable_prime(-7)
+        assert not is_probable_prime(1)
+        assert is_probable_prime(2)
+
+
+class TestSmallPrimes:
+    def test_sieve_contents(self):
+        primes = small_primes()
+        assert primes[:5] == [2, 3, 5, 7, 11]
+        assert primes[-1] == 997
+        assert len(primes) == 168  # pi(1000)
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = random.Random(1)
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_deterministic_for_seed(self):
+        assert generate_prime(96, random.Random(5)) == generate_prime(96, random.Random(5))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_prime(8, random.Random(0))

@@ -1,0 +1,78 @@
+"""Tests for pure-Python RSA signatures."""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(bits=768, seed=99)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert keypair.public.n.bit_length() == 768
+        assert keypair.public.modulus_bytes == 96
+
+    def test_deterministic_with_seed(self):
+        a = rsa.generate_keypair(bits=512, seed=7)
+        b = rsa.generate_keypair(bits=512, seed=7)
+        assert a.public == b.public and a.d == b.d
+
+    def test_different_seeds_differ(self):
+        a = rsa.generate_keypair(bits=512, seed=1)
+        b = rsa.generate_keypair(bits=512, seed=2)
+        assert a.public != b.public
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            rsa.generate_keypair(bits=128)
+
+    def test_key_relation(self, keypair):
+        # e*d = 1 (mod phi) implies m^(e*d) = m (mod n) for random m.
+        m = 0x1234567890ABCDEF
+        n, e, d = keypair.public.n, keypair.public.e, keypair.d
+        assert pow(pow(m, e, n), d, n) == m
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        sig = rsa.sign(b"hello network", keypair)
+        assert len(sig) == keypair.public.modulus_bytes
+        assert rsa.verify(b"hello network", sig, keypair.public)
+
+    def test_tampered_message_rejected(self, keypair):
+        sig = rsa.sign(b"hello", keypair)
+        assert not rsa.verify(b"hellO", sig, keypair.public)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = bytearray(rsa.sign(b"hello", keypair))
+        sig[0] ^= 0x01
+        assert not rsa.verify(b"hello", bytes(sig), keypair.public)
+
+    def test_cross_key_rejected(self, keypair):
+        other = rsa.generate_keypair(bits=768, seed=100)
+        sig = rsa.sign(b"msg", keypair)
+        assert not rsa.verify(b"msg", sig, other.public)
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        sig = rsa.sign(b"msg", keypair)
+        assert not rsa.verify(b"msg", sig[:-1], keypair.public)
+        assert not rsa.verify(b"msg", sig + b"\x00", keypair.public)
+
+    def test_oversized_signature_value_rejected(self, keypair):
+        huge = (keypair.public.n).to_bytes(keypair.public.modulus_bytes, "big")
+        assert not rsa.verify(b"msg", huge, keypair.public)
+
+    def test_empty_message(self, keypair):
+        sig = rsa.sign(b"", keypair)
+        assert rsa.verify(b"", sig, keypair.public)
+
+    def test_signature_deterministic(self, keypair):
+        assert rsa.sign(b"m", keypair) == rsa.sign(b"m", keypair)
+
+    def test_hash_function_binding(self, keypair):
+        sig = rsa.sign(b"m", keypair, hash_fn="sha1")
+        assert not rsa.verify(b"m", sig, keypair.public, hash_fn="sha256")

@@ -1,0 +1,38 @@
+"""Tests for the Signer abstraction."""
+
+from repro.crypto.signer import NullSigner, RsaSigner
+
+
+class TestRsaSigner:
+    def test_roundtrip(self, rsa_signer):
+        sig = rsa_signer.sign(b"root digest")
+        assert rsa_signer.verify(b"root digest", sig)
+        assert not rsa_signer.verify(b"other digest", sig)
+
+    def test_signature_size(self, rsa_signer):
+        assert rsa_signer.signature_size == len(rsa_signer.sign(b"x"))
+
+    def test_public_verifier(self, rsa_signer):
+        verifier = rsa_signer.verifier_for_public_key()
+        sig = rsa_signer.sign(b"m")
+        assert verifier.verify(b"m", sig)
+        assert not verifier.verify(b"n", sig)
+        assert not hasattr(verifier, "sign")
+
+
+class TestNullSigner:
+    def test_roundtrip(self):
+        signer = NullSigner()
+        sig = signer.sign(b"m")
+        assert signer.verify(b"m", sig)
+        assert not signer.verify(b"n", sig)
+
+    def test_signature_size_padding(self):
+        signer = NullSigner(signature_size=128)
+        assert len(signer.sign(b"m")) == 128
+        assert signer.signature_size == 128
+
+    def test_keyed(self):
+        a = NullSigner(key=b"a")
+        b = NullSigner(key=b"b")
+        assert not b.verify(b"m", a.sign(b"m"))

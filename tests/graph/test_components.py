@@ -1,0 +1,49 @@
+"""Tests for connectivity utilities."""
+
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.graph import SpatialGraph
+
+
+def two_islands():
+    g = SpatialGraph()
+    for i in range(6):
+        g.add_node(i, float(i), 0.0)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(3, 4, 1.0)
+    return g  # component {0,1,2}, {3,4}, {5}
+
+
+class TestComponents:
+    def test_components_sorted_by_size(self):
+        comps = connected_components(two_islands())
+        assert [len(c) for c in comps] == [3, 2, 1]
+        assert comps[0] == {0, 1, 2}
+
+    def test_is_connected(self):
+        assert not is_connected(two_islands())
+        g = SpatialGraph()
+        g.add_node(0)
+        assert is_connected(g)
+        assert is_connected(SpatialGraph())  # vacuous
+
+    def test_largest_component(self):
+        largest = largest_component(two_islands())
+        assert set(largest.node_ids()) == {0, 1, 2}
+        assert largest.num_edges == 2
+
+    def test_largest_component_identity_when_connected(self, grid5):
+        assert largest_component(grid5) is grid5
+
+    def test_empty_graph(self):
+        assert largest_component(SpatialGraph()).num_nodes == 0
+        assert connected_components(SpatialGraph()) == []
+
+    def test_deep_chain_no_recursion_error(self):
+        g = SpatialGraph()
+        n = 30_000
+        for i in range(n):
+            g.add_node(i)
+        for i in range(n - 1):
+            g.add_edge(i, i + 1, 1.0)
+        assert is_connected(g)

@@ -1,0 +1,143 @@
+"""Tests for the SpatialGraph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+
+
+@pytest.fixture()
+def triangle():
+    g = SpatialGraph()
+    g.add_node(1, 0.0, 0.0)
+    g.add_node(2, 1.0, 0.0)
+    g.add_node(3, 0.0, 1.0)
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(2, 3, 2.0)
+    g.add_edge(1, 3, 2.5)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+
+    def test_duplicate_node_same_coords_is_noop(self, triangle):
+        triangle.add_node(1, 0.0, 0.0)
+        assert triangle.num_nodes == 3
+
+    def test_duplicate_node_new_coords_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_node(1, 5.0, 5.0)
+
+    def test_self_loop_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(1, 1, 1.0)
+
+    def test_edge_to_unknown_node_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(1, 99, 1.0)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_invalid_weight_rejected(self, triangle, bad):
+        with pytest.raises(GraphError):
+            triangle.add_edge(2, 3, bad)
+
+    def test_zero_weight_allowed(self, triangle):
+        triangle.add_node(4, 2.0, 2.0)
+        triangle.add_edge(3, 4, 0.0)
+        assert triangle.weight(3, 4) == 0.0
+
+    def test_re_adding_edge_updates_weight(self, triangle):
+        triangle.add_edge(1, 2, 9.0)
+        assert triangle.weight(1, 2) == 9.0
+        assert triangle.num_edges == 3
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(1, 2)
+        assert not triangle.has_edge(1, 2)
+        assert not triangle.has_edge(2, 1)
+        assert triangle.num_edges == 2
+        with pytest.raises(GraphError):
+            triangle.remove_edge(1, 2)
+
+
+class TestQueries:
+    def test_symmetry(self, triangle):
+        assert triangle.weight(1, 2) == triangle.weight(2, 1)
+        assert triangle.has_edge(3, 2)
+
+    def test_neighbors_view(self, triangle):
+        assert dict(triangle.neighbors(1)) == {2: 1.0, 3: 2.5}
+
+    def test_degree(self, triangle):
+        assert triangle.degree(1) == 2
+
+    def test_unknown_node_errors(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.node(77)
+        with pytest.raises(GraphError):
+            triangle.neighbors(77)
+        with pytest.raises(GraphError):
+            triangle.weight(1, 77)
+
+    def test_edges_iteration_unique(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+    def test_bounding_box(self, triangle):
+        assert triangle.bounding_box() == (0.0, 0.0, 1.0, 1.0)
+
+    def test_bounding_box_empty_graph(self):
+        with pytest.raises(GraphError):
+            SpatialGraph().bounding_box()
+
+    def test_euclidean(self, triangle):
+        assert triangle.euclidean(1, 2) == pytest.approx(1.0)
+
+    def test_contains(self, triangle):
+        assert 1 in triangle
+        assert 42 not in triangle
+
+
+class TestDerived:
+    def test_subgraph(self, triangle):
+        sub = triangle.subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_node(3)
+
+    def test_copy_independent(self, triangle):
+        dup = triangle.copy()
+        dup.remove_edge(1, 2)
+        assert triangle.has_edge(1, 2)
+
+    def test_csr_export(self, triangle):
+        matrix, ids, index_of = triangle.to_csr()
+        assert ids == [1, 2, 3]
+        assert matrix.shape == (3, 3)
+        dense = matrix.toarray()
+        assert dense[index_of[1], index_of[2]] == 1.0
+        assert np.allclose(dense, dense.T)
+
+    def test_csr_cache_invalidation(self, triangle):
+        first = triangle.to_csr()
+        assert triangle.to_csr() is first  # cached
+        triangle.add_node(10, 9.0, 9.0)
+        second = triangle.to_csr()
+        assert second is not first
+        assert second[0].shape == (4, 4)
+
+    def test_validate_passes(self, triangle):
+        triangle.validate()
+
+    def test_validate_catches_asymmetry(self, triangle):
+        triangle._adj[1][2] = 123.0  # corrupt one direction directly
+        with pytest.raises(GraphError):
+            triangle.validate()
+
+    def test_repr(self, triangle):
+        assert "SpatialGraph" in repr(triangle)

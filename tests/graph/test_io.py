@@ -1,0 +1,95 @@
+"""Tests for graph serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.io import read_dimacs, read_graph, read_workload, write_graph, write_workload
+from repro.graph.synthetic import grid_network
+
+
+class TestNativeFormat:
+    def test_roundtrip(self, tmp_path, road300):
+        path = tmp_path / "g.txt"
+        write_graph(road300, path)
+        loaded = read_graph(path)
+        assert loaded.num_nodes == road300.num_nodes
+        assert loaded.num_edges == road300.num_edges
+        for u, v, w in road300.edges():
+            assert loaded.weight(u, v) == w
+        for node in road300.nodes():
+            assert loaded.node(node.id) == node
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\nv 1 0.0 0.0\nv 2 1.0 0.0\ne 1 2 2.5\n")
+        graph = read_graph(path)
+        assert graph.weight(1, 2) == 2.5
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("x 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_graph(path)
+
+    def test_bad_number_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("v one 0.0 0.0\n")
+        with pytest.raises(GraphError):
+            read_graph(path)
+
+
+class TestDimacs:
+    def test_basic(self, tmp_path):
+        gr = tmp_path / "g.gr"
+        co = tmp_path / "g.co"
+        gr.write_text(
+            "c comment\np sp 3 4\na 1 2 10\na 2 1 10\na 2 3 5\na 1 3 99\n"
+        )
+        co.write_text("v 1 100 200\nv 2 300 400\nv 3 500 600\n")
+        graph = read_dimacs(gr, co)
+        assert graph.num_nodes == 3
+        assert graph.weight(1, 2) == 10
+        assert graph.node(1).x == 100
+        assert graph.weight(1, 3) == 99
+
+    def test_duplicate_arcs_keep_minimum(self, tmp_path):
+        gr = tmp_path / "g.gr"
+        gr.write_text("p sp 2 2\na 1 2 10\na 2 1 4\n")
+        graph = read_dimacs(gr)
+        assert graph.weight(1, 2) == 4
+
+    def test_self_loops_skipped(self, tmp_path):
+        gr = tmp_path / "g.gr"
+        gr.write_text("p sp 2 2\na 1 1 3\na 1 2 1\n")
+        graph = read_dimacs(gr)
+        assert graph.num_edges == 1
+
+    def test_missing_coordinates_default_to_zero(self, tmp_path):
+        gr = tmp_path / "g.gr"
+        gr.write_text("p sp 2 1\na 1 2 1\n")
+        graph = read_dimacs(gr)
+        assert graph.node(2).x == 0.0
+
+
+class TestWorkloadIO:
+    def test_roundtrip(self):
+        buf = io.StringIO()
+        write_workload([(1, 2), (3, 4)], buf)
+        buf.seek(0)
+        assert read_workload(buf) == [(1, 2), (3, 4)]
+
+    def test_comments_skipped(self):
+        buf = io.StringIO("# workload\n1 2\n\n3 4\n")
+        assert read_workload(buf) == [(1, 2), (3, 4)]
+
+
+class TestGridFixtureSanity:
+    def test_grid_written_and_read(self, tmp_path):
+        grid = grid_network(3, 4, spacing=2.0, weight=1.5)
+        path = tmp_path / "grid.txt"
+        write_graph(grid, path)
+        loaded = read_graph(path)
+        assert loaded.num_nodes == 12
+        assert loaded.weight(0, 1) == 1.5

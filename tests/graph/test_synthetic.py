@@ -1,0 +1,92 @@
+"""Tests for synthetic network generators."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.components import is_connected
+from repro.graph.synthetic import grid_network, random_geometric_network, road_network
+
+
+class TestGridNetwork:
+    def test_shape(self):
+        grid = grid_network(4, 6)
+        assert grid.num_nodes == 24
+        assert grid.num_edges == 4 * 5 + 6 * 3  # rows*(cols-1) + cols*(rows-1)
+
+    def test_coordinates(self):
+        grid = grid_network(2, 3, spacing=10.0)
+        node = grid.node(1 * 3 + 2)
+        assert (node.x, node.y) == (20.0, 10.0)
+
+    def test_connected(self):
+        assert is_connected(grid_network(7, 3))
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            grid_network(0, 5)
+
+    def test_single_node(self):
+        grid = grid_network(1, 1)
+        assert grid.num_nodes == 1 and grid.num_edges == 0
+
+
+class TestRoadNetwork:
+    def test_size_approximation(self):
+        for target in (200, 800, 2000):
+            graph = road_network(target, seed=3)
+            assert abs(graph.num_nodes - target) / target < 0.25
+
+    def test_edge_node_ratio_matches_dcw(self):
+        graph = road_network(1500, seed=5)
+        ratio = graph.num_edges / graph.num_nodes
+        assert 0.95 < ratio < 1.25  # DCW datasets sit near 1.05
+
+    def test_connected(self):
+        assert is_connected(road_network(500, seed=9))
+
+    def test_deterministic(self):
+        a = road_network(300, seed=11)
+        b = road_network(300, seed=11)
+        assert a.num_nodes == b.num_nodes
+        assert list(a.edges()) == list(b.edges())
+
+    def test_seeds_differ(self):
+        a = road_network(300, seed=1)
+        b = road_network(300, seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_coordinates_in_canvas(self):
+        graph = road_network(300, seed=4, canvas=5000.0)
+        min_x, min_y, max_x, max_y = graph.bounding_box()
+        assert min_x >= 0 and min_y >= 0
+        assert max_x <= 5000 and max_y <= 5000
+
+    def test_weights_exceed_euclidean(self):
+        # Weight = Euclidean length x congestion >= Euclidean length.
+        graph = road_network(300, seed=4)
+        for u, v, w in graph.edges():
+            assert w >= graph.euclidean(u, v) * 0.999
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            road_network(4)
+
+    def test_degree_two_chains_dominate(self):
+        graph = road_network(1000, seed=6)
+        degree_two = sum(1 for n in graph.node_ids() if graph.degree(n) == 2)
+        assert degree_two / graph.num_nodes > 0.5
+
+
+class TestRandomGeometric:
+    def test_connected_component_returned(self):
+        graph = random_geometric_network(300, radius=1500.0, seed=2)
+        assert is_connected(graph)
+        assert graph.num_nodes > 100
+
+    def test_edges_within_radius(self):
+        graph = random_geometric_network(200, radius=1200.0, seed=3)
+        for u, v, w in graph.edges():
+            assert w <= 1200.0 * (1 + 1e-9)
+            assert math.isclose(w, graph.euclidean(u, v))

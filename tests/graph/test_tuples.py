@@ -1,0 +1,135 @@
+"""Tests for extended tuples and distance tuples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.graph.tuples import (
+    BaseTuple,
+    CellDirectoryTuple,
+    DistanceTuple,
+    HypTuple,
+    LdmTuple,
+)
+
+
+def adjacency_strategy():
+    return st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10**6),
+                  st.floats(min_value=0, max_value=1e9, allow_nan=False)),
+        max_size=8,
+        unique_by=lambda t: t[0],
+    ).map(lambda pairs: tuple(sorted(pairs)))
+
+
+class TestBaseTuple:
+    def test_from_graph(self, diamond):
+        tup = BaseTuple.from_graph(diamond, 0)
+        assert tup.node_id == 0
+        assert tup.adjacency == ((1, 1.0), (4, 2.0))
+
+    def test_adjacency_canonical_order(self, diamond):
+        # Adjacency must be sorted by neighbor id regardless of insertion.
+        tup = BaseTuple.from_graph(diamond, 3)
+        assert [nbr for nbr, _ in tup.adjacency] == sorted(
+            nbr for nbr, _ in tup.adjacency
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.floats(allow_nan=False, allow_infinity=False),
+        adjacency_strategy(),
+    )
+    def test_roundtrip(self, node_id, x, y, adjacency):
+        tup = BaseTuple(node_id, x, y, adjacency)
+        assert BaseTuple.decode(tup.encode()) == tup
+
+    def test_trailing_bytes_rejected(self):
+        tup = BaseTuple(1, 0.0, 0.0, ())
+        with pytest.raises(EncodingError):
+            BaseTuple.decode(tup.encode() + b"\x00")
+
+    def test_encoding_deterministic(self):
+        a = BaseTuple(5, 1.0, 2.0, ((7, 3.0),))
+        b = BaseTuple(5, 1.0, 2.0, ((7, 3.0),))
+        assert a.encode() == b.encode()
+
+
+class TestLdmTuple:
+    def test_uncompressed_roundtrip(self):
+        tup = LdmTuple(3, 1.0, 2.0, ((4, 1.5),), codes=(1, 2, 4095), bits=12)
+        decoded = LdmTuple.decode(tup.encode())
+        assert decoded == tup
+        assert not decoded.is_compressed
+
+    def test_compressed_roundtrip(self):
+        tup = LdmTuple(3, 1.0, 2.0, (), codes=None, ref_id=9, eps_units=4)
+        decoded = LdmTuple.decode(tup.encode())
+        assert decoded.is_compressed
+        assert decoded.ref_id == 9
+        assert decoded.eps_units == 4
+
+    def test_must_have_exactly_one_representation(self):
+        with pytest.raises(EncodingError):
+            LdmTuple(1, 0.0, 0.0, (), codes=None)
+        with pytest.raises(EncodingError):
+            LdmTuple(1, 0.0, 0.0, (), codes=(1,), ref_id=2, eps_units=0)
+        with pytest.raises(EncodingError):
+            LdmTuple(1, 0.0, 0.0, (), codes=None, ref_id=2)  # no eps
+
+    def test_codes_size_uses_bit_packing(self):
+        # 100 codes at 12 bits should cost ~150 bytes, far below 100 f64s.
+        wide = LdmTuple(1, 0.0, 0.0, (), codes=tuple([7] * 100), bits=12)
+        assert len(wide.encode()) < 200
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=32))
+    def test_roundtrip_any_codes(self, codes):
+        tup = LdmTuple(2, 0.0, 0.0, (), codes=tuple(codes), bits=8)
+        assert LdmTuple.decode(tup.encode()).codes == tuple(codes)
+
+
+class TestHypTuple:
+    def test_roundtrip(self):
+        tup = HypTuple(11, 3.0, 4.0, ((12, 2.0),), cell_id=42, is_border=True)
+        decoded = HypTuple.decode(tup.encode())
+        assert decoded == tup
+        assert decoded.cell_id == 42
+        assert decoded.is_border
+
+    def test_inner_node(self):
+        tup = HypTuple(11, 3.0, 4.0, (), cell_id=0, is_border=False)
+        assert not HypTuple.decode(tup.encode()).is_border
+
+
+class TestDistanceTuple:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+        st.floats(min_value=0, allow_nan=False, allow_infinity=False),
+    )
+    def test_roundtrip(self, a, b, d):
+        tup = DistanceTuple(a, b, d)
+        assert DistanceTuple.decode(tup.encode()) == tup
+
+    def test_key_ordering(self):
+        assert DistanceTuple(1, 2, 9.0) < DistanceTuple(1, 3, 0.0)
+        assert DistanceTuple(1, 2, 9.0).key == (1, 2)
+
+    def test_distance_not_compared(self):
+        assert DistanceTuple(1, 2, 5.0) == DistanceTuple(1, 2, 5.0)
+
+
+class TestCellDirectoryTuple:
+    def test_roundtrip(self):
+        tup = CellDirectoryTuple(7, (1, 5, 9))
+        assert CellDirectoryTuple.decode(tup.encode()) == tup
+
+    def test_members_must_be_sorted(self):
+        with pytest.raises(EncodingError):
+            CellDirectoryTuple(7, (5, 1))
+
+    def test_empty_cell(self):
+        tup = CellDirectoryTuple(3, ())
+        assert CellDirectoryTuple.decode(tup.encode()).member_ids == ()

@@ -1,0 +1,89 @@
+"""Tests for the HiTi grid partition."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.synthetic import grid_network, road_network
+from repro.hiti.partition import GridPartition, GridSpec
+
+
+@pytest.fixture(scope="module")
+def road():
+    return road_network(300, seed=17)
+
+
+class TestGridSpec:
+    def test_cell_of_corners(self):
+        spec = GridSpec(min_x=0, min_y=0, cell_w=10, cell_h=10, nx=4, ny=4)
+        assert spec.cell_of(0, 0) == 0
+        assert spec.cell_of(39.9, 0) == 3
+        assert spec.cell_of(0, 39.9) == 12
+        assert spec.cell_of(39.9, 39.9) == 15
+
+    def test_clamping(self):
+        spec = GridSpec(min_x=0, min_y=0, cell_w=10, cell_h=10, nx=2, ny=2)
+        assert spec.cell_of(-5, -5) == 0
+        assert spec.cell_of(100, 100) == 3
+
+    def test_encode_roundtrip(self):
+        spec = GridSpec(1.0, 2.0, 3.5, 4.5, 7, 7)
+        assert GridSpec.decode(spec.encode()) == spec
+
+    def test_num_cells(self):
+        assert GridSpec(0, 0, 1, 1, 5, 5).num_cells == 25
+
+
+class TestGridPartition:
+    def test_perfect_square_required(self, road):
+        with pytest.raises(GraphError):
+            GridPartition(road, 26)
+
+    def test_partition_is_total(self, road):
+        partition = GridPartition(road, 25)
+        covered = [v for cell in partition.occupied_cells
+                   for v in partition.members_of(cell)]
+        assert sorted(covered) == road.node_ids()
+
+    def test_members_sorted(self, road):
+        partition = GridPartition(road, 25)
+        for cell in partition.occupied_cells:
+            members = partition.members_of(cell)
+            assert members == sorted(members)
+
+    def test_cell_ids_within_grid(self, road):
+        partition = GridPartition(road, 49)
+        assert all(0 <= c < 49 for c in partition.occupied_cells)
+
+    def test_border_definition_brute_force(self, road):
+        partition = GridPartition(road, 25)
+        for node in road.node_ids():
+            expected = any(
+                partition.cell(nbr) != partition.cell(node)
+                for nbr in road.neighbors(node)
+            )
+            assert partition.is_border(node) == expected
+
+    def test_borders_of_subset_of_members(self, road):
+        partition = GridPartition(road, 25)
+        for cell in partition.occupied_cells:
+            borders = partition.borders_of(cell)
+            assert set(borders) <= set(partition.members_of(cell))
+
+    def test_all_borders_sorted_unique(self, road):
+        partition = GridPartition(road, 25)
+        borders = partition.all_borders()
+        assert borders == sorted(set(borders))
+
+    def test_single_cell_has_no_borders(self, road):
+        partition = GridPartition(road, 1)
+        assert partition.all_borders() == []
+
+    def test_max_coordinate_node_included(self):
+        grid = grid_network(4, 4, spacing=1.0)
+        partition = GridPartition(grid, 4)
+        assert partition.cell(15) == 3  # top-right corner node in last cell
+
+    def test_more_cells_more_borders(self, road):
+        few = GridPartition(road, 25)
+        many = GridPartition(road, 225)
+        assert len(many.all_borders()) > len(few.all_borders())

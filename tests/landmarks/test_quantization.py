@@ -1,0 +1,82 @@
+"""Tests for distance vector quantization (Eq. 5 / Lemma 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.landmarks.quantization import (
+    QuantizationSpec,
+    loose_lower_bound,
+    loose_lower_bound_units,
+    quantize_vectors,
+)
+
+
+class TestSpec:
+    def test_lambda_formula(self):
+        vectors = np.array([[0.0, 14.0]])
+        spec = QuantizationSpec.for_vectors(vectors, bits=3)
+        assert spec.d_max == 14.0
+        assert spec.lam == pytest.approx(14.0 / 7.0)
+
+    def test_bits_bounds(self):
+        with pytest.raises(GraphError):
+            QuantizationSpec.for_vectors(np.array([[1.0]]), bits=0)
+        with pytest.raises(GraphError):
+            QuantizationSpec.for_vectors(np.array([[1.0]]), bits=33)
+
+    def test_degenerate_all_zero(self):
+        spec = QuantizationSpec.for_vectors(np.zeros((2, 3)), bits=4)
+        assert spec.lam > 0
+
+    def test_encode_decode_value(self):
+        spec = QuantizationSpec(bits=3, d_max=14.0, lam=2.0)
+        assert spec.encode_value(3.0) == 2  # round(3/2) = 2
+        assert spec.decode_code(2) == 4.0
+
+
+class TestPaperExample:
+    """Figure 6a: Dmax=14, b=3 -> lam=2; vector <3,9> quantizes to <4,10>."""
+
+    def test_figure6a(self):
+        vectors = np.array(
+            [[2.0, 0.0, 1.0, 3.0, 4.0, 5.0, 6.0, 9.0, 14.0],
+             [4.0, 6.0, 7.0, 9.0, 10.0, 1.0, 0.0, 3.0, 8.0]]
+        )
+        codes, spec = quantize_vectors(vectors, bits=3)
+        assert spec.lam == pytest.approx(2.0)
+        v4 = codes[:, 3]
+        assert spec.decode_code(v4[0]) == 4.0
+        assert spec.decode_code(v4[1]) == 10.0
+        assert codes.max() == 7  # fits in 3 bits
+
+
+class TestLemma3:
+    def test_codes_fit_in_bits(self):
+        rng = np.random.default_rng(5)
+        vectors = rng.uniform(0, 5000, size=(6, 100))
+        for bits in (4, 8, 12):
+            codes, _ = quantize_vectors(vectors, bits)
+            assert codes.min() >= 0
+            assert codes.max() <= (1 << bits) - 1
+
+    @given(st.integers(min_value=2, max_value=14), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_loose_bound_below_exact_bound(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        vectors = rng.uniform(0, 1000, size=(5, 30))
+        codes, spec = quantize_vectors(vectors, bits)
+        for i in (0, 7, 29):
+            for j in (3, 15):
+                exact = float(np.abs(vectors[:, i] - vectors[:, j]).max())
+                loose = loose_lower_bound(codes[:, i], codes[:, j], spec.lam)
+                assert loose <= exact + 1e-9
+
+    def test_loose_bound_clipped_at_zero(self):
+        codes = np.array([3, 3])
+        assert loose_lower_bound(codes, codes, lam=2.0) == 0.0
+
+    def test_units_helper(self):
+        assert loose_lower_bound_units(np.array([1, 5]), np.array([4, 4])) == 3

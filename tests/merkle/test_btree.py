@@ -1,0 +1,82 @@
+"""Tests for the Merkle B-tree (authenticated dictionary)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MerkleError
+from repro.merkle.btree import MerkleBTree, pair_key
+from repro.merkle.tree import reconstruct_root
+
+
+def build(n=50, fanout=4):
+    keys = [3 * i for i in range(n)]
+    payloads = [f"value-{k}".encode() for k in keys]
+    return keys, payloads, MerkleBTree(keys, payloads, fanout=fanout)
+
+
+class TestConstruction:
+    def test_num_entries(self):
+        _, _, tree = build(17)
+        assert tree.num_entries == 17
+
+    def test_keys_must_increase(self):
+        with pytest.raises(MerkleError):
+            MerkleBTree([1, 1], [b"a", b"b"])
+        with pytest.raises(MerkleError):
+            MerkleBTree([2, 1], [b"a", b"b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MerkleError):
+            MerkleBTree([], [])
+
+    def test_payload_count_mismatch(self):
+        with pytest.raises(MerkleError):
+            MerkleBTree([1, 2], [b"a"])
+
+    def test_numpy_keys_accepted(self):
+        tree = MerkleBTree(np.array([1, 5, 9]), [b"a", b"b", b"c"])
+        assert tree.index_of(5) == 1
+
+
+class TestLookups:
+    def test_index_of(self):
+        keys, _, tree = build()
+        assert tree.index_of(keys[0]) == 0
+        assert tree.index_of(keys[-1]) == len(keys) - 1
+
+    def test_absent_key_rejected(self):
+        _, _, tree = build()
+        with pytest.raises(MerkleError):
+            tree.index_of(1)  # between 0 and 3
+        with pytest.raises(MerkleError):
+            tree.index_of(10**9)
+
+    def test_prove_and_reconstruct(self):
+        keys, payloads, tree = build(40, fanout=4)
+        lookup = [keys[5], keys[17], keys[39]]
+        indices, entries = tree.prove(lookup)
+        disclosed = {i: payloads[i] for i in indices}
+        root = reconstruct_root(40, 4, "sha1", disclosed, entries)
+        assert root == tree.root
+
+    def test_point_proof_size_logarithmic(self):
+        keys, payloads, tree = build(1024, fanout=2)
+        _, entries = tree.prove([keys[500]])
+        assert len(entries) == 10  # exactly log2(1024) siblings
+
+
+class TestPairKey:
+    def test_lexicographic_order_preserved(self):
+        n = 1000
+        assert pair_key(1, 2, n) < pair_key(1, 3, n) < pair_key(2, 0, n)
+
+    def test_bounds_checked(self):
+        with pytest.raises(MerkleError):
+            pair_key(1000, 0, 1000)
+        with pytest.raises(MerkleError):
+            pair_key(-1, 0, 1000)
+
+    def test_bijective_on_small_universe(self):
+        n = 30
+        seen = {pair_key(a, b, n) for a in range(n) for b in range(n)}
+        assert len(seen) == n * n

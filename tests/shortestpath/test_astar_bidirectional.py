@@ -1,0 +1,123 @@
+"""Tests for A* and bidirectional Dijkstra against plain Dijkstra."""
+
+import math
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.graph.graph import SpatialGraph
+from repro.graph.synthetic import road_network
+from repro.landmarks.selection import farthest_landmarks
+from repro.landmarks.vectors import LandmarkVectors
+from repro.shortestpath.astar import astar
+from repro.shortestpath.bidirectional import bidirectional_search
+from repro.shortestpath.dijkstra import dijkstra, shortest_path
+
+
+@pytest.fixture(scope="module")
+def road():
+    return road_network(240, seed=4)
+
+
+@pytest.fixture(scope="module")
+def pairs(road):
+    ids = road.node_ids()
+    return [(ids[0], ids[-1]), (ids[3], ids[len(ids) // 2]), (ids[10], ids[-7])]
+
+
+class TestAstar:
+    def test_zero_heuristic_equals_dijkstra(self, road, pairs):
+        for s, t in pairs:
+            assert astar(road, s, t, lambda v: 0.0).cost == pytest.approx(
+                shortest_path(road, s, t).cost
+            )
+
+    def test_euclidean_heuristic_optimal(self, road, pairs):
+        # Weights >= Euclidean lengths, so the Euclidean bound is admissible
+        # and consistent.
+        for s, t in pairs:
+            lb = lambda v: road.euclidean(v, t)
+            assert astar(road, s, t, lb).cost == pytest.approx(
+                shortest_path(road, s, t).cost
+            )
+
+    def test_landmark_heuristic_optimal_and_smaller_search(self, road, pairs):
+        landmarks = farthest_landmarks(road, 8, seed=1)
+        vectors = LandmarkVectors(road, landmarks)
+        for s, t in pairs:
+            lb = lambda v: vectors.lower_bound(v, t)
+            assert astar(road, s, t, lb).cost == pytest.approx(
+                shortest_path(road, s, t).cost
+            )
+
+    def test_source_equals_target(self, road):
+        s = road.node_ids()[0]
+        path = astar(road, s, s, lambda v: 0.0)
+        assert path.nodes == (s,) and path.cost == 0.0
+
+    def test_unreachable(self):
+        g = SpatialGraph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(NoPathError):
+            astar(g, 1, 2, lambda v: 0.0)
+
+
+class TestBidirectional:
+    def test_matches_dijkstra(self, road):
+        ids = road.node_ids()
+        sources = ids[:: max(1, len(ids) // 8)]
+        for s in sources:
+            for t in (ids[-1], ids[len(ids) // 3]):
+                if s == t:
+                    continue
+                expected = shortest_path(road, s, t).cost
+                path = bidirectional_search(road, s, t)
+                assert path.cost == pytest.approx(expected)
+                walked = sum(road.weight(u, v) for u, v in path.edges())
+                assert walked == pytest.approx(path.cost)
+
+    def test_trivial(self, road):
+        s = road.node_ids()[0]
+        assert bidirectional_search(road, s, s).cost == 0.0
+
+    def test_adjacent_nodes(self, road):
+        u, v, w = next(iter(road.edges()))
+        path = bidirectional_search(road, u, v)
+        expected = shortest_path(road, u, v).cost
+        assert path.cost == pytest.approx(expected)
+
+    def test_unreachable(self):
+        g = SpatialGraph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(NoPathError):
+            bidirectional_search(g, 1, 2)
+
+
+class TestPathObject:
+    def test_from_nodes_validates(self, road):
+        ids = road.node_ids()
+        path = shortest_path(road, ids[0], ids[-1])
+        from repro.shortestpath.path import Path
+
+        rebuilt = Path.from_nodes(road, path.nodes)
+        assert rebuilt.cost == pytest.approx(path.cost)
+        assert rebuilt.num_edges == len(path) - 1
+
+    def test_from_nodes_rejects_phantom_edge(self, road):
+        from repro.errors import GraphError
+        from repro.shortestpath.path import Path
+
+        ids = road.node_ids()
+        far = [ids[0], ids[-1]]
+        if not road.has_edge(*far):
+            with pytest.raises(GraphError):
+                Path.from_nodes(road, far)
+
+    def test_empty_rejected(self, road):
+        from repro.errors import GraphError
+        from repro.shortestpath.path import Path
+
+        with pytest.raises(GraphError):
+            Path.from_nodes(road, [])

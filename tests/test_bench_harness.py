@@ -1,0 +1,84 @@
+"""Tests for the measurement harness and reporting utilities."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import MethodRun, run_workload
+from repro.bench.reporting import ResultsLog, format_table
+from repro.core.dij import DijMethod
+from repro.crypto.signer import NullSigner
+from repro.errors import MethodError
+from repro.workload.queries import generate_workload
+
+
+@pytest.fixture(scope="module")
+def setup(road300):
+    signer = NullSigner()
+    method = DijMethod.build(road300, signer)
+    workload = generate_workload(road300, 1200.0, count=4, seed=2)
+    return signer, method, workload
+
+
+class TestRunWorkload:
+    def test_aggregates(self, setup):
+        signer, method, workload = setup
+        run = run_workload(method, workload, signer.verify)
+        assert isinstance(run, MethodRun)
+        assert run.method == "DIJ"
+        assert run.num_queries == 4
+        assert run.all_verified
+        assert run.total_kb > 0
+        assert run.total_kb == pytest.approx(
+            run.s_prf_kb + run.t_prf_kb, rel=0.05
+        )
+        assert run.s_items >= 1
+        assert run.prove_ms > 0 and run.verify_ms > 0
+        assert run.network_tree_seconds > 0
+
+    def test_rejection_raises_by_default(self, setup):
+        signer, method, workload = setup
+        other = NullSigner(key=b"wrong key")
+        with pytest.raises(MethodError):
+            run_workload(method, workload, other.verify)
+
+    def test_rejections_collected_when_allowed(self, setup):
+        signer, method, workload = setup
+        other = NullSigner(key=b"wrong key")
+        run = run_workload(method, workload, other.verify,
+                           require_verified=False)
+        assert not run.all_verified
+        assert len(run.failures) == 4
+        assert "bad-signature" in run.failures[0]
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.50" in table and "22.25" in table
+
+    def test_numbers_right_aligned(self):
+        table = format_table(["x"], [[5.0], [123.0]])
+        rows = table.splitlines()[2:]
+        assert rows[0].endswith("5.00")
+        assert rows[1].endswith("123.00")
+
+
+class TestResultsLog:
+    def test_add_and_save(self, tmp_path):
+        log = ResultsLog(str(tmp_path / "sub" / "r.json"))
+        log.add("fig8a", method="DIJ", total_kb=12.5)
+        log.add("fig8a", method="FULL", total_kb=1.5)
+        log.save()
+        records = json.loads((tmp_path / "sub" / "r.json").read_text())
+        assert len(records) == 2
+        assert records[0]["experiment"] == "fig8a"
+        assert records[1]["method"] == "FULL"

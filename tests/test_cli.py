@@ -1,0 +1,74 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "net.txt"
+    code = main(["generate", "--nodes", "200", "--seed", "3",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestGenerateInfo:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "fresh.txt"
+        assert main(["generate", "--nodes", "150", "--seed", "1",
+                     "--out", str(path)]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_info(self, graph_file, capsys):
+        assert main(["info", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "edge/node ratio" in out
+
+
+class TestWorkload:
+    def test_to_stdout(self, graph_file, capsys):
+        assert main(["workload", str(graph_file), "--range", "1000",
+                     "--count", "4"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 4
+        for line in lines:
+            vs, vt = line.split()
+            assert vs != vt
+
+    def test_to_file(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "w.txt"
+        assert main(["workload", str(graph_file), "--range", "1000",
+                     "--count", "3", "--out", str(out)]) == 0
+        assert len(out.read_text().splitlines()) == 3
+
+
+class TestDemo:
+    @pytest.mark.parametrize("method", ["DIJ", "FULL", "LDM", "HYP"])
+    def test_all_methods_verify(self, graph_file, capsys, method):
+        code = main(["demo", str(graph_file), "--method", method,
+                     "--queries", "2", "--range", "1000", "--insecure"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert out.count(" ok") >= 2
+        assert method in out
+
+
+class TestEstimate:
+    def test_ranking_printed(self, graph_file, capsys):
+        assert main(["estimate", str(graph_file), "--range", "1500"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DIJ", "FULL", "LDM", "HYP"):
+            assert name in out
+
+
+class TestErrors:
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["info", "/nonexistent/net.txt"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

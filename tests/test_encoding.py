@@ -1,0 +1,186 @@
+"""Unit and property tests for the canonical binary encoding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import Decoder, Encoder, zigzag_decode, zigzag_encode
+from repro.errors import EncodingError
+
+
+class TestVarint:
+    def test_zero(self):
+        assert Encoder().write_uint(0).getvalue() == b"\x00"
+
+    def test_small_values_one_byte(self):
+        for value in (1, 17, 127):
+            assert len(Encoder().write_uint(value).getvalue()) == 1
+
+    def test_boundary_128_takes_two_bytes(self):
+        assert len(Encoder().write_uint(128).getvalue()) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            Encoder().write_uint(-1)
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_roundtrip(self, value):
+        data = Encoder().write_uint(value).getvalue()
+        assert Decoder(data).read_uint() == value
+
+    def test_truncated_raises(self):
+        data = Encoder().write_uint(300).getvalue()
+        with pytest.raises(EncodingError):
+            Decoder(data[:1]).read_uint()
+
+    def test_overlong_varint_rejected(self):
+        with pytest.raises(EncodingError):
+            Decoder(b"\xff" * 12).read_uint()
+
+
+class TestSignedInt:
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, value):
+        data = Encoder().write_int(value).getvalue()
+        assert Decoder(data).read_int() == value
+
+    def test_zigzag_known_values(self):
+        pairs = [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)]
+        for signed, unsigned in pairs:
+            assert zigzag_encode(signed) == unsigned
+            assert zigzag_decode(unsigned) == signed
+
+
+class TestFloats:
+    @given(st.floats(allow_nan=False))
+    def test_f64_roundtrip_exact(self, value):
+        data = Encoder().write_f64(value).getvalue()
+        assert len(data) == 8
+        assert Decoder(data).read_f64() == value
+
+    def test_f64_nan_roundtrip(self):
+        data = Encoder().write_f64(float("nan")).getvalue()
+        assert math.isnan(Decoder(data).read_f64())
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_roundtrip(self, value):
+        data = Encoder().write_f32(value).getvalue()
+        assert len(data) == 4
+        assert Decoder(data).read_f32() == value
+
+
+class TestBytesAndStrings:
+    @given(st.binary(max_size=500))
+    def test_bytes_roundtrip(self, payload):
+        data = Encoder().write_bytes(payload).getvalue()
+        assert Decoder(data).read_bytes() == payload
+
+    @given(st.text(max_size=200))
+    def test_str_roundtrip(self, text):
+        data = Encoder().write_str(text).getvalue()
+        assert Decoder(data).read_str() == text
+
+    def test_invalid_utf8_rejected(self):
+        data = Encoder().write_bytes(b"\xff\xfe").getvalue()
+        with pytest.raises(EncodingError):
+            Decoder(data).read_str()
+
+    def test_raw_has_no_prefix(self):
+        data = Encoder().write_raw(b"abc").getvalue()
+        assert data == b"abc"
+        assert Decoder(data).read_raw(3) == b"abc"
+
+    def test_truncated_payload(self):
+        with pytest.raises(EncodingError):
+            Decoder(b"\x05ab").read_bytes()
+
+
+class TestSequences:
+    @given(st.lists(st.integers(min_value=0, max_value=10**12), max_size=50))
+    def test_uint_seq_roundtrip(self, values):
+        data = Encoder().write_uint_seq(values).getvalue()
+        assert Decoder(data).read_uint_seq() == values
+
+    @given(st.lists(st.floats(allow_nan=False), max_size=50))
+    def test_f64_seq_roundtrip(self, values):
+        data = Encoder().write_f64_seq(values).getvalue()
+        assert Decoder(data).read_f64_seq() == values
+
+
+class TestPackedCodes:
+    @given(
+        st.integers(min_value=1, max_value=16).flatmap(
+            lambda bits: st.tuples(
+                st.just(bits),
+                st.lists(st.integers(min_value=0, max_value=(1 << bits) - 1),
+                         max_size=100),
+            )
+        )
+    )
+    def test_roundtrip(self, bits_and_codes):
+        bits, codes = bits_and_codes
+        data = Encoder().write_packed_codes(codes, bits).getvalue()
+        assert Decoder(data).read_packed_codes(bits) == codes
+
+    def test_packing_density(self):
+        # 100 codes at 12 bits = 150 payload bytes + 1 count byte.
+        codes = list(range(100))
+        data = Encoder().write_packed_codes(codes, 12).getvalue()
+        assert len(data) == 1 + 150
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(EncodingError):
+            Encoder().write_packed_codes([8], 3)
+
+    def test_bad_bit_width_rejected(self):
+        with pytest.raises(EncodingError):
+            Encoder().write_packed_codes([0], 0)
+        with pytest.raises(EncodingError):
+            Decoder(b"\x00").read_packed_codes(65)
+
+
+class TestDecoderBookkeeping:
+    def test_expect_end(self):
+        dec = Decoder(Encoder().write_uint(7).write_uint(9).getvalue())
+        dec.read_uint()
+        with pytest.raises(EncodingError):
+            dec.expect_end()
+        dec.read_uint()
+        dec.expect_end()
+
+    def test_remaining(self):
+        dec = Decoder(b"abcd")
+        assert dec.remaining == 4
+        dec.read_raw(1)
+        assert dec.remaining == 3
+
+    def test_bool_roundtrip_and_validation(self):
+        data = Encoder().write_bool(True).write_bool(False).getvalue()
+        dec = Decoder(data)
+        assert dec.read_bool() is True
+        assert dec.read_bool() is False
+        with pytest.raises(EncodingError):
+            Decoder(b"\x02").read_bool()
+
+    def test_mixed_stream(self):
+        enc = (
+            Encoder()
+            .write_uint(42)
+            .write_str("node")
+            .write_f64(2.5)
+            .write_uint_seq([1, 2, 3])
+        )
+        dec = Decoder(enc.getvalue())
+        assert dec.read_uint() == 42
+        assert dec.read_str() == "node"
+        assert dec.read_f64() == 2.5
+        assert dec.read_uint_seq() == [1, 2, 3]
+        dec.expect_end()
+
+    def test_encoder_len_matches_output(self):
+        enc = Encoder().write_uint(1000).write_str("abc")
+        assert len(enc) == len(enc.getvalue())

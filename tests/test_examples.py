@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Each example guards its work behind ``if __name__ == "__main__"``, so
+importing it validates syntax and imports cheaply; the cheapest example
+is also executed end to end.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "malicious_server",
+    "logistics_routing",
+    "method_tradeoffs",
+    "dynamic_network",
+]
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_cleanly(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+        assert module.__doc__
+
+    def test_method_tradeoffs_runs_small(self, capsys, monkeypatch):
+        module = load_example("method_tradeoffs")
+        monkeypatch.setattr(sys, "argv",
+                            ["method_tradeoffs.py", "DE", "0.0078125", "800"])
+        module.main()
+        out = capsys.readouterr().out
+        for name in ("DIJ", "FULL", "LDM", "HYP"):
+            assert name in out
+        assert "Trade-offs" in out
