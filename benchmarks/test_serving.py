@@ -1,0 +1,90 @@
+"""Serving throughput — the heavy-traffic scenario beyond the paper.
+
+The paper measures per-query proof cost; a production provider serves
+the same popular queries to many clients.  This benchmark replays the
+default workload through a :class:`~repro.service.server.ProofServer`
+(cold cache, then warm) and records QPS, latency percentiles, hit rate
+and proof bytes per pass into ``benchmarks/results/``.
+
+Expected shape: the warm pass hits the cache on (essentially) every
+request and is at least an order of magnitude faster than cold proving;
+every served proof — cached or fresh — passes client verification.
+"""
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_DATASET, DEFAULT_RANGE, DEFAULT_SCALE, emit
+from repro.bench.serving import LoadtestReport, run_loadtest
+
+#: Two batchable methods (coalesced bursts) and one constant-size method.
+METHODS = ["DIJ", "LDM", "FULL"]
+
+
+@pytest.fixture(scope="module")
+def serving_reports(ctx) -> "dict[str, LoadtestReport]":
+    reports = {}
+    for name in METHODS:
+        method = ctx.method(name)
+        queries = list(ctx.workload())
+        reports[name] = run_loadtest(
+            method, queries, ctx.signer.verify, passes=3,
+            coalesce=method.supports_batching,
+        )
+    return reports
+
+
+def test_serving_throughput(ctx, serving_reports, results, benchmark):
+    graph = ctx.dataset()
+    rows = []
+    for name in METHODS:
+        report = serving_reports[name]
+        for p in report.passes:
+            s = p.snapshot
+            rows.append([name, p.label, s.requests, s.qps, s.p50_ms,
+                         s.p95_ms, 100.0 * s.hit_rate, s.proof_kbytes])
+            results.add(
+                "serving", method=name, dataset=DEFAULT_DATASET,
+                scale=DEFAULT_SCALE, nodes=graph.num_nodes,
+                query_range=DEFAULT_RANGE, label=p.label,
+                speedup=report.speedup, **s.as_dict(),
+            )
+    emit(
+        f"Serving throughput — cold vs warm cache "
+        f"({DEFAULT_DATASET}-like, |V|={graph.num_nodes}, range={DEFAULT_RANGE:g})",
+        ["method", "pass", "requests", "QPS", "p50 ms", "p95 ms",
+         "hit %", "proof KB"],
+        rows,
+    )
+    for name in METHODS:
+        report = serving_reports[name]
+        assert report.all_verified, report.warm.failures
+        assert report.warm.snapshot.hit_rate >= 0.9
+        assert report.warm.snapshot.qps > report.cold.snapshot.qps
+
+    # Representative serving op: a warm-cache hit on the DIJ server.
+    from repro.service.server import ProofServer
+
+    server = ProofServer(ctx.method("DIJ"))
+    vs, vt = ctx.workload().queries[0]
+    server.answer(vs, vt)
+    benchmark(server.answer, vs, vt)
+
+
+def test_concurrent_serving(ctx, results, benchmark):
+    """Thread-pool mode: same answers, order preserved, all verified."""
+    method = ctx.method("DIJ")
+    queries = list(ctx.workload())
+    report = run_loadtest(method, queries, ctx.signer.verify,
+                          passes=2, workers=4)
+    assert report.all_verified
+    assert report.warm.snapshot.hit_rate >= 0.9
+    for p in report.passes:
+        results.add("serving-concurrent", method="DIJ", workers=4,
+                    label=p.label, **p.snapshot.as_dict())
+    emit("Concurrent serving (4 workers) — cold vs warm",
+         [h for h in LoadtestReport.TABLE_HEADERS], report.table_rows())
+
+    from repro.service.server import ProofServer
+
+    server = ProofServer(method, max_workers=4)
+    benchmark(server.answer_concurrent, queries[:4])

@@ -39,6 +39,14 @@ from repro.core import (
 )
 from repro.crypto import RsaSigner
 from repro.graph import SpatialGraph, grid_network, road_network
+from repro.service import (
+    BurstResult,
+    ProofCache,
+    ProofRequest,
+    ProofServer,
+    ServedResponse,
+    ServerMetrics,
+)
 from repro.shortestpath import Path, dijkstra, shortest_path
 from repro.workload import generate_workload, load_dataset
 
@@ -58,6 +66,12 @@ __all__ = [
     "LdmMethod",
     "HypMethod",
     "RsaSigner",
+    "ProofServer",
+    "ProofRequest",
+    "ProofCache",
+    "ServedResponse",
+    "BurstResult",
+    "ServerMetrics",
     "SpatialGraph",
     "grid_network",
     "road_network",

@@ -2,5 +2,15 @@
 
 from repro.bench.harness import MethodRun, build_method, run_workload
 from repro.bench.reporting import ResultsLog, format_table
+from repro.bench.serving import LoadtestPass, LoadtestReport, run_loadtest
 
-__all__ = ["MethodRun", "build_method", "run_workload", "ResultsLog", "format_table"]
+__all__ = [
+    "MethodRun",
+    "build_method",
+    "run_workload",
+    "ResultsLog",
+    "format_table",
+    "LoadtestPass",
+    "LoadtestReport",
+    "run_loadtest",
+]

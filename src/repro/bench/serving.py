@@ -1,0 +1,135 @@
+"""Load-testing harness for the proof-serving layer.
+
+Replays one workload through a :class:`~repro.service.server.ProofServer`
+several times against a single server instance: pass 1 runs against a
+cold cache, later passes replay the identical queries against the warm
+cache.  Every served response — cached or freshly proved — is verified
+by a real client, so a passing load test is also an end-to-end
+soundness check of the serving layer.
+
+Shared by ``repro-spv loadtest`` and ``benchmarks/test_serving.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.method import SignatureVerifier, VerificationMethod, get_method
+from repro.errors import ServiceError
+from repro.service.cache import DEFAULT_CAPACITY
+from repro.service.metrics import MetricsSnapshot
+from repro.service.server import ProofServer
+
+
+@dataclass(frozen=True)
+class LoadtestPass:
+    """One replay of the workload: metrics plus verification outcomes."""
+
+    label: str
+    snapshot: MetricsSnapshot
+    verified: int
+    failures: tuple[str, ...]
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether the client accepted every served response."""
+        return not self.failures
+
+
+@dataclass(frozen=True)
+class LoadtestReport:
+    """Cold-versus-warm comparison over all passes."""
+
+    method: str
+    num_queries: int
+    passes: tuple[LoadtestPass, ...]
+
+    @property
+    def cold(self) -> LoadtestPass:
+        """The first (cold-cache) pass."""
+        return self.passes[0]
+
+    @property
+    def warm(self) -> LoadtestPass:
+        """The last (fully warm) pass."""
+        return self.passes[-1]
+
+    @property
+    def speedup(self) -> float:
+        """Warm QPS over cold QPS."""
+        cold_qps = self.cold.snapshot.qps
+        return self.warm.snapshot.qps / cold_qps if cold_qps else 0.0
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether every pass verified completely."""
+        return all(p.all_verified for p in self.passes)
+
+    def table_rows(self) -> "list[list[object]]":
+        """Rows for :func:`repro.bench.reporting.format_table`."""
+        rows = []
+        for p in self.passes:
+            s = p.snapshot
+            rows.append([
+                p.label, s.requests, s.qps, s.p50_ms, s.p95_ms,
+                100.0 * s.hit_rate, s.proof_kbytes,
+                "ok" if p.all_verified else f"{len(p.failures)} FAILED",
+            ])
+        return rows
+
+    #: Header matching :meth:`table_rows`.
+    TABLE_HEADERS = ("pass", "requests", "QPS", "p50 ms", "p95 ms",
+                     "hit %", "proof KB", "verified")
+
+
+def run_loadtest(
+    method: VerificationMethod,
+    queries: "list[tuple[int, int]]",
+    verify_signature: SignatureVerifier,
+    *,
+    passes: int = 2,
+    cache_size: int = DEFAULT_CAPACITY,
+    coalesce: bool = True,
+    workers: int = 1,
+) -> LoadtestReport:
+    """Replay *queries* ``passes`` times through one server.
+
+    ``workers > 1`` serves each pass on a thread pool (which disables
+    coalescing — the pool answers queries independently); otherwise
+    bursts coalesce through the combined-cover batch path when the
+    method supports it.
+    """
+    if passes < 2:
+        raise ServiceError(f"need a cold and a warm pass; got passes={passes}")
+    if not queries:
+        raise ServiceError("empty load-test workload")
+    verifier = get_method(method.name)
+    server = ProofServer(method, cache_size=cache_size, max_workers=workers)
+    results: list[LoadtestPass] = []
+    for index in range(passes):
+        label = "cold" if index == 0 else f"warm{index}"
+        server.reset_metrics()
+        if workers > 1:
+            served = server.answer_concurrent(queries)
+        else:
+            served = server.answer_many(queries, coalesce=coalesce)
+        snapshot = server.snapshot()
+        failures = []
+        for (vs, vt), item in zip(queries, served):
+            if not item.ok:
+                failures.append(f"({vs},{vt}): error {item.error}")
+                continue
+            result = verifier.verify(vs, vt, item.response, verify_signature)
+            if not result.ok:
+                failures.append(f"({vs},{vt}): {result.reason} {result.detail}")
+        results.append(LoadtestPass(
+            label=label,
+            snapshot=snapshot,
+            verified=len(served) - len(failures),
+            failures=tuple(failures),
+        ))
+    return LoadtestReport(
+        method=method.name,
+        num_queries=len(queries),
+        passes=tuple(results),
+    )

@@ -7,10 +7,16 @@ Subcommands::
     repro-spv workload  net.txt --range 2000 --count 10 --out queries.txt
     repro-spv demo      net.txt --method HYP --queries 3
     repro-spv estimate  net.txt --range 2000
+    repro-spv serve     net.txt --method DIJ --workload queries.txt
+    repro-spv loadtest  net.txt --method DIJ --range 2000 --passes 3
 
 ``demo`` runs the full three-party protocol (build, answer, verify) and
 prints per-query proof sizes; ``estimate`` prints the predictive sizing
-model's ranking without building anything.
+model's ranking without building anything.  ``serve`` answers a request
+stream (workload file, or interactive ``source target`` lines on stdin)
+through a cached :class:`~repro.service.server.ProofServer`;
+``loadtest`` replays one workload repeatedly against a single server and
+prints a cold-versus-warm metrics table.
 """
 
 from __future__ import annotations
@@ -20,12 +26,14 @@ import sys
 import time
 
 from repro.bench.reporting import format_table
+from repro.bench.serving import LoadtestReport, run_loadtest
 from repro.core.estimate import ProofSizeModel
 from repro.core.framework import Client, DataOwner, ServiceProvider
 from repro.crypto.signer import NullSigner, RsaSigner
 from repro.errors import ReproError
-from repro.graph.io import read_graph, write_graph, write_workload
+from repro.graph.io import read_graph, read_workload, write_graph, write_workload
 from repro.graph.synthetic import road_network
+from repro.service.server import ProofServer
 from repro.workload.datasets import normalize_weights
 from repro.workload.queries import generate_workload
 
@@ -68,7 +76,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
+def _published_method(args: argparse.Namespace):
+    """Build the requested method; returns ``(owner, method, seconds)``."""
     graph = read_graph(args.graph)
     signer = NullSigner() if args.insecure else RsaSigner(bits=1024)
     owner = DataOwner(graph, signer=signer)
@@ -79,9 +88,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         params = dict(num_cells=args.cells)
     start = time.perf_counter()
     method = owner.publish(args.method, **params)
-    build_seconds = time.perf_counter() - start
+    return owner, method, time.perf_counter() - start
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    owner, method, build_seconds = _published_method(args)
+    graph = owner.graph
     provider = ServiceProvider(method)
-    client = Client(signer.verify)
+    client = Client(owner.signer.verify)
     workload = generate_workload(graph, args.range, count=args.queries,
                                  seed=args.seed, tolerance=1.0)
     rows = []
@@ -101,6 +115,104 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                f"build total {build_seconds:.2f}s)"),
     ))
     return 1 if failures else 0
+
+
+def _read_workload_file(path: str) -> "list[tuple[int, int]]":
+    with open(path, "r", encoding="utf-8") as infile:
+        return read_workload(infile)
+
+
+def _read_requests(args: argparse.Namespace) -> "list[tuple[int, int]]":
+    """The request stream for ``serve``: workload file, or stdin lines."""
+    if args.workload:
+        return _read_workload_file(args.workload)
+    if sys.stdin.isatty():
+        print("reading 'source target' queries from stdin "
+              "(one per line, Ctrl-D to finish)", file=sys.stderr)
+    return read_workload(sys.stdin)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    owner, method, build_seconds = _published_method(args)
+    client = Client(owner.signer.verify)
+    server = ProofServer(method, cache_size=args.cache_size,
+                         max_workers=args.workers)
+    queries = _read_requests(args)
+    server.reset_metrics()  # exclude stream reading from the window
+    combined = None
+    if args.workers > 1:
+        served = server.answer_concurrent(queries)
+    else:
+        burst = server.serve_burst(queries, coalesce=not args.no_coalesce)
+        served = burst.served
+        combined = burst.combined
+    snapshot = server.snapshot()  # freeze before verification/printing
+    failures = 0
+    rows = []
+    for (vs, vt), item in zip(queries, served):
+        if not item.ok:
+            failures += 1
+            rows.append([f"{vs}->{vt}", "-", "-", "-",
+                         item.serve_seconds * 1000, f"error: {item.error}"])
+            continue
+        verdict = client.verify(vs, vt, item.response)
+        if not verdict.ok:
+            failures += 1
+        rows.append([
+            f"{vs}->{vt}", item.response.path_cost,
+            item.proof_bytes / 1024, "hit" if item.cached else "miss",
+            item.serve_seconds * 1000,
+            "ok" if verdict.ok else verdict.reason,
+        ])
+    print(format_table(
+        ["query", "distance", "proof KB", "cache", "serve ms", "verdict"],
+        rows,
+        title=(f"{args.method} proof server on {args.graph} "
+               f"(build {build_seconds:.2f}s, cache {args.cache_size})"),
+    ))
+    if combined is not None:
+        standalone = sum(item.proof_bytes for item in served
+                         if item.ok and not item.cached)
+        print(f"\nburst shipped as one combined cover: "
+              f"{combined.total_bytes / 1024:.1f} KB "
+              f"(standalone responses would total {standalone / 1024:.1f} KB)")
+    s = snapshot
+    print()
+    print(format_table(
+        ["requests", "QPS", "p50 ms", "p95 ms", "hit %", "proof KB"],
+        [[s.requests, s.qps, s.p50_ms, s.p95_ms,
+          100.0 * s.hit_rate, s.proof_kbytes]],
+        title="serving metrics",
+    ))
+    return 1 if failures else 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    owner, method, build_seconds = _published_method(args)
+    if args.workload:
+        queries = _read_workload_file(args.workload)
+    else:
+        queries = list(generate_workload(owner.graph, args.range,
+                                         count=args.count, seed=args.seed,
+                                         tolerance=1.0))
+    report = run_loadtest(
+        method, queries, owner.signer.verify,
+        passes=args.passes, cache_size=args.cache_size,
+        coalesce=not args.no_coalesce, workers=args.workers,
+    )
+    print(format_table(
+        list(LoadtestReport.TABLE_HEADERS), report.table_rows(),
+        title=(f"{args.method} load test: {len(queries)} queries x "
+               f"{args.passes} passes on {args.graph} "
+               f"(build {build_seconds:.2f}s)"),
+    ))
+    print(f"\nwarm/cold speedup: {report.speedup:.1f}x, "
+          f"warm hit rate {100.0 * report.warm.snapshot.hit_rate:.0f}%")
+    if not report.all_verified:
+        print("error: some served proofs failed client verification",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -162,6 +274,40 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("graph")
     est.add_argument("--range", type=float, default=2000.0)
     est.set_defaults(fn=_cmd_estimate)
+
+    def add_server_args(p: argparse.ArgumentParser,
+                        default_method: str) -> None:
+        p.add_argument("graph")
+        p.add_argument("--method", choices=["DIJ", "FULL", "LDM", "HYP"],
+                       default=default_method)
+        p.add_argument("--landmarks", type=int, default=50)
+        p.add_argument("--cells", type=int, default=49)
+        p.add_argument("--insecure", action="store_true",
+                       help="use the keyed-hash stub signer (fast, no RSA)")
+        p.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU proof cache capacity")
+        p.add_argument("--workers", type=int, default=1,
+                       help="thread-pool size (>1 disables coalescing)")
+        p.add_argument("--no-coalesce", action="store_true",
+                       help="answer bursts per query instead of batching")
+
+    serve = sub.add_parser(
+        "serve", help="answer a request stream through a cached proof server")
+    add_server_args(serve, default_method="DIJ")
+    serve.add_argument("--workload",
+                       help="query file (default: read stdin lines)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest", help="replay a workload cold vs warm and print metrics")
+    add_server_args(lt, default_method="DIJ")
+    lt.add_argument("--workload", help="query file (default: generate)")
+    lt.add_argument("--range", type=float, default=2000.0)
+    lt.add_argument("--count", type=int, default=20)
+    lt.add_argument("--seed", type=int, default=0)
+    lt.add_argument("--passes", type=int, default=2,
+                    help="total passes; the first is cold, the rest warm")
+    lt.set_defaults(fn=_cmd_loadtest)
     return parser
 
 

@@ -20,14 +20,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.framework import VerificationResult
-from repro.core.method import SignatureVerifier, VerificationMethod, get_method
+from repro.core.method import (
+    BATCHABLE_METHODS,
+    SignatureVerifier,
+    VerificationMethod,
+    get_method,
+)
 from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeSection
 from repro.encoding import Decoder, Encoder
 from repro.errors import MethodError
 from repro.merkle.proof import decode_proof_entries, encode_proof_entries
 
 #: Methods whose ΓS is a subgraph disclosure (where unioning pays).
-BATCHABLE = ("DIJ", "LDM")
+#: Defined next to the method base class so
+#: :attr:`~repro.core.method.VerificationMethod.supports_batching` can
+#: share it without a circular import.
+BATCHABLE = BATCHABLE_METHODS
 
 
 @dataclass
@@ -104,6 +112,47 @@ class BatchResponse:
         return len(self.encode())
 
 
+def combine_responses(
+    method: VerificationMethod,
+    queries: "list[tuple[int, int]]",
+    responses: "list[QueryResponse]",
+) -> BatchResponse:
+    """Union already-computed per-query responses under one Merkle cover.
+
+    Lets a serving layer that has standalone responses in hand (e.g. for
+    caching) assemble the combined wire object without re-running the
+    per-query searches.
+    """
+    if method.name not in BATCHABLE:
+        raise MethodError(
+            f"{method.name} proofs are already near-constant size; batching "
+            f"supports the subgraph methods {BATCHABLE}"
+        )
+    if not queries:
+        raise MethodError("empty query batch")
+    if len(queries) != len(responses):
+        raise MethodError(
+            f"{len(queries)} queries vs {len(responses)} responses"
+        )
+    all_positions: set[int] = set()
+    for response in responses:
+        all_positions.update(response.section(NETWORK_TREE).positions)
+    bundle = method._bundle
+    positions = sorted(all_positions)
+    order = bundle.order
+    payloads = [bundle.payload_of[order[pos]] for pos in positions]
+    entries = bundle.tree.prove(positions)
+    section = TreeSection(NETWORK_TREE, positions, payloads, entries)
+    return BatchResponse(
+        method=method.name,
+        queries=tuple(queries),
+        paths=tuple(r.path_nodes for r in responses),
+        costs=tuple(r.path_cost for r in responses),
+        section=section,
+        descriptor=method.descriptor,
+    )
+
+
 def answer_batch(method: VerificationMethod,
                  queries: "list[tuple[int, int]]") -> BatchResponse:
     """Provider role: answer all *queries* under one combined section."""
@@ -114,28 +163,8 @@ def answer_batch(method: VerificationMethod,
         )
     if not queries:
         raise MethodError("empty query batch")
-    paths = []
-    costs = []
-    all_positions: set[int] = set()
-    bundle = method._bundle
-    for vs, vt in queries:
-        response = method.answer(vs, vt)
-        paths.append(response.path_nodes)
-        costs.append(response.path_cost)
-        all_positions.update(response.section(NETWORK_TREE).positions)
-    positions = sorted(all_positions)
-    order = bundle.order
-    payloads = [bundle.payload_of[order[pos]] for pos in positions]
-    entries = bundle.tree.prove(positions)
-    section = TreeSection(NETWORK_TREE, positions, payloads, entries)
-    return BatchResponse(
-        method=method.name,
-        queries=tuple(queries),
-        paths=tuple(paths),
-        costs=tuple(costs),
-        section=section,
-        descriptor=method.descriptor,
-    )
+    responses = [method.answer(vs, vt) for vs, vt in queries]
+    return combine_responses(method, queries, responses)
 
 
 def verify_batch(batch: BatchResponse,

@@ -27,6 +27,11 @@ from repro.shortestpath.path import Path
 #: ``verify(message, signature) -> bool`` — the client's view of the owner key.
 SignatureVerifier = Callable[[bytes, bytes], bool]
 
+#: Methods whose ΓS is a subgraph disclosure, so several queries can share
+#: one combined Merkle cover (:mod:`repro.core.batch`).  FULL and HYP
+#: proofs are already near-constant size and gain nothing from unioning.
+BATCHABLE_METHODS = ("DIJ", "LDM")
+
 
 class VerificationMethod(ABC):
     """Base class for DIJ / FULL / LDM / HYP."""
@@ -118,6 +123,24 @@ class VerificationMethod(ABC):
         if self._descriptor is None:
             raise MethodError(f"{self.name}: build() has not completed")
         return self._descriptor
+
+    @property
+    def graph(self) -> SpatialGraph:
+        """The provider's copy of the outsourced network.
+
+        Exposed so serving layers can observe the graph's mutation
+        counter (:attr:`~repro.graph.graph.SpatialGraph.version`) for
+        cache invalidation without reaching into private state.
+        """
+        graph = getattr(self, "_graph", None)
+        if graph is None:
+            raise MethodError(f"{self.name}: build() has not completed")
+        return graph
+
+    @property
+    def supports_batching(self) -> bool:
+        """Whether :func:`repro.core.batch.answer_batch` accepts this method."""
+        return self.name in BATCHABLE_METHODS
 
 
 class _Stopwatch:

@@ -45,3 +45,7 @@ class WorkloadError(ReproError):
 
 class MethodError(ReproError):
     """Verification method misuse (e.g. querying before build)."""
+
+
+class ServiceError(ReproError):
+    """Proof-serving misuse (bad server configuration or request)."""

@@ -137,6 +137,17 @@ class SpatialGraph:
         return len(self.neighbors(node_id))
 
     @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Every structural change (node/edge add or remove) bumps it, so
+        derived caches — the CSR export here, proof caches in
+        :mod:`repro.service` — can detect staleness with one integer
+        comparison.
+        """
+        return self._version
+
+    @property
     def num_nodes(self) -> int:
         """|V|."""
         return len(self._nodes)

@@ -104,10 +104,15 @@ def write_workload(queries: "list[tuple[int, int]]", out: TextIO) -> None:
 def read_workload(infile: TextIO) -> "list[tuple[int, int]]":
     """Inverse of :func:`write_workload`."""
     queries = []
-    for line in infile:
+    for lineno, line in enumerate(infile, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        vs, vt = line.split()
-        queries.append((int(vs), int(vt)))
+        try:
+            vs, vt = line.split()
+            queries.append((int(vs), int(vt)))
+        except ValueError:
+            raise GraphError(
+                f"workload line {lineno}: expected 'source target', got {line!r}"
+            ) from None
     return queries

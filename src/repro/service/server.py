@@ -1,0 +1,260 @@
+"""Long-lived proof server wrapping a built verification method.
+
+The library's :class:`~repro.core.framework.ServiceProvider` is a
+per-call object: every ``answer`` recomputes the search and reassembles
+the proof.  A real provider (Figure 2's third party) is a *server* —
+it holds the outsourced structures for months and answers the same
+popular queries over and over.  :class:`ProofServer` adds the serving
+concerns around the unchanged proof machinery:
+
+* **caching** — responses are deterministic per ``(method, source,
+  target)`` for a fixed graph, so they are memoized in a versioned LRU
+  (:class:`~repro.service.cache.ProofCache`) that drops itself when the
+  graph's mutation counter moves;
+* **coalescing** — a burst of queries from one client ships as one
+  combined Merkle cover (:func:`repro.core.batch.combine_responses`)
+  when the method is batchable (DIJ/LDM): metrics charge the burst the
+  combined wire size, while the cache keeps the compact standalone
+  responses for later single-query traffic;
+* **concurrency** — a thread-pool mode answers independent requests in
+  parallel (cache and metrics are lock-protected);
+* **metrics** — :class:`~repro.service.metrics.ServerMetrics` tracks
+  QPS, p50/p95 serve latency, cache hit rate and proof bytes served.
+
+Per-query failures (unknown node, unreachable target) are *error
+responses*, not exceptions: a long-lived server must keep serving the
+rest of the stream, so :attr:`ServedResponse.error` carries the reason
+and the request is metered like any other.
+
+Soundness is untouched: the server only ever ships responses produced
+by the wrapped method, so a client verifies a cached response exactly
+as it would a fresh one.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.batch import BatchResponse, combine_responses
+from repro.core.method import VerificationMethod
+from repro.core.proofs import QueryResponse
+from repro.errors import ReproError, ServiceError
+from repro.service.cache import DEFAULT_CAPACITY, CacheKey, ProofCache
+from repro.service.metrics import MetricsSnapshot, ServerMetrics
+
+
+@dataclass(frozen=True)
+class ProofRequest:
+    """One client query as received by the server."""
+
+    source: int
+    target: int
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """``(source, target)``."""
+        return (self.source, self.target)
+
+
+@dataclass(frozen=True)
+class ServedResponse:
+    """Server envelope around a query response.
+
+    ``cached`` records whether the proof was replayed from the LRU;
+    ``serve_seconds`` is the wall time this request cost the server
+    (amortized across the batch for coalesced requests);
+    ``proof_bytes`` is the response's standalone wire size.  When the
+    provider could not answer (unknown node, unreachable target),
+    ``response`` is ``None`` and ``error`` carries the reason.
+    """
+
+    response: "QueryResponse | None"
+    cached: bool
+    serve_seconds: float
+    proof_bytes: int
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a proof-bearing response."""
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class BurstResult:
+    """Outcome of serving one coalesced burst.
+
+    ``served`` is the per-query view, in request order.  ``combined``
+    is the wire object actually shipped for the burst's fresh misses —
+    one :class:`~repro.core.batch.BatchResponse` under a single Merkle
+    cover (``None`` when fewer than two queries missed); clients check
+    it with :func:`repro.core.batch.verify_batch`.
+    """
+
+    served: tuple[ServedResponse, ...]
+    combined: "BatchResponse | None" = None
+
+
+class ProofServer:
+    """Request/response front end for one built verification method.
+
+    >>> server = ProofServer(method)               # doctest: +SKIP
+    >>> served = server.handle(ProofRequest(3, 9)) # doctest: +SKIP
+    >>> served.response.path_cost                  # doctest: +SKIP
+    1987.4
+    """
+
+    def __init__(self, method: VerificationMethod, *,
+                 cache_size: int = DEFAULT_CAPACITY,
+                 max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.method = method
+        self.cache = ProofCache(cache_size)
+        self.metrics = ServerMetrics()
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def _key(self, source: int, target: int) -> CacheKey:
+        return (self.method.name, source, target)
+
+    def _version(self) -> int:
+        return self.method.graph.version
+
+    def _store(self, source: int, target: int, version: int,
+               response: QueryResponse) -> int:
+        """Cache *response*, returning its encoded size."""
+        proof_bytes = len(response.encode())
+        self.cache.put(self._key(source, target), version, response, proof_bytes)
+        return proof_bytes
+
+    def _error(self, start: float, exc: ReproError) -> ServedResponse:
+        """Meter and envelope a failed request (errors are not cached)."""
+        elapsed = time.perf_counter() - start
+        self.metrics.record(elapsed, 0, cached=False)
+        return ServedResponse(None, False, elapsed, 0, error=str(exc))
+
+    # ------------------------------------------------------------------
+    def answer(self, source: int, target: int) -> ServedResponse:
+        """Serve one query, from cache when possible."""
+        start = time.perf_counter()
+        version = self._version()
+        entry = self.cache.get(self._key(source, target), version)
+        if entry is not None:
+            elapsed = time.perf_counter() - start
+            self.metrics.record(elapsed, entry.proof_bytes, cached=True)
+            return ServedResponse(entry.response, True, elapsed, entry.proof_bytes)
+        try:
+            response = self.method.answer(source, target)
+        except ReproError as exc:
+            return self._error(start, exc)
+        proof_bytes = self._store(source, target, version, response)
+        elapsed = time.perf_counter() - start
+        self.metrics.record(elapsed, proof_bytes, cached=False)
+        return ServedResponse(response, False, elapsed, proof_bytes)
+
+    def handle(self, request: ProofRequest) -> ServedResponse:
+        """The request/response entry point."""
+        return self.answer(request.source, request.target)
+
+    # ------------------------------------------------------------------
+    def answer_many(self, queries: "list[tuple[int, int]]", *,
+                    coalesce: bool = True) -> "list[ServedResponse]":
+        """Serve a burst of queries; see :meth:`serve_burst`."""
+        return list(self.serve_burst(queries, coalesce=coalesce).served)
+
+    def serve_burst(self, queries: "list[tuple[int, int]]", *,
+                    coalesce: bool = True) -> BurstResult:
+        """Serve a burst of queries from one client.
+
+        With ``coalesce`` (and a batchable method), the fresh cache
+        misses ship as one combined Merkle cover — the returned
+        :attr:`BurstResult.combined` — so each miss is charged the
+        amortized batch time and the amortized *combined* wire size,
+        which is what crosses the network.  The cache keeps the compact
+        standalone responses, so later hits replay the smallest
+        verifiable proof.
+        """
+        if not (coalesce and self.method.supports_batching):
+            return BurstResult(tuple(self.answer(vs, vt) for vs, vt in queries))
+
+        version = self._version()
+        served: "list[ServedResponse | None]" = [None] * len(queries)
+        miss_indices: "dict[tuple[int, int], list[int]]" = {}
+        for index, (vs, vt) in enumerate(queries):
+            lookup_start = time.perf_counter()
+            entry = self.cache.get(self._key(vs, vt), version)
+            if entry is not None:
+                elapsed = time.perf_counter() - lookup_start
+                self.metrics.record(elapsed, entry.proof_bytes, cached=True)
+                served[index] = ServedResponse(entry.response, True, elapsed,
+                                               entry.proof_bytes)
+            else:
+                miss_indices.setdefault((vs, vt), []).append(index)
+
+        batch_start = time.perf_counter()
+        responses: "dict[tuple[int, int], QueryResponse]" = {}
+        for pair in miss_indices:
+            try:
+                responses[pair] = self.method.answer(pair[0], pair[1])
+            except ReproError as exc:
+                failed = self._error(batch_start, exc)
+                for extra in miss_indices[pair][1:]:
+                    # Errors are not cached, so repeats fail afresh.
+                    self.metrics.record(0.0, 0, cached=False)
+                for index in miss_indices[pair]:
+                    served[index] = failed
+                batch_start = time.perf_counter()
+
+        combined: "BatchResponse | None" = None
+        amortized_wire: "int | None" = None
+        if len(responses) > 1:
+            combined = combine_responses(self.method, list(responses),
+                                         list(responses.values()))
+            amortized_wire = -(-combined.total_bytes // len(responses))
+        if responses:
+            per_query = (time.perf_counter() - batch_start) / len(responses)
+            for pair, response in responses.items():
+                proof_bytes = self._store(pair[0], pair[1], version, response)
+                first, *duplicates = miss_indices[pair]
+                wire = amortized_wire if amortized_wire is not None else proof_bytes
+                self.metrics.record(per_query, wire, cached=False)
+                served[first] = ServedResponse(response, False, per_query,
+                                               proof_bytes)
+                for index in duplicates:
+                    # Repeats within the burst replay the entry just
+                    # cached, mirroring the non-coalesced path.
+                    self.metrics.record(0.0, proof_bytes, cached=True)
+                    served[index] = ServedResponse(response, True, 0.0,
+                                                   proof_bytes)
+        return BurstResult(
+            tuple(s for s in served if s is not None), combined)
+
+    # ------------------------------------------------------------------
+    def answer_concurrent(self, queries: "list[tuple[int, int]]", *,
+                          max_workers: "int | None" = None
+                          ) -> "list[ServedResponse]":
+        """Serve independent queries on a thread pool.
+
+        Results come back in request order; a failing request yields
+        its own error response without disturbing the others.  Cache
+        and metrics are thread-safe; concurrent misses on the same key
+        may each compute the proof once (last write wins), which is
+        harmless because responses are deterministic.
+        """
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {workers}")
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda q: self.answer(q[0], q[1]), queries))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the current metrics window."""
+        return self.metrics.snapshot()
+
+    def reset_metrics(self) -> None:
+        """Start a fresh metrics window (the cache is left warm)."""
+        self.metrics.reset()

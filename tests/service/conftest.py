@@ -1,0 +1,32 @@
+"""Service-layer fixtures: built methods plus a shared workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dij import DijMethod
+from repro.core.full import FullMethod
+from repro.crypto.signer import NullSigner
+from repro.workload.queries import generate_workload
+
+QUERY_RANGE = 1500.0
+
+
+@pytest.fixture(scope="package")
+def signer():
+    return NullSigner()
+
+
+@pytest.fixture(scope="package")
+def workload(road300):
+    return list(generate_workload(road300, QUERY_RANGE, count=8, seed=77))
+
+
+@pytest.fixture(scope="package")
+def dij(road300, signer):
+    return DijMethod.build(road300, signer)
+
+
+@pytest.fixture(scope="package")
+def full(road300, signer):
+    return FullMethod.build(road300, signer)

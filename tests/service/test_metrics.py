@@ -1,0 +1,66 @@
+"""Serving metrics unit tests."""
+
+import pytest
+
+from repro.service.metrics import ServerMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_and_tail(self):
+        values = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestServerMetrics:
+    def test_snapshot_aggregates(self):
+        metrics = ServerMetrics()
+        metrics.record(0.010, 1000, cached=False)
+        metrics.record(0.002, 500, cached=True)
+        metrics.record(0.004, 500, cached=True)
+        snap = metrics.snapshot()
+        assert snap.requests == 3
+        assert snap.cache_hits == 2
+        assert snap.cache_misses == 1
+        assert snap.hit_rate == pytest.approx(2 / 3)
+        assert snap.proof_bytes == 2000
+        assert snap.proof_kbytes == pytest.approx(2000 / 1024)
+        assert snap.p50_ms == pytest.approx(4.0)
+        assert snap.p95_ms == pytest.approx(10.0)
+        assert snap.elapsed_seconds > 0
+        assert snap.qps > 0
+
+    def test_empty_window(self):
+        snap = ServerMetrics().snapshot()
+        assert snap.requests == 0
+        assert snap.qps == 0.0
+        assert snap.hit_rate == 0.0
+        assert snap.p50_ms == 0.0
+
+    def test_reset_starts_fresh_window(self):
+        metrics = ServerMetrics()
+        metrics.record(0.5, 100, cached=False)
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert snap.requests == 0
+        assert snap.proof_bytes == 0
+
+    def test_as_dict_round_trip(self):
+        metrics = ServerMetrics()
+        metrics.record(0.001, 10, cached=False)
+        record = metrics.snapshot().as_dict()
+        for field in ("requests", "qps", "hit_rate", "p50_ms", "p95_ms",
+                      "proof_bytes", "elapsed_seconds"):
+            assert field in record
+        assert record["requests"] == 1

@@ -1,0 +1,225 @@
+"""ProofServer integration tests: caching, coalescing, concurrency.
+
+Every path asserts the serving-layer invariant: a served response —
+fresh, cached, or materialized from a coalesced batch — verifies
+against a fresh client holding only the owner's public key.
+"""
+
+import pytest
+
+from repro.core.batch import verify_batch
+from repro.core.dij import DijMethod
+from repro.core.framework import Client
+from repro.crypto.signer import NullSigner
+from repro.errors import ServiceError
+from repro.service.server import ProofRequest, ProofServer, ServedResponse
+
+
+def fresh_client(signer):
+    return Client(signer.verify)
+
+
+class TestSingleQueryPath:
+    def test_miss_then_hit(self, dij, signer, workload):
+        server = ProofServer(dij)
+        vs, vt = workload[0]
+        first = server.answer(vs, vt)
+        second = server.answer(vs, vt)
+        assert not first.cached
+        assert second.cached
+        assert second.response is first.response
+        assert server.cache.stats.hits == 1
+        assert server.cache.stats.misses == 1
+
+    def test_cached_response_verifies(self, dij, signer, workload):
+        server = ProofServer(dij)
+        client = fresh_client(signer)
+        for vs, vt in workload:
+            server.answer(vs, vt)
+        for vs, vt in workload:  # all cache hits now
+            served = server.answer(vs, vt)
+            assert served.cached
+            assert client.verify(vs, vt, served.response).ok
+
+    def test_proof_bytes_is_wire_size(self, dij, workload):
+        server = ProofServer(dij)
+        vs, vt = workload[0]
+        served = server.answer(vs, vt)
+        assert served.proof_bytes == len(served.response.encode())
+
+    def test_handle_request(self, dij, workload):
+        server = ProofServer(dij)
+        vs, vt = workload[0]
+        served = server.handle(ProofRequest(vs, vt))
+        assert isinstance(served, ServedResponse)
+        assert served.response.source == vs
+        assert served.response.target == vt
+
+    def test_metrics_track_requests(self, dij, workload):
+        server = ProofServer(dij)
+        vs, vt = workload[0]
+        server.answer(vs, vt)
+        server.answer(vs, vt)
+        snap = server.snapshot()
+        assert snap.requests == 2
+        assert snap.cache_hits == 1
+        assert snap.proof_bytes == 2 * server.answer(vs, vt).proof_bytes
+        assert snap.p50_ms <= snap.p95_ms
+
+
+class TestCoalescing:
+    def test_batch_responses_all_verify(self, dij, signer, workload):
+        server = ProofServer(dij)
+        client = fresh_client(signer)
+        served = server.answer_many(workload, coalesce=True)
+        assert len(served) == len(workload)
+        for (vs, vt), item in zip(workload, served):
+            assert not item.cached
+            assert client.verify(vs, vt, item.response).ok
+
+    def test_second_burst_is_all_hits(self, dij, workload):
+        server = ProofServer(dij)
+        server.answer_many(workload)
+        served = server.answer_many(workload)
+        assert all(item.cached for item in served)
+
+    def test_coalesced_entries_serve_single_queries(self, dij, signer, workload):
+        """A proof cached by the batch path is replayed for a solo query."""
+        server = ProofServer(dij)
+        server.answer_many(workload)
+        vs, vt = workload[0]
+        served = server.answer(vs, vt)
+        assert served.cached
+        assert fresh_client(signer).verify(vs, vt, served.response).ok
+
+    def test_single_miss_skips_batch_path(self, dij, workload):
+        server = ProofServer(dij)
+        vs, vt = workload[0]
+        served = server.answer_many([(vs, vt)])
+        assert len(served) == 1
+        assert not served[0].cached
+
+    def test_non_batchable_method_falls_back(self, full, signer, workload):
+        server = ProofServer(full)
+        client = fresh_client(signer)
+        served = server.answer_many(workload, coalesce=True)
+        for (vs, vt), item in zip(workload, served):
+            assert client.verify(vs, vt, item.response).ok
+
+    def test_combined_cover_is_a_verifiable_batch(self, dij, signer, workload):
+        """The burst's wire object passes the batch client check."""
+        server = ProofServer(dij)
+        burst = server.serve_burst(workload)
+        assert burst.combined is not None
+        assert all(r.ok for r in verify_batch(burst.combined, signer.verify))
+        # The combined cover is what ships; it beats standalone totals.
+        standalone = sum(item.proof_bytes for item in burst.served)
+        assert burst.combined.total_bytes < standalone
+
+    def test_warm_burst_has_no_combined_cover(self, dij, workload):
+        server = ProofServer(dij)
+        server.serve_burst(workload)
+        assert server.serve_burst(workload).combined is None
+
+    def test_duplicate_queries_computed_once(self, dij, workload):
+        server = ProofServer(dij)
+        vs, vt = workload[0]
+        (s1, t1) = workload[1]
+        served = server.answer_many([(vs, vt), (s1, t1), (vs, vt)])
+        assert len(served) == 3
+        assert served[0].response is served[2].response
+        assert not served[0].cached
+        assert served[2].cached  # the repeat replays the just-cached entry
+        assert server.snapshot().requests == 3  # every request is metered
+
+
+class TestConcurrency:
+    def test_results_in_request_order(self, dij, signer, workload):
+        server = ProofServer(dij, max_workers=4)
+        client = fresh_client(signer)
+        served = server.answer_concurrent(workload)
+        assert len(served) == len(workload)
+        for (vs, vt), item in zip(workload, served):
+            assert item.response.source == vs
+            assert item.response.target == vt
+            assert client.verify(vs, vt, item.response).ok
+
+    def test_warm_concurrent_pass_hits_cache(self, dij, workload):
+        server = ProofServer(dij, max_workers=4)
+        server.answer_concurrent(workload)
+        served = server.answer_concurrent(workload)
+        assert all(item.cached for item in served)
+
+    def test_invalid_worker_counts(self, dij, workload):
+        with pytest.raises(ServiceError):
+            ProofServer(dij, max_workers=0)
+        server = ProofServer(dij)
+        with pytest.raises(ServiceError):
+            server.answer_concurrent(workload, max_workers=0)
+
+
+class TestErrorResponses:
+    """Per-query failures are error envelopes, not stream-killers."""
+
+    def test_unknown_node_yields_error_response(self, dij):
+        server = ProofServer(dij)
+        served = server.answer(999_999, 3)
+        assert not served.ok
+        assert served.response is None
+        assert "999999" in served.error
+        assert server.snapshot().requests == 1
+
+    def test_errors_are_not_cached(self, dij):
+        server = ProofServer(dij)
+        server.answer(999_999, 3)
+        assert len(server.cache) == 0
+
+    def test_burst_survives_one_bad_query(self, dij, signer, workload):
+        server = ProofServer(dij)
+        client = fresh_client(signer)
+        queries = [workload[0], (999_999, 3), workload[1]]
+        served = server.answer_many(queries, coalesce=True)
+        assert len(served) == 3
+        assert served[0].ok and served[2].ok
+        assert not served[1].ok
+        for (vs, vt), item in zip(queries, served):
+            if item.ok:
+                assert client.verify(vs, vt, item.response).ok
+
+    def test_concurrent_stream_survives_one_bad_query(self, dij, workload):
+        server = ProofServer(dij, max_workers=3)
+        queries = [workload[0], (999_999, 3), workload[1]]
+        served = server.answer_concurrent(queries)
+        assert len(served) == 3
+        assert [item.ok for item in served] == [True, False, True]
+
+    def test_repeated_failed_query_is_metered_per_request(self, dij, workload):
+        server = ProofServer(dij)
+        queries = [(999_999, 3), workload[0], (999_999, 3)]
+        served = server.answer_many(queries, coalesce=True)
+        assert [item.ok for item in served] == [False, True, False]
+        assert server.snapshot().requests == 3
+
+
+class TestInvalidation:
+    def test_graph_mutation_invalidates_and_reverifies(self, road300):
+        """An owner edge update drops the cache; fresh proofs verify."""
+        signer = NullSigner()
+        graph = road300.copy()
+        method = DijMethod.build(graph, signer)
+        server = ProofServer(method)
+        client = fresh_client(signer)
+
+        u, w = sorted(graph.neighbors(graph.node_ids()[0]).items())[0]
+        vs = graph.node_ids()[5]
+        vt = graph.node_ids()[-5]
+        first = server.answer(vs, vt)
+        assert server.answer(vs, vt).cached
+
+        method.update_edge_weight(graph.node_ids()[0], u, w * 2, signer)
+        served = server.answer(vs, vt)
+        assert not served.cached  # version bump dropped the entry
+        assert server.cache.stats.invalidations == 1
+        assert client.verify(vs, vt, served.response).ok
+        # The pre-update response carries the superseded descriptor root.
+        assert first.response.descriptor.encode() != served.response.descriptor.encode()

@@ -64,6 +64,75 @@ class TestEstimate:
             assert name in out
 
 
+class TestServe:
+    @pytest.fixture()
+    def workload_file(self, graph_file, tmp_path):
+        path = tmp_path / "q.txt"
+        assert main(["workload", str(graph_file), "--range", "1000",
+                     "--count", "5", "--out", str(path)]) == 0
+        return path
+
+    def test_serves_workload_file(self, graph_file, workload_file, capsys):
+        code = main(["serve", str(graph_file), "--method", "DIJ",
+                     "--workload", str(workload_file), "--insecure"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "serving metrics" in out
+        assert out.count(" ok") >= 5
+
+    def test_reads_stdin(self, graph_file, workload_file, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", workload_file.open())
+        code = main(["serve", str(graph_file), "--method", "DIJ", "--insecure"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "serving metrics" in out
+
+    def test_concurrent_workers(self, graph_file, workload_file, capsys):
+        code = main(["serve", str(graph_file), "--method", "DIJ",
+                     "--workload", str(workload_file), "--insecure",
+                     "--workers", "3"])
+        assert code == 0, capsys.readouterr().out
+
+    def test_bad_query_gets_error_row_not_abort(self, graph_file, tmp_path,
+                                                capsys):
+        path = tmp_path / "q.txt"
+        path.write_text("999999 3\n1 2\n")
+        code = main(["serve", str(graph_file), "--method", "DIJ",
+                     "--workload", str(path), "--insecure"])
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "error: unknown source node 999999" in out
+        assert "serving metrics" in out  # the stream kept going
+
+
+class TestLoadtest:
+    def test_cold_vs_warm(self, graph_file, capsys):
+        code = main(["loadtest", str(graph_file), "--method", "DIJ",
+                     "--range", "1000", "--count", "5", "--passes", "2",
+                     "--insecure"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "cold" in out and "warm1" in out
+        assert "speedup" in out
+
+    def test_loadtest_from_workload_file(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "q.txt"
+        assert main(["workload", str(graph_file), "--range", "1000",
+                     "--count", "4", "--out", str(path)]) == 0
+        code = main(["loadtest", str(graph_file), "--method", "DIJ",
+                     "--workload", str(path), "--insecure"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "cold" in out
+
+    def test_rejects_single_pass(self, graph_file, capsys):
+        code = main(["loadtest", str(graph_file), "--method", "DIJ",
+                     "--range", "1000", "--count", "4", "--passes", "1",
+                     "--insecure"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file_is_clean_error(self, capsys):
         assert main(["info", "/nonexistent/net.txt"]) == 2

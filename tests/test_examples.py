@@ -28,6 +28,7 @@ ALL_EXAMPLES = [
     "logistics_routing",
     "method_tradeoffs",
     "dynamic_network",
+    "proof_server",
 ]
 
 

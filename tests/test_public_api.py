@@ -42,6 +42,11 @@ class TestTopLevel:
         "repro.core.estimate",
         "repro.workload",
         "repro.bench",
+        "repro.bench.serving",
+        "repro.service",
+        "repro.service.cache",
+        "repro.service.metrics",
+        "repro.service.server",
     ])
     def test_submodules_import(self, module):
         assert importlib.import_module(module) is not None
@@ -50,7 +55,7 @@ class TestTopLevel:
         for module_name in ("repro.graph", "repro.order", "repro.merkle",
                             "repro.shortestpath", "repro.landmarks",
                             "repro.hiti", "repro.core", "repro.workload",
-                            "repro.crypto", "repro.bench"):
+                            "repro.crypto", "repro.bench", "repro.service"):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
                 assert hasattr(module, name), f"{module_name}.{name}"
