@@ -1,6 +1,13 @@
 """Experiment harness: build methods, run workloads, render tables."""
 
 from repro.bench.harness import MethodRun, build_method, run_workload
+from repro.bench.profile import (
+    BenchRecord,
+    compare_records,
+    load_record,
+    profile_method,
+    write_record,
+)
 from repro.bench.reporting import ResultsLog, format_table
 from repro.bench.serving import LoadtestPass, LoadtestReport, run_loadtest
 
@@ -8,6 +15,11 @@ __all__ = [
     "MethodRun",
     "build_method",
     "run_workload",
+    "BenchRecord",
+    "profile_method",
+    "write_record",
+    "load_record",
+    "compare_records",
     "ResultsLog",
     "format_table",
     "LoadtestPass",

@@ -1,0 +1,172 @@
+"""One-command workload profiling with regression gating.
+
+``profile_method`` replays a query workload against a built method and
+condenses the run into a single :class:`BenchRecord` — QPS, latency
+percentiles, construction seconds and proof bytes — in the same
+list-of-records JSON shape as ``benchmarks/results/*.json``, so one
+``BENCH_*.json`` file is directly comparable with the benchmark suite's
+output.  ``compare_records`` turns two such records into a pass/fail
+regression verdict; the CI perf-smoke job runs it against the
+checked-in ``benchmarks/perf_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from statistics import quantiles
+
+from repro.core.method import SignatureVerifier, VerificationMethod, get_method
+from repro.errors import ReproError, ServiceError
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Condensed measurements of one (method, workload) replay."""
+
+    experiment: str
+    method: str
+    label: str
+    nodes: int
+    edges: int
+    queries: int
+    construction_seconds: float
+    network_tree_seconds: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    proof_bytes: float
+    verified: bool
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON record)."""
+        return asdict(self)
+
+    #: Metrics gated by :func:`compare_records`, with the direction in
+    #: which each one regresses (``False`` = smaller is better).
+    GATED = {
+        "qps": True,
+        "p50_ms": False,
+        "p95_ms": False,
+        "construction_seconds": False,
+        "proof_bytes": False,
+    }
+
+
+def _percentile(sorted_ms: "list[float]", fraction: float) -> float:
+    if len(sorted_ms) == 1:
+        return sorted_ms[0]
+    cuts = quantiles(sorted_ms, n=100, method="inclusive")
+    return cuts[max(0, min(98, round(fraction * 100) - 1))]
+
+
+def profile_method(
+    method: VerificationMethod,
+    queries: "list[tuple[int, int]]",
+    verify_signature: "SignatureVerifier | None" = None,
+    *,
+    label: str = "",
+) -> BenchRecord:
+    """Replay *queries* through the provider and summarize the run.
+
+    With *verify_signature*, every response is also checked by a real
+    client (outside the timed window), so ``verified`` doubles as an
+    end-to-end soundness bit.
+    """
+    if not queries:
+        raise ServiceError("empty bench workload")
+    graph = method.graph
+    latencies_ms: list[float] = []
+    proof_bytes: list[int] = []
+    responses = []
+    window_start = time.perf_counter()
+    for source, target in queries:
+        start = time.perf_counter()
+        response = method.answer(source, target)
+        wire = response.encode()
+        latencies_ms.append((time.perf_counter() - start) * 1000)
+        proof_bytes.append(len(wire))
+        responses.append(response)
+    elapsed = time.perf_counter() - window_start
+
+    verified = True
+    if verify_signature is not None:
+        verifier = get_method(method.name)
+        for (source, target), response in zip(queries, responses):
+            if not verifier.verify(source, target, response, verify_signature).ok:
+                verified = False
+    latencies_ms.sort()
+    return BenchRecord(
+        experiment="bench",
+        method=method.name,
+        label=label,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        queries=len(queries),
+        construction_seconds=method.construction_seconds,
+        network_tree_seconds=getattr(
+            getattr(method, "_bundle", None), "build_seconds", 0.0
+        ),
+        qps=len(queries) / elapsed if elapsed else 0.0,
+        p50_ms=_percentile(latencies_ms, 0.50),
+        p95_ms=_percentile(latencies_ms, 0.95),
+        proof_bytes=sum(proof_bytes) / len(proof_bytes),
+        verified=verified,
+    )
+
+
+def write_record(record: BenchRecord, path: str) -> None:
+    """Write one record as a ``benchmarks/results``-style JSON list."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump([record.as_dict()], out, indent=2, sort_keys=True)
+
+
+def load_record(path: str) -> dict:
+    """First record of a ``BENCH_*.json`` / results-style file."""
+    with open(path, "r", encoding="utf-8") as infile:
+        data = json.load(infile)
+    if isinstance(data, list):
+        if not data:
+            raise ReproError(f"{path}: empty record list")
+        data = data[0]
+    if not isinstance(data, dict):
+        raise ReproError(f"{path}: expected a JSON record or list of records")
+    return data
+
+
+def compare_records(
+    current: dict,
+    baseline: dict,
+    *,
+    max_regression: float = 2.0,
+) -> "list[str]":
+    """Regressions of *current* vs *baseline* beyond *max_regression*.
+
+    Returns human-readable messages, one per regressed metric (empty
+    means pass).  Metrics missing from either record are skipped, so
+    baselines stay forward-compatible when fields are added.
+    """
+    if max_regression <= 0:
+        raise ReproError(f"max_regression must be positive, got {max_regression}")
+    problems: list[str] = []
+    for metric, higher_is_better in BenchRecord.GATED.items():
+        if metric not in current or metric not in baseline:
+            continue
+        now = float(current[metric])
+        then = float(baseline[metric])
+        if then <= 0 or now <= 0:
+            continue  # degenerate timings carry no signal
+        ratio = then / now if higher_is_better else now / then
+        if ratio > max_regression:
+            problems.append(
+                f"{metric}: {now:.6g} vs baseline {then:.6g} "
+                f"({ratio:.2f}x worse, limit {max_regression:g}x)"
+            )
+    if not current.get("verified", True):
+        problems.append("verification failed: client rejected a served proof")
+    return problems

@@ -9,6 +9,7 @@ Subcommands::
     repro-spv estimate  net.txt --range 2000
     repro-spv serve     net.txt --method DIJ --workload queries.txt
     repro-spv loadtest  net.txt --method DIJ --range 2000 --passes 3
+    repro-spv bench     net.txt --method DIJ --out BENCH_DIJ.json
 
 ``demo`` runs the full three-party protocol (build, answer, verify) and
 prints per-query proof sizes; ``estimate`` prints the predictive sizing
@@ -16,7 +17,11 @@ model's ranking without building anything.  ``serve`` answers a request
 stream (workload file, or interactive ``source target`` lines on stdin)
 through a cached :class:`~repro.service.server.ProofServer`;
 ``loadtest`` replays one workload repeatedly against a single server and
-prints a cold-versus-warm metrics table.
+prints a cold-versus-warm metrics table; ``bench`` profiles one
+workload replay into a ``BENCH_*.json`` record (QPS, p50/p95,
+construction seconds, proof bytes) and can gate on a checked-in
+baseline (exit code 3 on regression) — the CI perf-smoke job runs it
+against ``benchmarks/perf_baseline.json``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,12 @@ import argparse
 import sys
 import time
 
+from repro.bench.profile import (
+    compare_records,
+    load_record,
+    profile_method,
+    write_record,
+)
 from repro.bench.reporting import format_table
 from repro.bench.serving import LoadtestReport, run_loadtest
 from repro.core.estimate import ProofSizeModel
@@ -215,6 +226,52 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    owner, method, build_seconds = _published_method(args)
+    if args.workload:
+        queries = _read_workload_file(args.workload)
+    else:
+        queries = list(generate_workload(owner.graph, args.range,
+                                         count=args.count, seed=args.seed,
+                                         tolerance=1.0))
+    # Warm pass: the record measures the steady-state provider, not
+    # lazy one-time initialization (compiled index, import costs).
+    profile_method(method, queries[:1], label=args.label)
+    record = profile_method(method, queries, owner.signer.verify,
+                            label=args.label)
+    print(format_table(
+        ["metric", "value"],
+        [["method", record.method],
+         ["queries", record.queries],
+         ["QPS", record.qps],
+         ["p50 ms", record.p50_ms],
+         ["p95 ms", record.p95_ms],
+         ["construction s", record.construction_seconds],
+         ["network tree s", record.network_tree_seconds],
+         ["proof bytes", record.proof_bytes],
+         ["verified", str(record.verified)]],
+        title=(f"{args.method} bench on {args.graph} "
+               f"(build {build_seconds:.2f}s)"),
+    ))
+    if args.out:
+        write_record(record, args.out)
+        print(f"\nwrote record to {args.out}")
+    if not record.verified:
+        print("error: client rejected a served proof", file=sys.stderr)
+        return 1
+    if args.baseline:
+        problems = compare_records(record.as_dict(), load_record(args.baseline),
+                                   max_regression=args.max_regression)
+        if problems:
+            print(f"\nperformance regression vs {args.baseline}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 3
+        print(f"\nwithin {args.max_regression:g}x of baseline {args.baseline}")
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     graph = read_graph(args.graph)
     model = ProofSizeModel.for_graph(graph)
@@ -308,6 +365,29 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--passes", type=int, default=2,
                     help="total passes; the first is cold, the rest warm")
     lt.set_defaults(fn=_cmd_loadtest)
+
+    bench = sub.add_parser(
+        "bench", help="profile a workload replay into a BENCH_*.json record")
+    bench.add_argument("graph")
+    bench.add_argument("--method", choices=["DIJ", "FULL", "LDM", "HYP"],
+                       default="DIJ")
+    bench.add_argument("--landmarks", type=int, default=50)
+    bench.add_argument("--cells", type=int, default=49)
+    bench.add_argument("--insecure", action="store_true",
+                       help="use the keyed-hash stub signer (fast, no RSA)")
+    bench.add_argument("--workload", help="query file (default: generate)")
+    bench.add_argument("--range", type=float, default=2000.0)
+    bench.add_argument("--count", type=int, default=20)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--label", default="",
+                       help="free-form label stored in the record")
+    bench.add_argument("--out", help="write the record as a JSON file")
+    bench.add_argument("--baseline",
+                       help="baseline record to gate against "
+                            "(exit code 3 on regression)")
+    bench.add_argument("--max-regression", type=float, default=2.0,
+                       help="fail when any gated metric is this factor worse")
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -10,6 +10,7 @@ method-specific shortest path reasoning.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from typing import Callable, Mapping, Type
 
 from repro.core.framework import VerificationResult, distances_close
@@ -89,10 +90,19 @@ def decode_tuples(section: TreeSection, tuple_cls: Type[BaseTuple]) -> dict[int,
 
 
 def adjacency_weight(tup: BaseTuple, neighbor: int) -> "float | None":
-    """Edge weight listed in Φ for *neighbor*, or ``None`` when absent."""
-    for nbr, w in tup.adjacency:
-        if nbr == neighbor:
-            return w
+    """Edge weight listed in Φ for *neighbor*, or ``None`` when absent.
+
+    O(log degree): canonical tuples keep Φ sorted by neighbor id, so a
+    bisect replaces the old linear scan — long reported paths through
+    high-degree hubs verify in O(path · log degree).  For adversarial
+    payloads that violate the canonical order the probe may miss an
+    entry, which can only *reject* such a response (never accept a
+    weight that is not present), so soundness is unaffected.
+    """
+    adjacency = tup.adjacency
+    pos = bisect_left(adjacency, (neighbor,))
+    if pos < len(adjacency) and adjacency[pos][0] == neighbor:
+        return adjacency[pos][1]
     return None
 
 
@@ -150,11 +160,15 @@ class NetworkTreeBundle:
     """Owner/provider state for one graph-node Merkle tree.
 
     Holds the leaf order, each node's leaf position, the encoded Φ
-    payloads and the tree itself.
+    payloads and the tree itself.  Payloads are kept both id-keyed
+    (``payload_of``, the owner-facing view) and as a position-indexed
+    array (``payload_at``), so the per-query section assembly sorts
+    plain integer positions and indexes a list — no dict-keyed sorting
+    on the server cold path.
     """
 
-    __slots__ = ("tree", "order", "position_of", "payload_of", "build_seconds",
-                 "_tuple_factory")
+    __slots__ = ("tree", "order", "position_of", "payload_of", "payload_at",
+                 "build_seconds", "_tuple_factory")
 
     def __init__(
         self,
@@ -167,23 +181,25 @@ class NetworkTreeBundle:
     ) -> None:
         start = time.perf_counter()
         self._tuple_factory = tuple_factory
+        graph.to_index()  # warm the compiled layout before serving starts
         self.order = order_nodes(graph, ordering)
-        self.payload_of: dict[int, bytes] = {
-            node_id: tuple_factory(node_id).encode() for node_id in self.order
-        }
+        #: Leaf payloads by leaf position (the hot, array-indexed view).
+        self.payload_at: list[bytes] = [
+            tuple_factory(node_id).encode() for node_id in self.order
+        ]
+        self.payload_of: dict[int, bytes] = dict(zip(self.order, self.payload_at))
         self.position_of = {node_id: i for i, node_id in enumerate(self.order)}
         self.tree = MerkleTree(
-            (self.payload_of[node_id] for node_id in self.order),
-            fanout=fanout,
-            hash_fn=hash_name,
+            self.payload_at, fanout=fanout, hash_fn=hash_name,
         )
         self.build_seconds = time.perf_counter() - start
 
     def section_for(self, node_ids) -> TreeSection:
         """ΓS + ΓT section disclosing Φ for *node_ids*."""
-        ids = sorted(set(node_ids), key=lambda n: self.position_of[n])
-        positions = [self.position_of[n] for n in ids]
-        payloads = [self.payload_of[n] for n in ids]
+        position_of = self.position_of
+        positions = sorted({position_of[n] for n in node_ids})
+        payload_at = self.payload_at
+        payloads = [payload_at[p] for p in positions]
         entries = self.tree.prove(positions)
         return TreeSection(NETWORK_TREE, positions, payloads, entries)
 
@@ -194,8 +210,10 @@ class NetworkTreeBundle:
         adjacency changed; the caller must re-sign the new root.
         """
         payload = self._tuple_factory(node_id).encode()
+        position = self.position_of[node_id]
         self.payload_of[node_id] = payload
-        self.tree.update_leaf(self.position_of[node_id], payload)
+        self.payload_at[position] = payload
+        self.tree.update_leaf(position, payload)
 
 
 def sign_descriptor(descriptor: SignedDescriptor, signer: Signer) -> SignedDescriptor:

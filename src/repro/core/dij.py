@@ -26,7 +26,7 @@ from repro.crypto.signer import Signer
 from repro.errors import EncodingError, NoPathError
 from repro.graph.graph import SpatialGraph
 from repro.graph.tuples import BaseTuple
-from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.kernel import indexed_ball, indexed_dijkstra
 from repro.shortestpath.path import Path
 
 
@@ -96,13 +96,19 @@ class DijMethod(VerificationMethod):
     # ------------------------------------------------------------------
     def answer(self, source: int, target: int, *,
                forced_path: "Path | None" = None) -> QueryResponse:
-        if forced_path is None:
-            path = self._shortest_path(source, target)  # NoPathError if unreachable
+        if forced_path is None and self.algo_sp == "dijkstra":
+            # Hot path: one fused kernel expansion yields both the
+            # shortest path and the Lemma-1 ball.
+            result = indexed_ball(self._graph.to_index(), source, target)
+            path = result.path_to(target)  # NoPathError if unreachable
+            ball_ids = result.settled_ids()
         else:
-            path = forced_path
-        radius = path.cost
-        ball = dijkstra(self._graph, source, radius=radius)
-        section = self._bundle.section_for(ball.dist.keys())
+            path = forced_path if forced_path is not None else \
+                self._shortest_path(source, target)
+            ball = indexed_dijkstra(self._graph.to_index(), source,
+                                    radius=path.cost)
+            ball_ids = ball.settled_ids()
+        section = self._bundle.section_for(ball_ids)
         return QueryResponse(
             method=self.name,
             source=source,

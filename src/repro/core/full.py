@@ -37,24 +37,13 @@ from repro.core.proofs import (
     TreeSection,
 )
 from repro.crypto.signer import Signer
-from repro.errors import EncodingError, GraphError, MethodError
+from repro.errors import EncodingError, GraphError, MethodError, NoPathError
 from repro.graph.graph import SpatialGraph
-from repro.graph.tuples import BaseTuple, DistanceTuple
+from repro.graph.tuples import BaseTuple, DistanceTuple, triangle_leaf_digests
 from repro.hiti.hyperedges import triangle_index
 from repro.merkle.tree import MerkleTree
 from repro.shortestpath.bulk import all_pairs_distances
-from repro.shortestpath.dijkstra import dijkstra
 from repro.shortestpath.path import Path
-
-
-def _triangle_payloads(ids: "list[int]", matrix: np.ndarray):
-    """Yield DistanceTuple encodings in triangle (leaf) order."""
-    n = len(ids)
-    for i in range(n):
-        row = matrix[i]
-        a = ids[i]
-        for j in range(i + 1, n):
-            yield DistanceTuple(a, ids[j], float(row[j])).encode()
 
 
 @register_method
@@ -95,7 +84,8 @@ class FullMethod(VerificationMethod):
             raise GraphError("FULL requires a connected graph")
         ids = graph.node_ids()
         distance_tree = MerkleTree(
-            _triangle_payloads(ids, matrix), fanout=fanout, hash_fn=hash_name,
+            leaf_digests=triangle_leaf_digests(ids, matrix, hash_name),
+            fanout=fanout, hash_fn=hash_name,
         )
         construction = time.perf_counter() - start
 
@@ -133,14 +123,65 @@ class FullMethod(VerificationMethod):
         entries = self._distance_tree.prove([leaf])
         return TreeSection(DISTANCE_TREE, [leaf], [payload], entries)
 
+    def _matrix_path(self, source: int, target: int) -> "Path | None":
+        """Reconstruct the shortest path from the materialized matrix.
+
+        FULL already holds every distance, so instead of re-running a
+        search the provider walks backwards from the target: an edge
+        ``(v, u)`` is on a shortest path iff ``dist(s, v) + w(v, u)``
+        equals ``dist(s, u)`` — bit-exactly, because the bulk backend
+        accumulated ``dist(s, u)`` as exactly that sum along its
+        Dijkstra tree.  Cost is O(path length · degree) against the
+        array kernel's full expansion.  Returns ``None`` when no
+        predecessor matches exactly (pathological float ties), letting
+        the caller fall back to the search kernel.
+        """
+        index = self._graph.to_index()
+        iof = index.index_of
+        try:
+            si = iof[source]
+        except KeyError:
+            raise GraphError(f"unknown source node {source}") from None
+        try:
+            ti = iof[target]
+        except KeyError:
+            raise GraphError(f"unknown target node {target}") from None
+        row = self._matrix[si]
+        if not np.isfinite(row[ti]):
+            raise NoPathError(source, target)
+        indptr, nbrs, wts = index.indptr, index.neighbors, index.weights
+        ids = index.ids
+        rev: list[int] = [target]
+        u = ti
+        for _ in range(index.num_nodes):
+            if u == si:
+                rev.reverse()
+                return Path(nodes=tuple(rev), cost=float(row[ti]))
+            here = row[u]
+            pred = -1
+            for k in range(indptr[u], indptr[u + 1]):
+                v = nbrs[k]
+                if row[v] + wts[k] == here:
+                    pred = v
+                    break
+            if pred < 0:
+                return None  # float tie fell apart; use the search kernel
+            rev.append(ids[pred])
+            u = pred
+        return None  # cycle guard tripped (cannot happen on valid data)
+
     def answer(self, source: int, target: int, *,
                forced_path: "Path | None" = None) -> QueryResponse:
         if source == target:
             raise MethodError("degenerate query: source equals target")
-        if forced_path is None:
-            path = self._shortest_path(source, target)
-        else:
+        if forced_path is not None:
             path = forced_path
+        elif self.algo_sp == "dijkstra":
+            path = self._matrix_path(source, target)
+            if path is None:
+                path = self._shortest_path(source, target)
+        else:
+            path = self._shortest_path(source, target)
         sections = {
             NETWORK_TREE: self._bundle.section_for(path.nodes),
             DISTANCE_TREE: self._distance_section(source, target),

@@ -47,7 +47,12 @@ from repro.core.proofs import (
 from repro.crypto.signer import Signer
 from repro.errors import EncodingError
 from repro.graph.graph import SpatialGraph
-from repro.graph.tuples import CellDirectoryTuple, DistanceTuple, HypTuple
+from repro.graph.tuples import (
+    CellDirectoryTuple,
+    DistanceTuple,
+    HypTuple,
+    triangle_leaf_digests,
+)
 from repro.hiti.coarse import build_coarse_graph
 from repro.hiti.hyperedges import HyperEdgeSet, compute_hyperedges
 from repro.hiti.partition import GridPartition, GridSpec
@@ -90,7 +95,8 @@ class HypMethod(VerificationMethod):
         partition = GridPartition(graph, num_cells)
         hyper = compute_hyperedges(graph, partition.all_borders())
         distance_tree = MerkleTree(
-            (DistanceTuple(a, b, w).encode() for a, b, w in hyper.iter_pairs()),
+            leaf_digests=triangle_leaf_digests(hyper.borders, hyper.distances,
+                                               hash_name),
             fanout=fanout, hash_fn=hash_name,
         )
         directory_payloads: dict[int, tuple[int, bytes]] = {}

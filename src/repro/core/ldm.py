@@ -54,7 +54,7 @@ from repro.landmarks.quantization import quantize_vectors
 from repro.landmarks.selection import select_landmarks
 from repro.landmarks.vectors import LandmarkVectors
 from repro.order import hilbert_order
-from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.kernel import indexed_ball, indexed_dijkstra
 from repro.shortestpath.path import Path
 
 
@@ -93,6 +93,15 @@ class LdmParams:
         return params
 
 
+def _lemma2_margin(distance: float) -> float:
+    """Provider-side cone slack: twice the client's comparison margin.
+
+    One shared definition keeps the fused kernel's ball radius and the
+    cone-qualification threshold bit-identical.
+    """
+    return 2 * (REL_TOL * distance + ABS_TOL)
+
+
 @register_method
 class LdmMethod(VerificationMethod):
     """Landmark-based verification with quantization and compression."""
@@ -108,6 +117,13 @@ class LdmMethod(VerificationMethod):
         self._compressed = compressed
         self._params = params
         self._descriptor = descriptor
+        # Dense effective-vector arrays aligned with the graph index
+        # (ascending id order), for vectorized cone selection in
+        # :meth:`answer`.  LDM never mutates the graph (no incremental
+        # updates), so the alignment is stable for the method's life.
+        self._eff_codes, self._eff_eps = compressed.effective_arrays(
+            graph.node_ids()
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -173,24 +189,47 @@ class LdmMethod(VerificationMethod):
     # ------------------------------------------------------------------
     def answer(self, source: int, target: int, *,
                forced_path: "Path | None" = None) -> QueryResponse:
-        if forced_path is None:
-            path = self._shortest_path(source, target)
-        else:
-            path = forced_path
-        distance = path.cost
         # Lemma 2 cone: server margin is wider than the client's expansion
         # margin so float noise can never make an honest proof incomplete.
-        margin = 2 * (REL_TOL * distance + ABS_TOL)
-        ball = dijkstra(self._graph, source, radius=distance + margin)
-        lb = self._compressed.lower_bound
-        qualifying = [
-            v for v, d in ball.dist.items() if d + lb(v, target) <= distance + margin
-        ]
-        include: set[int] = set(qualifying)
-        include.add(source)
-        include.add(target)
-        for v in qualifying:
-            include.update(self._graph.neighbors(v).keys())
+        index = self._graph.to_index()
+        if forced_path is None and self.algo_sp == "dijkstra":
+            # One fused expansion yields the path and the margin ball.
+            result = indexed_ball(index, source, target,
+                                  margin=_lemma2_margin)
+            path = result.path_to(target)
+            ball = result
+        else:
+            path = forced_path if forced_path is not None else \
+                self._shortest_path(source, target)
+            ball = None
+        distance = path.cost
+        margin = _lemma2_margin(distance)
+        if ball is None:
+            ball = indexed_dijkstra(index, source, radius=distance + margin)
+
+        # Vectorized Lemma 4 bound over every settled node: identical
+        # float arithmetic to CompressedVectors.lower_bound, one NumPy
+        # pass instead of a Python call per node.
+        settled = np.fromiter(ball.settled_order, dtype=np.intp,
+                              count=len(ball.settled_order))
+        dists = np.fromiter((ball.dist[u] for u in ball.settled_order),
+                            dtype=np.float64, count=len(ball.settled_order))
+        lam = self._params.lam
+        t_idx = index.index_of[target]
+        units = np.abs(self._eff_codes[settled] - self._eff_codes[t_idx]).max(axis=1)
+        loose = np.maximum(0.0, lam * (units - 1))
+        lb = np.maximum(0.0, loose - lam * (self._eff_eps[settled]
+                                            + self._eff_eps[t_idx]))
+        qualifying = settled[dists + lb <= distance + margin]
+
+        ids = index.ids
+        indptr = index.indptr
+        nbrs = index.neighbors
+        include: set[int] = {source, target}
+        for u in qualifying.tolist():
+            include.add(ids[u])
+            for k in range(indptr[u], indptr[u + 1]):
+                include.add(ids[nbrs[k]])
         # Every included compressed node drags in its representative,
         # whose vector the client needs to evaluate the bound.
         for v in list(include):

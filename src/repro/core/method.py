@@ -50,18 +50,29 @@ class VerificationMethod(ABC):
         self.algo_sp: str = "dijkstra"
 
     def _shortest_path(self, source: int, target: int) -> "Path":
-        """Run the provider's chosen ``algo_sp``."""
+        """Run the provider's chosen ``algo_sp``.
+
+        ``dijkstra`` runs on the array kernel over the graph's compiled
+        index (the hot path); ``dijkstra-dict`` keeps the original
+        dict-of-dicts kernel (reference backend, used by the kernel
+        equivalence tests); ``bidirectional`` is the meet-in-the-middle
+        variant.  The proofs never depend on the choice.
+        """
         from repro.shortestpath.bidirectional import bidirectional_search
         from repro.shortestpath.dijkstra import dijkstra
+        from repro.shortestpath.kernel import indexed_dijkstra
 
         graph = self._graph  # every concrete method holds the graph
         if self.algo_sp == "dijkstra":
+            result = indexed_dijkstra(graph.to_index(), source, target=target)
+            return result.path_to(target)
+        if self.algo_sp == "dijkstra-dict":
             return dijkstra(graph, source, target=target).path_to(target)
         if self.algo_sp == "bidirectional":
             return bidirectional_search(graph, source, target)
         raise MethodError(
             f"unknown provider algorithm {self.algo_sp!r}; "
-            f"choose 'dijkstra' or 'bidirectional'"
+            f"choose 'dijkstra', 'dijkstra-dict' or 'bidirectional'"
         )
 
     def update_edge_weight(self, u: int, v: int, weight: float,

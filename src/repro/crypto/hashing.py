@@ -32,7 +32,7 @@ class HashFunction:
     'a9993e36'
     """
 
-    __slots__ = ("name", "digest_size", "_factory")
+    __slots__ = ("name", "digest_size", "factory")
 
     def __init__(self, name: str = "sha1") -> None:
         if name not in _SUPPORTED:
@@ -41,14 +41,17 @@ class HashFunction:
             )
         self.name = name
         self.digest_size = _SUPPORTED[name]
-        self._factory: Callable = getattr(hashlib, name)
+        #: The raw hashlib constructor (``hashlib.sha1`` etc.).  Hot
+        #: loops hashing millions of items bind this directly — calling
+        #: it avoids the Python-level indirection of :meth:`new`.
+        self.factory: Callable = getattr(hashlib, name)
 
     def digest(self, *messages: bytes) -> bytes:
         """Hash the concatenation of *messages*.
 
         Concatenation implements the paper's ``H(a ◦ b ◦ ...)`` operator.
         """
-        hasher = self._factory()
+        hasher = self.factory()
         for message in messages:
             hasher.update(message)
         return hasher.digest()
@@ -57,9 +60,14 @@ class HashFunction:
         """Hash and interpret the digest as a big-endian integer."""
         return int.from_bytes(self.digest(*messages), "big")
 
-    def new(self):
-        """Return a raw hashlib object for incremental hashing."""
-        return self._factory()
+    def new(self, data: bytes = b""):
+        """Return a raw hashlib object for incremental hashing.
+
+        *data*, when given, is hashed immediately (one C call instead
+        of a construct-then-update pair — the Merkle hot loops rely on
+        this).
+        """
+        return self.factory(data)
 
     def __repr__(self) -> str:
         return f"HashFunction({self.name!r})"

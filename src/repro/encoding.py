@@ -32,6 +32,45 @@ _F64 = struct.Struct(">d")
 _F32 = struct.Struct(">f")
 
 
+def _build_uvarint_table(limit: int) -> "tuple[bytes, ...]":
+    out = []
+    for value in range(limit):
+        if value < 0x80:
+            out.append(bytes([value]))
+        else:
+            out.append(bytes([(value & 0x7F) | 0x80, value >> 7]))
+    return tuple(out)
+
+
+#: Precomputed encodings for small values — leaf positions, payload
+#: lengths, node ids and proof-entry coordinates are overwhelmingly
+#: below this bound, and proof serialization is a serving hot path.
+_UVARINT_TABLE = _build_uvarint_table(1 << 14)
+
+
+def encode_uvarint(value: int) -> bytes:
+    """LEB128 varint encoding of an unsigned integer.
+
+    Standalone form of :meth:`Encoder.write_uint` for batch encoders
+    that precompute per-id prefixes instead of running an
+    :class:`Encoder` per record.
+    """
+    if 0 <= value < 16384:
+        return _UVARINT_TABLE[value]
+    if value < 0:
+        raise EncodingError(f"write_uint requires value >= 0, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            break
+    return bytes(out)
+
+
 def zigzag_encode(value: int) -> int:
     """Map a signed integer to an unsigned one (0, -1, 1, -2 -> 0, 1, 2, 3)."""
     return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
@@ -59,18 +98,7 @@ class Encoder:
 
     def write_uint(self, value: int) -> "Encoder":
         """Write an unsigned LEB128 varint."""
-        if value < 0:
-            raise EncodingError(f"write_uint requires value >= 0, got {value}")
-        out = bytearray()
-        while True:
-            byte = value & 0x7F
-            value >>= 7
-            if value:
-                out.append(byte | 0x80)
-            else:
-                out.append(byte)
-                break
-        self._parts.append(bytes(out))
+        self._parts.append(encode_uvarint(value))
         return self
 
     def write_int(self, value: int) -> "Encoder":

@@ -8,12 +8,15 @@ the HiTi grid) and whose edge weights are arbitrary non-negative costs
 
 from repro.graph.components import connected_components, is_connected, largest_component
 from repro.graph.graph import Node, SpatialGraph
+from repro.graph.index import GraphIndex, build_graph_index
 from repro.graph.synthetic import grid_network, random_geometric_network, road_network
 from repro.graph.tuples import BaseTuple, DistanceTuple, HypTuple, LdmTuple
 
 __all__ = [
     "Node",
     "SpatialGraph",
+    "GraphIndex",
+    "build_graph_index",
     "BaseTuple",
     "LdmTuple",
     "HypTuple",

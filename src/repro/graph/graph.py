@@ -10,21 +10,28 @@ Design notes
 * Adjacency is a ``dict[int, dict[int, float]]`` — node id to
   ``{neighbor id: weight}``.  Road networks are sparse (|E| ~ |V|), so
   hash maps beat matrices by orders of magnitude in memory.
+* Hot paths never walk the dicts: :meth:`SpatialGraph.to_index`
+  compiles the adjacency into contiguous CSR-style arrays
+  (:class:`~repro.graph.index.GraphIndex`) that the array Dijkstra
+  kernel and the SciPy bulk backends consume directly.
 * Bulk distance computations (all-pairs for FULL, multi-source for
   LDM/HYP construction) go through :meth:`SpatialGraph.to_csr`, which
   exports a cached :class:`scipy.sparse.csr_matrix` plus the id <->
-  index maps.
-* Mutation bumps an internal version counter that invalidates the CSR
-  cache, so callers can freely interleave edits and exports.
+  index maps (derived from the same index snapshot).
+* Mutation bumps an internal version counter that invalidates the
+  index and CSR caches, so callers can freely interleave edits and
+  exports.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import GraphError
+from repro.graph.index import GraphIndex, build_graph_index
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,7 +57,8 @@ class SpatialGraph:
     5.0
     """
 
-    __slots__ = ("_nodes", "_adj", "_num_edges", "_version", "_csr_cache")
+    __slots__ = ("_nodes", "_adj", "_num_edges", "_version", "_csr_cache",
+                 "_index_cache")
 
     def __init__(self) -> None:
         self._nodes: dict[int, Node] = {}
@@ -58,6 +66,7 @@ class SpatialGraph:
         self._num_edges = 0
         self._version = 0
         self._csr_cache: tuple[int, object] | None = None
+        self._index_cache: tuple[int, GraphIndex] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -126,15 +135,23 @@ class SpatialGraph:
             raise GraphError(f"edge ({u}, {v}) does not exist") from None
 
     def neighbors(self, node_id: int) -> Mapping[int, float]:
-        """Read-only view of ``{neighbor: weight}`` for *node_id*."""
+        """Read-only view of ``{neighbor: weight}`` for *node_id*.
+
+        The view is a :class:`types.MappingProxyType`: mutating it
+        raises ``TypeError``, so callers cannot corrupt the adjacency
+        (or bypass the version counter) through a leaked reference.
+        """
         try:
-            return self._adj[node_id]
+            return MappingProxyType(self._adj[node_id])
         except KeyError:
             raise GraphError(f"unknown node {node_id}") from None
 
     def degree(self, node_id: int) -> int:
         """Number of incident edges."""
-        return len(self.neighbors(node_id))
+        try:
+            return len(self._adj[node_id])
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
 
     @property
     def version(self) -> int:
@@ -206,6 +223,20 @@ class SpatialGraph:
         """Deep copy."""
         return self.subgraph(self._nodes)
 
+    def to_index(self) -> GraphIndex:
+        """Compile the adjacency into a :class:`GraphIndex` snapshot.
+
+        Contiguous ``indptr`` / ``neighbors`` / ``weights`` arrays plus
+        the id <-> index maps, in ascending id order with each node's
+        neighbor run sorted by id.  Cached until the graph is mutated,
+        so repeated hot-path queries share one compiled layout.
+        """
+        if self._index_cache is not None and self._index_cache[0] == self._version:
+            return self._index_cache[1]
+        index = build_graph_index(self._adj)
+        self._index_cache = (self._version, index)
+        return index
+
     def to_csr(self):
         """Export ``(matrix, ids, index_of)`` for scipy bulk algorithms.
 
@@ -213,29 +244,14 @@ class SpatialGraph:
         * ``ids`` — node id for each matrix row (ascending id order);
         * ``index_of`` — inverse map ``{node id: row}``.
 
-        The export is cached until the graph is mutated.
+        The export is cached until the graph is mutated and is derived
+        from :meth:`to_index`, so the two caches describe the same
+        snapshot.
         """
         if self._csr_cache is not None and self._csr_cache[0] == self._version:
             return self._csr_cache[1]
-        import numpy as np
-        from scipy.sparse import csr_matrix
-
-        ids = self.node_ids()
-        index_of = {node_id: i for i, node_id in enumerate(ids)}
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
-        for u in ids:
-            ui = index_of[u]
-            for v, w in self._adj[u].items():
-                rows.append(ui)
-                cols.append(index_of[v])
-                data.append(w)
-        matrix = csr_matrix(
-            (np.asarray(data), (np.asarray(rows), np.asarray(cols))),
-            shape=(len(ids), len(ids)),
-        )
-        result = (matrix, ids, index_of)
+        index = self.to_index()
+        result = (index.csr_matrix(), index.ids, index.index_of)
         self._csr_cache = (self._version, result)
         return result
 

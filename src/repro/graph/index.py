@@ -1,0 +1,112 @@
+"""Compiled adjacency layout: contiguous CSR-style arrays.
+
+The dict-of-dicts adjacency in :class:`~repro.graph.graph.SpatialGraph`
+is the right structure for mutation, but every hot-path consumer — the
+provider's Dijkstra ball, the owner's bulk distance runs, the SciPy
+export — pays dictionary overhead per edge visit.  :class:`GraphIndex`
+freezes the adjacency into three flat arrays (the classic CSR layout)::
+
+    indptr[i] .. indptr[i+1]   slice of `neighbors` / `weights` for node i
+    neighbors[k]               neighbor *index* (not id)
+    weights[k]                 edge weight
+
+plus the id <-> index maps.  Nodes are laid out in ascending id order
+and each node's neighbor run is sorted by neighbor id, so every derived
+structure (canonical tuples, SciPy matrices, search results) is
+deterministic.
+
+Arrays are plain Python lists, which CPython indexes faster than NumPy
+scalars inside interpreted loops; NumPy views for vectorized consumers
+are derived lazily and cached.  Instances are immutable snapshots —
+:meth:`SpatialGraph.to_index` caches one per graph version and rebuilds
+on mutation, exactly like the CSR export.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+
+
+class GraphIndex:
+    """Immutable CSR-style snapshot of a :class:`SpatialGraph` adjacency."""
+
+    __slots__ = ("ids", "index_of", "indptr", "neighbors", "weights",
+                 "_np_cache", "_csr_cache")
+
+    def __init__(self, ids: "list[int]", index_of: "dict[int, int]",
+                 indptr: "list[int]", neighbors: "list[int]",
+                 weights: "list[float]") -> None:
+        self.ids = ids
+        self.index_of = index_of
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.weights = weights
+        self._np_cache = None
+        self._csr_cache = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """|V|."""
+        return len(self.ids)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs (2·|E| for an undirected graph)."""
+        return len(self.neighbors)
+
+    def degree(self, index: int) -> int:
+        """Out-degree of the node at *index*."""
+        return self.indptr[index + 1] - self.indptr[index]
+
+    def index(self, node_id: int) -> int:
+        """Index of *node_id*; raises :class:`GraphError` when unknown."""
+        try:
+            return self.index_of[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
+
+    # ------------------------------------------------------------------
+    def numpy_arrays(self):
+        """``(indptr, neighbors, weights)`` as NumPy arrays (cached)."""
+        if self._np_cache is None:
+            import numpy as np
+
+            self._np_cache = (
+                np.asarray(self.indptr, dtype=np.int64),
+                np.asarray(self.neighbors, dtype=np.int64),
+                np.asarray(self.weights, dtype=np.float64),
+            )
+        return self._np_cache
+
+    def csr_matrix(self):
+        """SciPy CSR matrix of weights in index order (cached).
+
+        Built directly from the native CSR triple — no COO round trip,
+        no duplicate summing, no Python-level edge loop.
+        """
+        if self._csr_cache is None:
+            from scipy.sparse import csr_matrix
+
+            indptr, neighbors, weights = self.numpy_arrays()
+            n = self.num_nodes
+            self._csr_cache = csr_matrix(
+                (weights, neighbors, indptr), shape=(n, n)
+            )
+        return self._csr_cache
+
+
+def build_graph_index(adj: "dict[int, dict[int, float]]") -> GraphIndex:
+    """Compile a dict-of-dicts adjacency into a :class:`GraphIndex`."""
+    ids = sorted(adj)
+    index_of = {node_id: i for i, node_id in enumerate(ids)}
+    indptr = [0] * (len(ids) + 1)
+    neighbors: list[int] = []
+    weights: list[float] = []
+    for i, node_id in enumerate(ids):
+        row = adj[node_id]
+        for v in sorted(row):
+            neighbors.append(index_of[v])
+            weights.append(row[v])
+        indptr[i + 1] = len(neighbors)
+    return GraphIndex(ids, index_of, indptr, neighbors, weights)

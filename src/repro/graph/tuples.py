@@ -17,6 +17,7 @@ same digests.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -193,6 +194,87 @@ class DistanceTuple:
         tup = cls(dec.read_uint(), dec.read_uint(), dec.read_f64())
         dec.expect_end()
         return tup
+
+
+def triangle_leaf_digests(ids: "list[int]", matrix, hash_fn) -> bytes:
+    """Contiguous Merkle leaf digests over the triangle payloads.
+
+    Equivalent to hashing each :func:`iter_triangle_payloads` payload
+    with :func:`repro.merkle.tree.leaf_digest` — feed the result to
+    ``MerkleTree(leaf_digests=...)``.  This is the owner's hottest
+    construction loop (FULL hashes |V|²/2 of these), so the tagged
+    payloads are assembled with vectorized byte writes: ids are sorted,
+    hence their varint lengths are non-decreasing, and within one
+    (row, varint-length) segment every payload has the same width —
+    one NumPy buffer holds the whole segment and each leaf costs a
+    single slice and hash call, no per-leaf concatenation.
+    """
+    import numpy as np
+
+    from repro.crypto.hashing import get_hash
+    from repro.encoding import encode_uvarint
+    from repro.merkle.tree import _LEAF_TAG
+
+    factory = get_hash(hash_fn).factory
+    prefixes = [encode_uvarint(node_id) for node_id in ids]
+    n = len(ids)
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    #: varint length per id — non-decreasing because ids are ascending.
+    plens = np.array([len(p) for p in prefixes], dtype=np.int64)
+    rows: list[bytes] = []
+    for i in range(n):
+        if i + 1 >= n:
+            break
+        tagged = np.frombuffer(_LEAF_TAG + prefixes[i], dtype=np.uint8)
+        lt = len(tagged)
+        packed = np.ascontiguousarray(matrix[i, i + 1 :], dtype=">f8")
+        weight_bytes = packed.view(np.uint8).reshape(n - i - 1, 8)
+        start = i + 1
+        while start < n:
+            length = int(plens[start])
+            end = int(np.searchsorted(plens, length, side="right"))
+            seg_ids = ids_arr[start:end]
+            m = end - start
+            width = lt + length + 8
+            arr = np.empty((m, width), dtype=np.uint8)
+            arr[:, :lt] = tagged
+            for p in range(length):  # LEB128: low 7-bit group first
+                group = (seg_ids >> (7 * p)) & 0x7F
+                arr[:, lt + p] = group | 0x80 if p < length - 1 else group
+            arr[:, lt + length :] = weight_bytes[start - i - 1 : end - i - 1]
+            buf = arr.tobytes()
+            rows.append(b"".join([
+                factory(chunk).digest()
+                for (chunk,) in struct.iter_unpack(f"{width}s", buf)
+            ]))
+            start = end
+    return b"".join(rows)
+
+
+def iter_triangle_payloads(ids: "list[int]", matrix):
+    """Yield ``DistanceTuple(ids[i], ids[j], matrix[i, j]).encode()`` for
+    the upper triangle (``i < j``), in triangle (leaf) order.
+
+    Batch form of the per-tuple encoder for the FULL and HYP distance
+    Merkle trees, which hash millions of these leaves: the per-id
+    varint prefixes are computed once and each row's distances are
+    packed to big-endian float64 in one NumPy call, so the per-leaf
+    Python work is a single bytes concatenation.  Output is
+    byte-identical to calling :meth:`DistanceTuple.encode` per pair.
+    """
+    import numpy as np
+
+    from repro.encoding import encode_uvarint
+
+    prefixes = [encode_uvarint(node_id) for node_id in ids]
+    n = len(ids)
+    for i in range(n):
+        pa = prefixes[i]
+        packed = np.ascontiguousarray(matrix[i, i + 1 :], dtype=">f8").tobytes()
+        base = -8 * (i + 1)
+        for j in range(i + 1, n):
+            k = base + 8 * j
+            yield pa + prefixes[j] + packed[k : k + 8]
 
 
 @dataclass(frozen=True)

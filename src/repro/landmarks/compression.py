@@ -23,6 +23,7 @@ on; they differ only in how many nodes end up compressed.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -86,6 +87,25 @@ class CompressedVectors:
         codes_u, eps_u = self.effective(u)
         codes_v, eps_v = self.effective(v)
         return lemma4_lower_bound(codes_u, eps_u, codes_v, eps_v, self.spec.lam)
+
+    def effective_arrays(self, ids: "list[int]") -> "tuple[np.ndarray, np.ndarray]":
+        """Dense ``(codes, eps_units)`` arrays aligned with *ids*.
+
+        ``codes`` is ``(len(ids), c)`` int64 (each row the node's
+        representative vector), ``eps_units`` is ``(len(ids),)`` int64.
+        This is the batch form of :meth:`effective` for vectorized
+        bound evaluation over many nodes at once (the provider's
+        Lemma-2 cone selection); values match :meth:`lower_bound`
+        bit for bit.
+        """
+        c = len(next(iter(self.codes_of.values())))
+        codes = np.empty((len(ids), c), dtype=np.int64)
+        eps_units = np.empty(len(ids), dtype=np.int64)
+        for i, node_id in enumerate(ids):
+            row, eps = self.effective(node_id)
+            codes[i] = row
+            eps_units[i] = eps
+        return codes, eps_units
 
 
 def _xi_units(xi: float, spec: QuantizationSpec) -> int:
@@ -168,15 +188,34 @@ def compress_leader(
     capacity = 16
     rep_matrix = np.empty((capacity, c), dtype=cols.dtype)
 
+    # Probe pruning: Chebyshev Δ over any single dimension lower-bounds
+    # the full Δ, so representatives outside ``[v - ξ, v + ξ]`` on a
+    # probe dimension cannot be within ξ.  Keeping representatives in a
+    # list sorted by (probe value, creation index) turns the filter
+    # into two bisects — zero NumPy dispatches for the common case of
+    # an empty window.  Exactness: if the true argmin Δ* is within ξ,
+    # every representative with Δ == Δ* is inside the window (its probe
+    # Δ <= Δ* <= ξ), and evaluating candidates in creation order keeps
+    # the full scan's first-minimum tie-breaking.
+    probe_dim = int(np.argmax(codes.var(axis=1)))
+    window: list[tuple[int, int]] = []  # (probe value, creation index)
+    high = 1 << 60
+
     for node_id in order:
         row = cols[index_of[node_id]]
-        count = len(rep_ids)
-        if count:
-            deltas = np.abs(rep_matrix[:count] - row).max(axis=1)
+        base = int(row[probe_dim])
+        lo = bisect_left(window, (base - xi_units, -1))
+        hi = bisect_right(window, (base + xi_units, high))
+        if hi > lo:
+            candidates = sorted(entry[1] for entry in window[lo:hi])
+            deltas = np.abs(rep_matrix[candidates] - row).max(axis=1)
             best = int(np.argmin(deltas))
             if int(deltas[best]) <= xi_units:
-                result.ref_of[node_id] = (rep_ids[best], int(deltas[best]))
+                result.ref_of[node_id] = (
+                    rep_ids[candidates[best]], int(deltas[best])
+                )
                 continue
+        count = len(rep_ids)
         if count == capacity:
             capacity *= 2
             grown = np.empty((capacity, c), dtype=cols.dtype)
@@ -184,5 +223,6 @@ def compress_leader(
             rep_matrix = grown
         rep_matrix[count] = row
         rep_ids.append(node_id)
+        insort(window, (base, count))
         result.codes_of[node_id] = row
     return result

@@ -24,7 +24,7 @@ Implementation notes
 
 from __future__ import annotations
 
-from bisect import bisect_left
+import struct
 from typing import Iterable, Mapping, Sequence
 
 from repro.crypto.hashing import HashFunction, get_hash
@@ -76,15 +76,15 @@ class MerkleTree:
         self.fanout = fanout
         d = self.hash_fn.digest_size
 
+        factory = self.hash_fn.factory
         if payloads is not None:
-            factory = self.hash_fn.new
-            buf = bytearray()
-            for payload in payloads:
-                hasher = factory()
-                hasher.update(_LEAF_TAG)
-                hasher.update(payload)
-                buf += hasher.digest()
-            level0 = bytes(buf)
+            tag = _LEAF_TAG
+            # One-shot hashing: hashlib's constructor consumes the
+            # tagged payload in a single C call, so each leaf costs two
+            # C calls instead of four (construct/update/update/digest).
+            level0 = b"".join(
+                [factory(tag + payload).digest() for payload in payloads]
+            )
         else:
             if len(leaf_digests) % d != 0:
                 raise MerkleError(
@@ -98,18 +98,23 @@ class MerkleTree:
             raise MerkleError("cannot build a Merkle tree over zero leaves")
 
         levels = [level0]
-        factory = self.hash_fn.new
-        f = fanout
+        tag = _NODE_TAG
+        step = fanout * d
+        chunker = struct.Struct(f"{step}s")
         current = level0
         while len(current) > d:
-            count = len(current) // d
-            nxt = bytearray()
-            for i in range(0, count, f):
-                hasher = factory()
-                hasher.update(_NODE_TAG)
-                hasher.update(current[i * d : (i + f) * d])
-                nxt += hasher.digest()
-            current = bytes(nxt)
+            # Hash level-by-level over contiguous chunks of the level
+            # buffer.  ``iter_unpack`` slices the full sibling groups at
+            # C speed; only the short trailing group (when the level
+            # size is not a fanout multiple) needs explicit handling.
+            split = len(current) - len(current) % step
+            parents = [
+                factory(tag + chunk).digest()
+                for (chunk,) in chunker.iter_unpack(current[:split])
+            ]
+            if split < len(current):
+                parents.append(factory(tag + current[split:]).digest())
+            current = b"".join(parents)
             levels.append(current)
         self._levels = levels
 
@@ -193,28 +198,45 @@ class MerkleTree:
                 f"leaf indices must be in [0, {self._num_leaves}); got "
                 f"[{indices[0]}, {indices[-1]}]"
             )
+        # Iterative range-frontier sweep (no recursion): the frontier is
+        # the sorted list of entry indices at the current level whose
+        # subtrees contain disclosed leaves.  Per level, every sibling
+        # of a frontier entry that is *not* itself on the frontier is a
+        # proof entry (its subtree contains no disclosed leaf while its
+        # parent's does — exactly Merkle's inclusion rule), and the
+        # frontier contracts to the parents.  Cost is O(proof size +
+        # |disclosed| · height), versus the old recursion's walk over
+        # every covered subtree.
         entries: list[MerkleProofEntry] = []
         f = self.fanout
-        top = len(self._levels) - 1
-
-        def intersects(level: int, index: int) -> bool:
-            # Leaves covered by (level, index) are [index*f^level, (index+1)*f^level).
-            lo = index * (f ** level)
-            hi = min(self._num_leaves, (index + 1) * (f ** level))
-            pos = bisect_left(indices, lo)
-            return pos < len(indices) and indices[pos] < hi
-
-        def walk(level: int, index: int) -> None:
-            if not intersects(level, index):
-                entries.append(MerkleProofEntry(level, index, self.digest_at(level, index)))
-                return
-            if level == 0:
-                return  # disclosed leaf: client recomputes its digest
-            child_count = self.level_size(level - 1)
-            for child in range(index * f, min((index + 1) * f, child_count)):
-                walk(level - 1, child)
-
-        walk(top, 0)
+        d = self.hash_fn.digest_size
+        frontier = indices
+        for level in range(len(self._levels) - 1):
+            data = self._levels[level]
+            size = len(data) // d
+            parents: list[int] = []
+            count = len(frontier)
+            i = 0
+            while i < count:
+                parent = frontier[i] // f
+                parents.append(parent)
+                lo = parent * f
+                hi = lo + f
+                if hi > size:
+                    hi = size
+                for child in range(lo, hi):
+                    if i < count and frontier[i] == child:
+                        i += 1
+                        continue
+                    entries.append(MerkleProofEntry(
+                        level, child, data[child * d : (child + 1) * d]
+                    ))
+            frontier = parents
+        # Entry subtrees are pairwise disjoint, so ordering by covered
+        # leaf range reproduces the pre-order (DFS) sequence the
+        # recursive walk emitted — proofs stay byte-identical.
+        powers = [f ** level for level in range(len(self._levels))]
+        entries.sort(key=lambda e: powers[e.level] * e.index)
         return entries
 
 
@@ -262,29 +284,47 @@ def reconstruct_root(
     sizes = [num_leaves]
     while sizes[-1] > 1:
         sizes.append((sizes[-1] + fanout - 1) // fanout)
-    top = len(sizes) - 1
 
-    def intersects(level: int, index: int) -> bool:
-        lo = index * (fanout ** level)
-        hi = min(num_leaves, (index + 1) * (fanout ** level))
-        pos = bisect_left(indices, lo)
-        return pos < len(indices) and indices[pos] < hi
-
-    def compute(level: int, index: int) -> bytes:
-        if not intersects(level, index):
-            try:
-                return digest_of[(level, index)]
-            except KeyError:
-                raise MerkleError(
-                    f"integrity proof is missing hash entry (level={level}, "
-                    f"index={index})"
-                ) from None
-        if level == 0:
-            return hash_fn.digest(_LEAF_TAG, disclosed_leaves[index])
-        child_count = sizes[level - 1]
-        parts = [_NODE_TAG]
-        for child in range(index * fanout, min((index + 1) * fanout, child_count)):
-            parts.append(compute(level - 1, child))
-        return hash_fn.digest(*parts)
-
-    return compute(top, 0)
+    # Iterative bottom-up frontier sweep, mirroring the iterative
+    # ``MerkleTree.prove``: ``computed`` holds the digests recomputed at
+    # the current level for every entry whose subtree contains a
+    # disclosed leaf; sibling digests come from the proof entries.  A
+    # missing sibling means the proof is structurally incomplete.
+    factory = hash_fn.factory
+    computed: dict[int, bytes] = {
+        index: factory(_LEAF_TAG + disclosed_leaves[index]).digest()
+        for index in indices
+    }
+    frontier = indices
+    for level in range(1, len(sizes)):
+        child_size = sizes[level - 1]
+        child_level = level - 1
+        parents: list[int] = []
+        next_computed: dict[int, bytes] = {}
+        count = len(frontier)
+        i = 0
+        while i < count:
+            parent = frontier[i] // fanout
+            parents.append(parent)
+            lo = parent * fanout
+            hi = lo + fanout
+            if hi > child_size:
+                hi = child_size
+            parts = [_NODE_TAG]
+            for child in range(lo, hi):
+                if i < count and frontier[i] == child:
+                    i += 1
+                if child in computed:
+                    parts.append(computed[child])
+                    continue
+                try:
+                    parts.append(digest_of[(child_level, child)])
+                except KeyError:
+                    raise MerkleError(
+                        f"integrity proof is missing hash entry "
+                        f"(level={child_level}, index={child})"
+                    ) from None
+            next_computed[parent] = hash_fn.digest(*parts)
+        computed = next_computed
+        frontier = parents
+    return computed[0]

@@ -1,9 +1,10 @@
 """Shortest path computation.
 
 Pure-Python single-query algorithms (Dijkstra, A*, bidirectional
-Dijkstra) used by providers and clients, plus NumPy/SciPy bulk backends
-(Floyd-Warshall, multi-source Dijkstra) used by the data owner when
-materializing authenticated hints.
+Dijkstra) used by clients, the array Dijkstra kernel over the compiled
+graph index (:mod:`repro.shortestpath.kernel`) used by providers, plus
+NumPy/SciPy bulk backends (Floyd-Warshall, multi-source Dijkstra) used
+by the data owner when materializing authenticated hints.
 """
 
 from repro.shortestpath.astar import astar
@@ -11,13 +12,25 @@ from repro.shortestpath.bidirectional import bidirectional_search
 from repro.shortestpath.bulk import all_pairs_distances, multi_source_distances
 from repro.shortestpath.dijkstra import SearchResult, dijkstra, shortest_path
 from repro.shortestpath.floyd_warshall import floyd_warshall
+from repro.shortestpath.kernel import (
+    IndexedSearchResult,
+    indexed_ball,
+    indexed_dijkstra,
+    indexed_multi_source,
+    indexed_shortest_path,
+)
 from repro.shortestpath.path import Path
 
 __all__ = [
     "Path",
     "SearchResult",
+    "IndexedSearchResult",
     "dijkstra",
     "shortest_path",
+    "indexed_ball",
+    "indexed_dijkstra",
+    "indexed_shortest_path",
+    "indexed_multi_source",
     "astar",
     "bidirectional_search",
     "floyd_warshall",

@@ -127,6 +127,22 @@ class TestDecodeTuples:
         assert adjacency_weight(tup, 1) == 1.0
         assert adjacency_weight(tup, 3) is None
 
+    def test_adjacency_weight_probes_every_position(self):
+        # The bisect probe must find first/middle/last neighbors and
+        # reject ids falling before, between, and after the entries.
+        tup = BaseTuple(0, 0.0, 0.0, ((2, 1.0), (5, 2.0), (9, 3.0)))
+        assert [adjacency_weight(tup, v) for v in (2, 5, 9)] == [1.0, 2.0, 3.0]
+        assert all(adjacency_weight(tup, v) is None for v in (0, 3, 7, 10))
+        assert adjacency_weight(BaseTuple(0, 0.0, 0.0, ()), 1) is None
+
+    def test_adjacency_weight_never_fabricates_on_unsorted_payload(self):
+        # A malicious provider may violate the canonical sort; the probe
+        # may then miss entries (rejecting the response) but must never
+        # return a weight for a neighbor that is absent.
+        tup = BaseTuple(0, 0.0, 0.0, ((9, 3.0), (2, 1.0), (5, 2.0)))
+        for v in (0, 1, 3, 4, 6, 7, 8, 10):
+            assert adjacency_weight(tup, v) is None
+
 
 class TestCheckReportedPath:
     def tuples_for(self, bundle, nodes):

@@ -72,6 +72,27 @@ class TestQueries:
     def test_neighbors_view(self, triangle):
         assert dict(triangle.neighbors(1)) == {2: 1.0, 3: 2.5}
 
+    def test_neighbors_view_is_read_only(self, triangle):
+        view = triangle.neighbors(1)
+        with pytest.raises(TypeError):
+            view[2] = 99.0
+        with pytest.raises(TypeError):
+            del view[2]
+        with pytest.raises(AttributeError):
+            view.clear()
+        # The graph (and its version counter) must be untouched.
+        assert triangle.weight(1, 2) == 1.0
+        assert dict(triangle.neighbors(1)) == {2: 1.0, 3: 2.5}
+
+    def test_neighbors_view_tracks_later_mutation(self, triangle):
+        # A proxy is a live view, not a snapshot: legitimate mutation
+        # through the graph API is visible, bypassing it is impossible.
+        view = triangle.neighbors(1)
+        before = triangle.version
+        triangle.add_edge(1, 2, 7.0)
+        assert view[2] == 7.0
+        assert triangle.version > before
+
     def test_degree(self, triangle):
         assert triangle.degree(1) == 2
 
@@ -130,6 +151,38 @@ class TestDerived:
         second = triangle.to_csr()
         assert second is not first
         assert second[0].shape == (4, 4)
+
+    def test_index_layout(self, triangle):
+        index = triangle.to_index()
+        assert index.ids == [1, 2, 3]
+        assert index.num_nodes == 3
+        assert index.num_arcs == 2 * triangle.num_edges
+        assert index.indptr[0] == 0 and index.indptr[-1] == index.num_arcs
+        # Node 1's neighbor run: sorted by neighbor id, weights aligned.
+        i = index.index_of[1]
+        run = slice(index.indptr[i], index.indptr[i + 1])
+        assert [index.ids[v] for v in index.neighbors[run]] == [2, 3]
+        assert index.weights[run] == [1.0, 2.5]
+        assert index.degree(i) == triangle.degree(1)
+
+    def test_index_cache_invalidation(self, triangle):
+        first = triangle.to_index()
+        assert triangle.to_index() is first  # cached
+        triangle.add_edge(1, 2, 4.0)  # weight update bumps the version
+        second = triangle.to_index()
+        assert second is not first
+        i = second.index_of[1]
+        assert second.weights[second.indptr[i]] == 4.0
+
+    def test_index_matches_csr(self, triangle):
+        matrix, ids, index_of = triangle.to_csr()
+        index = triangle.to_index()
+        assert ids == index.ids and index_of == index.index_of
+        dense = matrix.toarray()
+        for u in ids:
+            i = index.index_of[u]
+            for k in range(index.indptr[i], index.indptr[i + 1]):
+                assert dense[i, index.neighbors[k]] == index.weights[k]
 
     def test_validate_passes(self, triangle):
         triangle.validate()

@@ -133,3 +133,45 @@ class TestCellDirectoryTuple:
     def test_empty_cell(self):
         tup = CellDirectoryTuple(3, ())
         assert CellDirectoryTuple.decode(tup.encode()).member_ids == ()
+
+
+class TestTrianglePayloadBatch:
+    """Batch triangle encoders match the per-tuple reference bit for bit."""
+
+    def _ids_and_matrix(self, ids, seed=0):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = len(ids)
+        return np.asarray(rng.random((n, n)) * 1e4)
+
+    @pytest.mark.parametrize("ids", [
+        [0, 1, 2],
+        [100, 127, 128, 500],                      # varint width boundary
+        [5, 127, 128, 16383, 16384, 2097151, 2097152],
+        list(range(40, 220, 7)),
+        [0],                                       # no pairs at all
+    ])
+    def test_iter_triangle_payloads_matches_encode(self, ids):
+        from repro.graph.tuples import iter_triangle_payloads
+
+        matrix = self._ids_and_matrix(ids)
+        got = list(iter_triangle_payloads(ids, matrix))
+        want = [
+            DistanceTuple(ids[i], ids[j], float(matrix[i, j])).encode()
+            for i in range(len(ids)) for j in range(i + 1, len(ids))
+        ]
+        assert got == want
+
+    @pytest.mark.parametrize("hash_name", ["sha1", "sha256"])
+    def test_triangle_leaf_digests_match_leaf_digest(self, hash_name):
+        from repro.graph.tuples import iter_triangle_payloads, triangle_leaf_digests
+        from repro.merkle.tree import leaf_digest
+
+        ids = [3, 90, 127, 128, 129, 4000, 16384, 70000]
+        matrix = self._ids_and_matrix(ids, seed=4)
+        got = triangle_leaf_digests(ids, matrix, hash_name)
+        want = b"".join(
+            leaf_digest(p, hash_name) for p in iter_triangle_payloads(ids, matrix)
+        )
+        assert got == want

@@ -1,0 +1,245 @@
+"""Array kernel vs dict kernel equivalence (tentpole acceptance).
+
+The indexed kernel must be a behavior-preserving replacement for the
+dict kernel on every provider path: same settled distances, same
+radius-ball membership, same ``NoPathError`` behavior — and the proof
+methods routed through it must produce byte-identical responses and
+identical verification results.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.framework import ABS_TOL, REL_TOL, Client, DataOwner, ServiceProvider
+from repro.crypto.signer import NullSigner
+from repro.errors import GraphError, NoPathError
+from repro.graph.synthetic import road_network
+from repro.graph.tuples import BaseTuple
+from repro.shortestpath.bulk import multi_source_distances
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.kernel import (
+    indexed_ball,
+    indexed_dijkstra,
+    indexed_multi_source,
+)
+
+
+def random_graphs():
+    """A spread of synthetic graphs: sizes, densities, disconnection."""
+    graphs = []
+    for seed in (0, 1, 2):
+        graphs.append(road_network(60 + 70 * seed, seed=seed))
+    # A disconnected graph: two components, cross queries raise.
+    g = road_network(40, seed=9)
+    base = max(g.node_ids()) + 1
+    g.add_node(base, 0.0, 0.0)
+    g.add_node(base + 1, 1.0, 1.0)
+    g.add_edge(base, base + 1, 1.0)
+    graphs.append(g)
+    return graphs
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_expansion_distances_match(self, seed):
+        graph = random_graphs()[seed]
+        rng = random.Random(seed)
+        index = graph.to_index()
+        for source in rng.sample(graph.node_ids(), 5):
+            want = dijkstra(graph, source)
+            got = indexed_dijkstra(index, source)
+            assert got.distances() == want.dist
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_radius_ball_membership_matches(self, seed):
+        graph = random_graphs()[seed]
+        rng = random.Random(100 + seed)
+        index = graph.to_index()
+        for _ in range(5):
+            source = rng.choice(graph.node_ids())
+            radius = rng.uniform(0.0, 4000.0)
+            want = dijkstra(graph, source, radius=radius)
+            got = indexed_dijkstra(index, source, radius=radius)
+            assert got.distances() == want.dist
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_target_mode_paths_match(self, seed):
+        graph = random_graphs()[seed]
+        rng = random.Random(200 + seed)
+        index = graph.to_index()
+        ids = graph.node_ids()
+        for _ in range(8):
+            source, target = rng.sample(ids, 2)
+            try:
+                want = dijkstra(graph, source, target=target).path_to(target)
+            except NoPathError:
+                with pytest.raises(NoPathError):
+                    indexed_dijkstra(index, source, target=target).path_to(target)
+                continue
+            got = indexed_dijkstra(index, source, target=target).path_to(target)
+            assert got == want
+
+    def test_fused_ball_equals_two_runs(self):
+        graph = road_network(150, seed=4)
+        index = graph.to_index()
+        rng = random.Random(7)
+        margin = lambda d: 2 * (REL_TOL * d + ABS_TOL)  # noqa: E731
+        for _ in range(10):
+            source, target = rng.sample(graph.node_ids(), 2)
+            path = dijkstra(graph, source, target=target).path_to(target)
+            ball = dijkstra(graph, source, radius=path.cost + margin(path.cost))
+            fused = indexed_ball(index, source, target, margin=margin)
+            assert fused.path_to(target) == path
+            assert fused.distances() == ball.dist
+
+    def test_unknown_nodes_raise_grapherror(self):
+        graph = road_network(30, seed=0)
+        index = graph.to_index()
+        known = graph.node_ids()[0]
+        with pytest.raises(GraphError):
+            indexed_dijkstra(index, 10**9)
+        with pytest.raises(GraphError):
+            indexed_dijkstra(index, known, target=10**9)
+        with pytest.raises(GraphError):
+            indexed_ball(index, 10**9, known)
+        with pytest.raises(GraphError):
+            indexed_multi_source(index, [10**9])
+
+    def test_multi_source_matches_scipy_backend(self):
+        graph = road_network(120, seed=5)
+        sources = graph.node_ids()[::17]
+        via_bulk = multi_source_distances(graph, sources)
+        via_kernel = indexed_multi_source(graph.to_index(), sources)
+        assert np.allclose(via_bulk, via_kernel, rtol=1e-12, atol=1e-9)
+
+    def test_multi_source_unreachable_is_inf(self):
+        g = road_network(25, seed=3)
+        base = max(g.node_ids()) + 1
+        g.add_node(base, 0.0, 0.0)
+        g.add_node(base + 1, 2.0, 0.0)
+        g.add_edge(base, base + 1, 1.0)
+        dist = indexed_multi_source(g.to_index(), [base])
+        index_of = g.to_index().index_of
+        assert dist[0][index_of[base + 1]] == 1.0
+        assert np.isinf(dist[0][index_of[g.node_ids()[0]]])
+
+
+def _legacy_dij_answer(method, source, target):
+    """DIJ response exactly as the dict-kernel provider assembled it."""
+    from repro.core.proofs import NETWORK_TREE, QueryResponse
+
+    path = dijkstra(method.graph, source, target=target).path_to(target)
+    ball = dijkstra(method.graph, source, radius=path.cost)
+    section = method._bundle.section_for(ball.dist.keys())
+    return QueryResponse(
+        method=method.name, source=source, target=target,
+        path_nodes=path.nodes, path_cost=path.cost,
+        sections={NETWORK_TREE: section}, descriptor=method.descriptor,
+    )
+
+
+def _legacy_ldm_answer(method, source, target):
+    """LDM response exactly as the dict-kernel provider assembled it."""
+    from repro.core.proofs import NETWORK_TREE, QueryResponse
+
+    graph = method.graph
+    path = dijkstra(graph, source, target=target).path_to(target)
+    distance = path.cost
+    margin = 2 * (REL_TOL * distance + ABS_TOL)
+    ball = dijkstra(graph, source, radius=distance + margin)
+    lb = method._compressed.lower_bound
+    qualifying = [
+        v for v, d in ball.dist.items() if d + lb(v, target) <= distance + margin
+    ]
+    include = set(qualifying) | {source, target}
+    for v in qualifying:
+        include.update(graph.neighbors(v).keys())
+    for v in list(include):
+        ref = method._compressed.ref_of.get(v)
+        if ref is not None:
+            include.add(ref[0])
+    section = method._bundle.section_for(include)
+    return QueryResponse(
+        method=method.name, source=source, target=target,
+        path_nodes=path.nodes, path_cost=path.cost,
+        sections={NETWORK_TREE: section}, descriptor=method.descriptor,
+    )
+
+
+class TestProofEquivalence:
+    """New-kernel responses are byte-identical to dict-kernel responses."""
+
+    @pytest.fixture(scope="class")
+    def owner(self):
+        return DataOwner(road_network(220, seed=11), signer=NullSigner())
+
+    def _queries(self, graph, count=6, seed=31):
+        rng = random.Random(seed)
+        ids = graph.node_ids()
+        out = []
+        while len(out) < count:
+            vs, vt = rng.sample(ids, 2)
+            try:
+                dijkstra(graph, vs, target=vt).path_to(vt)
+            except NoPathError:
+                continue
+            out.append((vs, vt))
+        return out
+
+    @pytest.mark.parametrize("name", ["DIJ", "LDM", "FULL", "HYP"])
+    def test_byte_identical_responses_and_verdicts(self, owner, name):
+        params = {"LDM": dict(c=20), "HYP": dict(num_cells=16)}.get(name, {})
+        method = owner.publish(name, **params)
+        provider = ServiceProvider(method)
+        client = Client(owner.signer.verify)
+        legacy = {"DIJ": _legacy_dij_answer, "LDM": _legacy_ldm_answer}.get(name)
+        for vs, vt in self._queries(owner.graph):
+            response = provider.answer(vs, vt)
+            if legacy is not None:
+                want = legacy(method, vs, vt)
+                assert response.encode() == want.encode()
+            else:
+                # FULL / HYP differ from DIJ/LDM only in the path search:
+                # the reported path must match the dict kernel's.
+                want = dijkstra(owner.graph, vs, target=vt).path_to(vt)
+                assert response.path_nodes == want.nodes
+                assert response.path_cost == want.cost
+            verdict = client.verify(vs, vt, response)
+            assert verdict.ok, (name, verdict.reason, verdict.detail)
+
+    def test_full_unknown_node_raises_grapherror(self, owner):
+        # The matrix-walk fast path must keep the search kernel's error
+        # contract: a ReproError the serving layer can convert into an
+        # error response, never a bare KeyError.
+        method = owner.publish("FULL")
+        known = owner.graph.node_ids()[0]
+        with pytest.raises(GraphError):
+            method.answer(known, 10**9)
+        with pytest.raises(GraphError):
+            method.answer(10**9, known)
+
+    def test_dict_backend_still_selectable(self, owner):
+        method = owner.publish("DIJ")
+        method.algo_sp = "dijkstra-dict"
+        vs, vt = self._queries(owner.graph, count=1)[0]
+        response = method.answer(vs, vt)
+        want = _legacy_dij_answer(method, vs, vt)
+        assert response.encode() == want.encode()
+
+
+class TestTupleEquivalence:
+    """Extended tuples built from the index match the dict adjacency."""
+
+    def test_base_tuple_adjacency_canonical(self):
+        graph = road_network(80, seed=2)
+        index = graph.to_index()
+        for node_id in graph.node_ids():
+            tup = BaseTuple.from_graph(graph, node_id)
+            i = index.index_of[node_id]
+            from_index = tuple(
+                (index.ids[index.neighbors[k]], index.weights[k])
+                for k in range(index.indptr[i], index.indptr[i + 1])
+            )
+            assert tup.adjacency == from_index

@@ -1,0 +1,151 @@
+"""Tests for the bench profiler and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.profile import (
+    BenchRecord,
+    compare_records,
+    load_record,
+    profile_method,
+    write_record,
+)
+from repro.cli import main
+from repro.core.framework import DataOwner
+from repro.crypto.signer import NullSigner
+from repro.errors import ReproError, ServiceError
+from repro.graph.synthetic import road_network
+from repro.workload.queries import generate_workload
+
+
+@pytest.fixture(scope="module")
+def method():
+    owner = DataOwner(road_network(150, seed=8), signer=NullSigner())
+    return owner, owner.publish("DIJ")
+
+
+class TestProfileMethod:
+    def test_record_fields(self, method):
+        owner, dij = method
+        queries = list(generate_workload(owner.graph, 1200.0, count=6,
+                                         seed=1, tolerance=1.0))
+        record = profile_method(dij, queries, owner.signer.verify, label="t")
+        assert record.method == "DIJ"
+        assert record.queries == 6
+        assert record.nodes == owner.graph.num_nodes
+        assert record.qps > 0
+        assert 0 < record.p50_ms <= record.p95_ms * (1 + 1e-9)
+        assert record.proof_bytes > 0
+        assert record.verified
+        assert record.label == "t"
+
+    def test_empty_workload_rejected(self, method):
+        _, dij = method
+        with pytest.raises(ServiceError):
+            profile_method(dij, [])
+
+    def test_write_and_load_roundtrip(self, method, tmp_path):
+        owner, dij = method
+        queries = list(generate_workload(owner.graph, 1200.0, count=3,
+                                         seed=2, tolerance=1.0))
+        record = profile_method(dij, queries)
+        path = tmp_path / "BENCH_DIJ.json"
+        write_record(record, str(path))
+        data = json.loads(path.read_text())
+        assert isinstance(data, list) and len(data) == 1
+        assert data[0]["experiment"] == "bench"
+        assert load_record(str(path)) == record.as_dict()
+
+    def test_load_rejects_empty_list(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ReproError):
+            load_record(str(path))
+
+
+class TestCompareRecords:
+    BASE = dict(qps=1000.0, p50_ms=1.0, p95_ms=2.0,
+                construction_seconds=0.5, proof_bytes=4096.0, verified=True)
+
+    def test_identical_passes(self):
+        assert compare_records(dict(self.BASE), dict(self.BASE)) == []
+
+    def test_mild_drift_within_limit_passes(self):
+        current = dict(self.BASE, qps=600.0, p50_ms=1.8)
+        assert compare_records(current, self.BASE, max_regression=2.0) == []
+
+    def test_qps_collapse_fails(self):
+        current = dict(self.BASE, qps=400.0)
+        problems = compare_records(current, self.BASE, max_regression=2.0)
+        assert len(problems) == 1 and "qps" in problems[0]
+
+    def test_latency_and_construction_blowups_fail(self):
+        current = dict(self.BASE, p95_ms=5.0, construction_seconds=2.0)
+        problems = compare_records(current, self.BASE, max_regression=2.0)
+        assert len(problems) == 2
+
+    def test_improvements_never_fail(self):
+        current = dict(self.BASE, qps=10_000.0, p50_ms=0.01,
+                       construction_seconds=0.001, proof_bytes=100.0)
+        assert compare_records(current, self.BASE) == []
+
+    def test_unverified_record_fails(self):
+        current = dict(self.BASE, verified=False)
+        problems = compare_records(current, self.BASE)
+        assert any("verification" in p for p in problems)
+
+    def test_missing_metrics_skipped(self):
+        assert compare_records({"qps": 5.0}, {"p50_ms": 1.0}) == []
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ReproError):
+            compare_records(dict(self.BASE), dict(self.BASE), max_regression=0)
+
+
+class TestBenchCli:
+    def _graph(self, tmp_path):
+        path = tmp_path / "net.txt"
+        assert main(["generate", "--nodes", "150", "--seed", "5",
+                     "--out", str(path)]) == 0
+        return path
+
+    def test_bench_writes_record(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        out = tmp_path / "BENCH.json"
+        code = main(["bench", str(graph), "--method", "DIJ", "--range", "1000",
+                     "--count", "4", "--insecure", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert code == 0, stdout
+        assert "QPS" in stdout and "verified" in stdout
+        record = json.loads(out.read_text())[0]
+        assert record["method"] == "DIJ" and record["queries"] == 4
+
+    def test_bench_gates_on_baseline(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = main(["bench", str(graph), "--method", "DIJ", "--range", "1000",
+                     "--count", "4", "--insecure", "--out", str(baseline)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["bench", str(graph), "--method", "DIJ", "--range", "1000",
+                     "--count", "4", "--insecure",
+                     "--baseline", str(baseline), "--max-regression", "50"])
+        out = capsys.readouterr()
+        assert code == 0, out.err
+        assert "within 50x of baseline" in out.out
+
+    def test_bench_fails_on_impossible_baseline(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps([{
+            "experiment": "bench", "method": "DIJ",
+            "qps": 1e12, "p50_ms": 1e-9, "p95_ms": 1e-9,
+            "construction_seconds": 0.0, "proof_bytes": 1.0,
+            "verified": True,
+        }]))
+        code = main(["bench", str(graph), "--method", "DIJ", "--range", "1000",
+                     "--count", "4", "--insecure", "--baseline", str(baseline)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "regression" in err
