@@ -12,6 +12,11 @@ demo shows:
 4. a replay attack — serving the old (pre-incident) response under the
    new descriptor — being rejected.
 
+Every method absorbs updates incrementally now (see
+``examples/live_updates.py`` for the hint-bearing LDM against a running
+proof server, including version-pinned freshness checks); DIJ remains
+the cheapest case because its only ADS is the network Merkle tree.
+
 Run:  python examples/dynamic_network.py
 """
 

@@ -33,6 +33,7 @@ from repro.core import (
     METHODS,
     QueryResponse,
     ServiceProvider,
+    UpdateReport,
     VerificationMethod,
     VerificationResult,
     get_method,
@@ -46,6 +47,7 @@ from repro.service import (
     ProofServer,
     ServedResponse,
     ServerMetrics,
+    UpdateRequest,
 )
 from repro.shortestpath import Path, dijkstra, shortest_path
 from repro.workload import generate_workload, load_dataset
@@ -68,6 +70,8 @@ __all__ = [
     "RsaSigner",
     "ProofServer",
     "ProofRequest",
+    "UpdateRequest",
+    "UpdateReport",
     "ProofCache",
     "ServedResponse",
     "BurstResult",

@@ -39,6 +39,14 @@ class BenchRecord:
     p95_ms: float
     proof_bytes: float
     verified: bool
+    #: Live-update metrics (``repro-spv bench --updates N``): mean
+    #: incremental ``apply_update`` seconds per single-edge re-weight,
+    #: seconds for one from-scratch rebuild on the same graph, and
+    #: their ratio.  Zero when the bench ran without updates.
+    updates: int = 0
+    update_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
+    update_speedup: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict form (JSON record)."""
@@ -46,12 +54,16 @@ class BenchRecord:
 
     #: Metrics gated by :func:`compare_records`, with the direction in
     #: which each one regresses (``False`` = smaller is better).
+    #: Degenerate (``<= 0``) values are skipped, so records without
+    #: update measurements pass old and new baselines alike.
     GATED = {
         "qps": True,
         "p50_ms": False,
         "p95_ms": False,
         "construction_seconds": False,
         "proof_bytes": False,
+        "update_seconds": False,
+        "update_speedup": True,
     }
 
 
@@ -115,6 +127,52 @@ def profile_method(
         proof_bytes=sum(proof_bytes) / len(proof_bytes),
         verified=verified,
     )
+
+
+def profile_updates(
+    method: VerificationMethod,
+    signer,
+    *,
+    count: int = 5,
+    seed: int = 2010,
+) -> "dict[str, float]":
+    """Measure incremental ``apply_update`` against a full rebuild.
+
+    Applies *count* seeded single-edge re-weights one at a time through
+    the incremental path (timing each), then times one from-scratch
+    re-publish on the final graph — the method's user-facing build
+    parameters, i.e. what an owner without the update pipeline would
+    run after every change (for LDM that includes landmark selection).
+    Returns ``{"updates", "update_seconds", "rebuild_seconds",
+    "update_speedup"}`` ready to merge into a :class:`BenchRecord` via
+    :func:`dataclasses.replace`.
+    """
+    from repro.workload.updates import UPDATE_WEIGHT, generate_update_workload
+
+    if count < 1:
+        raise ServiceError(f"need at least one update, got {count}")
+    graph = method.graph
+    workload = generate_update_workload(graph, count, seed=seed,
+                                        kinds=(UPDATE_WEIGHT,))
+    incremental = 0.0
+    for update in workload:
+        update.apply(graph)
+        start = time.perf_counter()
+        method.apply_update(signer)
+        incremental += time.perf_counter() - start
+    update_seconds = incremental / count
+
+    start = time.perf_counter()
+    type(method).build(graph, signer,
+                       **(method._publish_params or method._build_params))
+    rebuild_seconds = time.perf_counter() - start
+    return {
+        "updates": count,
+        "update_seconds": update_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "update_speedup": rebuild_seconds / update_seconds
+        if update_seconds > 0 else 0.0,
+    }
 
 
 def write_record(record: BenchRecord, path: str) -> None:

@@ -7,6 +7,13 @@ cache.  Every served response — cached or freshly proved — is verified
 by a real client, so a passing load test is also an end-to-end
 soundness check of the serving layer.
 
+With ``updates_per_pass`` the harness becomes update-aware: each pass
+interleaves that many owner re-weights (seeded, drawn fresh against
+the live graph) between equal-sized query chunks, and every chunk is
+verified under the descriptor version it was served at — so the run
+also exercises incremental re-authentication, versioned cache
+invalidation and the client's freshness floor end to end.
+
 Shared by ``repro-spv loadtest`` and ``benchmarks/test_serving.py``.
 """
 
@@ -15,10 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.method import SignatureVerifier, VerificationMethod, get_method
+from repro.crypto.signer import Signer
 from repro.errors import ServiceError
 from repro.service.cache import DEFAULT_CAPACITY
 from repro.service.metrics import MetricsSnapshot
 from repro.service.server import ProofServer
+from repro.workload.updates import UPDATE_WEIGHT, generate_update_workload
 
 
 @dataclass(frozen=True)
@@ -73,13 +82,14 @@ class LoadtestReport:
             rows.append([
                 p.label, s.requests, s.qps, s.p50_ms, s.p95_ms,
                 100.0 * s.hit_rate, s.proof_kbytes,
+                s.updates, s.update_ms_mean,
                 "ok" if p.all_verified else f"{len(p.failures)} FAILED",
             ])
         return rows
 
     #: Header matching :meth:`table_rows`.
     TABLE_HEADERS = ("pass", "requests", "QPS", "p50 ms", "p95 ms",
-                     "hit %", "proof KB", "verified")
+                     "hit %", "proof KB", "updates", "upd ms", "verified")
 
 
 def run_loadtest(
@@ -91,41 +101,82 @@ def run_loadtest(
     cache_size: int = DEFAULT_CAPACITY,
     coalesce: bool = True,
     workers: int = 1,
+    updates_per_pass: int = 0,
+    update_signer: "Signer | None" = None,
+    update_seed: int = 2010,
 ) -> LoadtestReport:
     """Replay *queries* ``passes`` times through one server.
 
     ``workers > 1`` serves each pass on a thread pool (which disables
     coalescing — the pool answers queries independently); otherwise
     bursts coalesce through the combined-cover batch path when the
-    method supports it.
+    method supports it.  ``updates_per_pass > 0`` interleaves that many
+    owner re-weights through every pass (``update_signer`` required);
+    each query chunk is then verified with the descriptor version it
+    was served under as the freshness floor, so a stale replay would
+    fail the load test.
     """
     if passes < 2:
         raise ServiceError(f"need a cold and a warm pass; got passes={passes}")
     if not queries:
         raise ServiceError("empty load-test workload")
+    if updates_per_pass < 0:
+        raise ServiceError(f"updates_per_pass must be >= 0, got {updates_per_pass}")
+    if updates_per_pass and update_signer is None:
+        raise ServiceError("updates_per_pass needs an update_signer to re-sign")
     verifier = get_method(method.name)
     server = ProofServer(method, cache_size=cache_size, max_workers=workers)
+
+    def serve(chunk: "list[tuple[int, int]]"):
+        if workers > 1:
+            return server.answer_concurrent(chunk)
+        return server.answer_many(chunk, coalesce=coalesce)
+
     results: list[LoadtestPass] = []
     for index in range(passes):
         label = "cold" if index == 0 else f"warm{index}"
         server.reset_metrics()
-        if workers > 1:
-            served = server.answer_concurrent(queries)
+        failures: list[str] = []
+        served_count = 0
+
+        def verify_chunk(chunk, served, min_version) -> None:
+            nonlocal served_count
+            served_count += len(served)
+            for (vs, vt), item in zip(chunk, served):
+                if not item.ok:
+                    failures.append(f"({vs},{vt}): error {item.error}")
+                    continue
+                result = verifier.verify(vs, vt, item.response,
+                                         verify_signature,
+                                         min_version=min_version)
+                if not result.ok:
+                    failures.append(
+                        f"({vs},{vt}): {result.reason} {result.detail}")
+
+        if updates_per_pass:
+            updates = list(generate_update_workload(
+                method.graph, updates_per_pass,
+                seed=update_seed + index, kinds=(UPDATE_WEIGHT,),
+            ))
+            # updates_per_pass + 1 chunks, updates between them.
+            step = -(-len(queries) // (updates_per_pass + 1))
+            chunks = [queries[i:i + step]
+                      for i in range(0, len(queries), step)]
+            for ci, chunk in enumerate(chunks):
+                floor = server.descriptor_version
+                verify_chunk(chunk, serve(chunk), floor)
+                if ci < len(updates):
+                    server.apply_updates([updates[ci]], update_signer)
+            # Fewer chunks than planned (tiny workloads): apply the rest.
+            for update in updates[len(chunks):]:
+                server.apply_updates([update], update_signer)
         else:
-            served = server.answer_many(queries, coalesce=coalesce)
-        snapshot = server.snapshot()
-        failures = []
-        for (vs, vt), item in zip(queries, served):
-            if not item.ok:
-                failures.append(f"({vs},{vt}): error {item.error}")
-                continue
-            result = verifier.verify(vs, vt, item.response, verify_signature)
-            if not result.ok:
-                failures.append(f"({vs},{vt}): {result.reason} {result.detail}")
+            verify_chunk(queries, serve(queries), None)
+
         results.append(LoadtestPass(
             label=label,
-            snapshot=snapshot,
-            verified=len(served) - len(failures),
+            snapshot=server.snapshot(),
+            verified=served_count - len(failures),
             failures=tuple(failures),
         ))
     return LoadtestReport(

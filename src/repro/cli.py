@@ -17,16 +17,21 @@ model's ranking without building anything.  ``serve`` answers a request
 stream (workload file, or interactive ``source target`` lines on stdin)
 through a cached :class:`~repro.service.server.ProofServer`;
 ``loadtest`` replays one workload repeatedly against a single server and
-prints a cold-versus-warm metrics table; ``bench`` profiles one
-workload replay into a ``BENCH_*.json`` record (QPS, p50/p95,
-construction seconds, proof bytes) and can gate on a checked-in
+prints a cold-versus-warm metrics table — with ``--updates N`` it
+interleaves N owner re-weights through every pass, exercising the
+live-update pipeline (incremental re-auth, versioned cache
+invalidation, client freshness floors) under load; ``bench`` profiles
+one workload replay into a ``BENCH_*.json`` record (QPS, p50/p95,
+construction seconds, proof bytes, and with ``--updates N`` the
+incremental-update-versus-rebuild cost) and can gate on a checked-in
 baseline (exit code 3 on regression) — the CI perf-smoke job runs it
-against ``benchmarks/perf_baseline.json``.
+against ``benchmarks/perf_baseline*.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -34,6 +39,7 @@ from repro.bench.profile import (
     compare_records,
     load_record,
     profile_method,
+    profile_updates,
     write_record,
 )
 from repro.bench.reporting import format_table
@@ -210,6 +216,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         method, queries, owner.signer.verify,
         passes=args.passes, cache_size=args.cache_size,
         coalesce=not args.no_coalesce, workers=args.workers,
+        updates_per_pass=args.updates, update_signer=owner.signer,
+        update_seed=args.seed,
     )
     print(format_table(
         list(LoadtestReport.TABLE_HEADERS), report.table_rows(),
@@ -239,17 +247,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     profile_method(method, queries[:1], label=args.label)
     record = profile_method(method, queries, owner.signer.verify,
                             label=args.label)
+    if args.updates:
+        record = dataclasses.replace(record, **profile_updates(
+            method, owner.signer, count=args.updates, seed=args.seed))
+    rows = [["method", record.method],
+            ["queries", record.queries],
+            ["QPS", record.qps],
+            ["p50 ms", record.p50_ms],
+            ["p95 ms", record.p95_ms],
+            ["construction s", record.construction_seconds],
+            ["network tree s", record.network_tree_seconds],
+            ["proof bytes", record.proof_bytes],
+            ["verified", str(record.verified)]]
+    if record.updates:
+        rows.extend([
+            ["updates", record.updates],
+            ["update ms", 1000.0 * record.update_seconds],
+            ["rebuild s", record.rebuild_seconds],
+            ["update speedup", record.update_speedup],
+        ])
     print(format_table(
-        ["metric", "value"],
-        [["method", record.method],
-         ["queries", record.queries],
-         ["QPS", record.qps],
-         ["p50 ms", record.p50_ms],
-         ["p95 ms", record.p95_ms],
-         ["construction s", record.construction_seconds],
-         ["network tree s", record.network_tree_seconds],
-         ["proof bytes", record.proof_bytes],
-         ["verified", str(record.verified)]],
+        ["metric", "value"], rows,
         title=(f"{args.method} bench on {args.graph} "
                f"(build {build_seconds:.2f}s)"),
     ))
@@ -364,6 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--seed", type=int, default=0)
     lt.add_argument("--passes", type=int, default=2,
                     help="total passes; the first is cold, the rest warm")
+    lt.add_argument("--updates", type=int, default=0,
+                    help="owner re-weights interleaved through every pass "
+                         "(exercises incremental re-auth + cache invalidation)")
     lt.set_defaults(fn=_cmd_loadtest)
 
     bench = sub.add_parser(
@@ -379,6 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--range", type=float, default=2000.0)
     bench.add_argument("--count", type=int, default=20)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--updates", type=int, default=0,
+                       help="also measure N incremental single-edge updates "
+                            "against one full rebuild")
     bench.add_argument("--label", default="",
                        help="free-form label stored in the record")
     bench.add_argument("--out", help="write the record as a JSON file")

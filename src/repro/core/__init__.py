@@ -25,7 +25,7 @@ from repro.core.framework import Client, DataOwner, ServiceProvider, Verificatio
 from repro.core.full import FullMethod
 from repro.core.hyp import HypMethod
 from repro.core.ldm import LdmMethod, LdmParams
-from repro.core.method import METHODS, VerificationMethod, get_method
+from repro.core.method import METHODS, UpdateReport, VerificationMethod, get_method
 from repro.core.proofs import (
     DIRECTORY_TREE,
     DISTANCE_TREE,
@@ -43,6 +43,7 @@ __all__ = [
     "Client",
     "VerificationResult",
     "VerificationMethod",
+    "UpdateReport",
     "METHODS",
     "get_method",
     "DijMethod",

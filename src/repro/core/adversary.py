@@ -21,6 +21,10 @@ Attacks
     Rewrite the FULL/HYP distance tuple's value.
 ``strip_signature`` / ``wrong_target``
     Protocol-level mangling.
+``replay_stale_root``
+    Freshness attack: replay a response whose descriptor was signed
+    before an owner update.  Every byte is authentic — only version
+    pinning (the client's ``min_version`` freshness floor) catches it.
 """
 
 from __future__ import annotations
@@ -163,3 +167,19 @@ def inflate_cost(response: QueryResponse, *, factor: float = 1.5) -> QueryRespon
     tampered = copy.deepcopy(response)
     tampered.path_cost = response.path_cost * factor
     return tampered
+
+
+def replay_stale_root(stale_response: QueryResponse) -> QueryResponse:
+    """Freshness attack: replay a pre-update response verbatim.
+
+    The provider answers today's query with a proof generated before
+    the owner's last update — perhaps the update re-priced the road the
+    provider profits from.  Everything in the replayed response is
+    *authentic*: the tuples match the old Merkle roots and the old
+    descriptor carries a genuine owner signature, so tamper detection
+    cannot reject it.  What gives it away is the descriptor's signed
+    ``version``: a client that pins the owner's current version (the
+    ``min_version`` freshness floor, distributed out of band like the
+    public key) rejects the replay with ``stale-descriptor``.
+    """
+    return copy.deepcopy(stale_response)

@@ -168,16 +168,21 @@ def answer_batch(method: VerificationMethod,
 
 
 def verify_batch(batch: BatchResponse,
-                 verify_signature: SignatureVerifier) -> "list[VerificationResult]":
+                 verify_signature: SignatureVerifier, *,
+                 min_version: "int | None" = None) -> "list[VerificationResult]":
     """Client role: verify every query in the batch.
 
     Returns one :class:`VerificationResult` per query, in order.  The
     shared Merkle cover is checked as part of the first verification
     and implicitly revalidated by each (the section object is shared).
+    ``min_version`` is the client's freshness floor, exactly as in the
+    per-response ``verify``: a replayed pre-update batch is authentic
+    byte for byte, so only version pinning rejects it.
     """
     verifier = get_method(batch.method)
     results = []
     for index, (vs, vt) in enumerate(batch.queries):
         response = batch.response_for(index)
-        results.append(verifier.verify(vs, vt, response, verify_signature))
+        results.append(verifier.verify(vs, vt, response, verify_signature,
+                                       min_version=min_version))
     return results

@@ -27,8 +27,17 @@ def verify_descriptor(
     expected_method: str,
     response: QueryResponse,
     verify_signature: Callable[[bytes, bytes], bool],
+    *,
+    min_version: "int | None" = None,
 ) -> "VerificationResult | None":
-    """Signature and method-name checks; ``None`` means pass."""
+    """Signature, method-name and freshness checks; ``None`` means pass.
+
+    ``min_version`` is the freshness floor: a client that has learned
+    the owner's current descriptor version (distributed out of band,
+    like the public key) passes it here, and any response whose
+    descriptor predates it is rejected as a stale-proof replay — the
+    signature is genuine, but it signs a superseded network.
+    """
     descriptor = response.descriptor
     if response.method != expected_method or descriptor.method != expected_method:
         return VerificationResult.failure(
@@ -39,6 +48,12 @@ def verify_descriptor(
     if not verify_signature(descriptor.message(), descriptor.signature):
         return VerificationResult.failure(
             "bad-signature", "owner signature on the descriptor does not verify"
+        )
+    if min_version is not None and descriptor.version < min_version:
+        return VerificationResult.failure(
+            "stale-descriptor",
+            f"descriptor version {descriptor.version} predates the required "
+            f"minimum {min_version} (stale-proof replay)",
         )
     return None
 
@@ -168,7 +183,7 @@ class NetworkTreeBundle:
     """
 
     __slots__ = ("tree", "order", "position_of", "payload_of", "payload_at",
-                 "build_seconds", "_tuple_factory")
+                 "build_seconds", "ordering", "_tuple_factory")
 
     def __init__(
         self,
@@ -181,6 +196,7 @@ class NetworkTreeBundle:
     ) -> None:
         start = time.perf_counter()
         self._tuple_factory = tuple_factory
+        self.ordering = ordering
         graph.to_index()  # warm the compiled layout before serving starts
         self.order = order_nodes(graph, ordering)
         #: Leaf payloads by leaf position (the hot, array-indexed view).
@@ -215,7 +231,94 @@ class NetworkTreeBundle:
         self.payload_at[position] = payload
         self.tree.update_leaf(position, payload)
 
+    def set_tuple_factory(self, tuple_factory: Callable[[int], BaseTuple]) -> None:
+        """Swap the Φ encoder (e.g. after LDM hint state changed)."""
+        self._tuple_factory = tuple_factory
+
+    def refresh_nodes(self, node_ids) -> tuple[int, bool]:
+        """Re-encode Φ for *node_ids* and refresh the tree where changed.
+
+        Returns ``(changed leaf count, whether the tree was rebuilt)``.
+        Payloads are compared before hashing, so passing a superset of
+        the truly affected nodes only costs the re-encode.
+        """
+        return self.refresh_payloads({
+            node_id: self._tuple_factory(node_id).encode()
+            for node_id in sorted(set(node_ids))
+        })
+
+    def refresh_payloads(self, payloads) -> tuple[int, bool]:
+        """Install pre-encoded Φ payloads and refresh the tree where changed.
+
+        ``payloads`` maps node id to its (canonical) encoding — batch
+        encoders hand their output straight in here.  Unchanged
+        payloads are skipped; when the changed fraction makes per-leaf
+        root-path refreshes more expensive than hashing every level
+        once, the tree is rebuilt wholesale from the patched payload
+        array (byte-identical either way).
+        """
+        changed: dict[int, bytes] = {}
+        payload_at = self.payload_at
+        for node_id in sorted(payloads):
+            payload = payloads[node_id]
+            position = self.position_of[node_id]
+            if payload_at[position] == payload:
+                continue
+            payload_at[position] = payload
+            self.payload_of[node_id] = payload
+            changed[position] = payload
+        if not changed:
+            return 0, False
+        if incremental_patch_wins(len(changed), self.tree):
+            self.tree.update_leaves(changed)
+            return len(changed), False
+        self.tree = MerkleTree(payload_at, fanout=self.tree.fanout,
+                               hash_fn=self.tree.hash_fn)
+        return len(changed), True
+
+
+def incremental_patch_wins(changed: int, tree: MerkleTree) -> bool:
+    """Whether patching *changed* leaves beats rebuilding *tree*.
+
+    Per-leaf refresh hashes the full root path (``fanout`` children per
+    level); a rebuild hashes every node once, about
+    ``num_leaves · f / (f - 1)`` digests.  The comparison ignores the
+    shared-path savings of clustered updates, which only biases toward
+    the (always-correct) rebuild.
+    """
+    fanout = tree.fanout
+    height = max(1, tree.num_levels - 1)
+    rebuild_hashes = tree.num_leaves * fanout // max(1, fanout - 1)
+    return changed * fanout * height <= rebuild_hashes
+
 
 def sign_descriptor(descriptor: SignedDescriptor, signer: Signer) -> SignedDescriptor:
     """Owner signs the descriptor message."""
     return descriptor.with_signature(signer.sign(descriptor.message()))
+
+
+def resign_descriptor(
+    old: SignedDescriptor,
+    signer: Signer,
+    *,
+    trees,
+    version: int,
+    params: "bytes | None" = None,
+) -> SignedDescriptor:
+    """Re-sign a descriptor after an incremental update.
+
+    Carries over the method identity and hash choice; the caller
+    supplies the refreshed ADS shapes/roots, the new graph version and
+    (when the signed parameters themselves changed, as for LDM's λ)
+    the new params blob.
+    """
+    return sign_descriptor(
+        SignedDescriptor(
+            method=old.method,
+            hash_name=old.hash_name,
+            params=old.params if params is None else params,
+            trees=tuple(trees),
+            version=version,
+        ),
+        signer,
+    )

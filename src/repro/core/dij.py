@@ -15,16 +15,18 @@ from repro.core.checks import (
     NetworkTreeBundle,
     check_reported_path,
     decode_tuples,
+    resign_descriptor,
     sign_descriptor,
     verify_descriptor,
     verify_section_root,
 )
 from repro.core.framework import REL_TOL, VerificationResult, distances_close
+from repro.core.incremental import edge_endpoints, needs_layout_rebuild
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
 from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeConfig
 from repro.crypto.signer import Signer
 from repro.errors import EncodingError, NoPathError
-from repro.graph.graph import SpatialGraph
+from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.graph.tuples import BaseTuple
 from repro.shortestpath.kernel import indexed_ball, indexed_dijkstra
 from repro.shortestpath.path import Path
@@ -61,37 +63,42 @@ class DijMethod(VerificationMethod):
                 params=b"",
                 trees=(TreeConfig(NETWORK_TREE, bundle.tree.num_leaves, fanout,
                                   bundle.tree.root),),
+                version=graph.version,
             ),
             signer,
         )
         method = cls(graph, bundle, descriptor)
         method.construction_seconds = 0.0  # DIJ pre-computes no hints
         method.algo_sp = algo_sp
+        method._synced_version = graph.version
+        method._build_params = dict(fanout=fanout, ordering=ordering,
+                                    hash_name=hash_name, algo_sp=algo_sp)
+        method._publish_params = method._build_params
         return method
 
     # ------------------------------------------------------------------
-    def update_edge_weight(self, u: int, v: int, weight: float,
-                           signer: Signer) -> None:
-        """Incrementally re-weight one edge and re-sign the new root.
+    def _apply_mutations(self, mutations: "list[GraphMutation]",
+                         signer: Signer) -> tuple[str, int, int]:
+        """Patch the endpoint leaves and re-sign — ``O(log |V|)`` hashes.
 
-        ``O(log |V|)`` hashes plus one signature: DIJ's only ADS is the
-        network Merkle tree, so a weight change touches two leaves.
-        Previously issued responses remain verifiable only against the
-        old descriptor — clients pin the descriptor they trust.
+        DIJ's only ADS is the network Merkle tree and its hints are the
+        adjacency lists themselves, so an edge mutation touches exactly
+        the two endpoint tuples.  Previously issued responses remain
+        verifiable only against the old descriptor — clients pin the
+        version they trust.
         """
-        self._graph.add_edge(u, v, weight)  # validates nodes and weight
-        self._bundle.refresh_node(u)
-        self._bundle.refresh_node(v)
+        if needs_layout_rebuild(mutations, self._bundle.ordering):
+            return self._rebuild(signer)
+        patched, rebuilt = self._bundle.refresh_nodes(edge_endpoints(mutations))
         old = self._descriptor
-        refreshed = SignedDescriptor(
-            method=old.method,
-            hash_name=old.hash_name,
-            params=old.params,
+        self._descriptor = resign_descriptor(
+            old, signer,
             trees=(TreeConfig(NETWORK_TREE, self._bundle.tree.num_leaves,
                               old.tree(NETWORK_TREE).fanout,
                               self._bundle.tree.root),),
+            version=self._graph.version,
         )
-        self._descriptor = sign_descriptor(refreshed, signer)
+        return "incremental", patched, int(rebuilt)
 
     # ------------------------------------------------------------------
     def answer(self, source: int, target: int, *,
@@ -122,8 +129,10 @@ class DijMethod(VerificationMethod):
     # ------------------------------------------------------------------
     @classmethod
     def verify(cls, source: int, target: int, response: QueryResponse,
-               verify_signature: SignatureVerifier) -> VerificationResult:
-        failure = verify_descriptor(cls.name, response, verify_signature)
+               verify_signature: SignatureVerifier, *,
+               min_version: "int | None" = None) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature,
+                                    min_version=min_version)
         if failure is not None:
             return failure
         try:

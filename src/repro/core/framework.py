@@ -96,14 +96,28 @@ class ServiceProvider:
 class Client:
     """A query client holding only the owner's public key."""
 
-    def __init__(self, verify_signature) -> None:
+    def __init__(self, verify_signature,
+                 min_descriptor_version: "int | None" = None) -> None:
         """``verify_signature(message, signature) -> bool``.
 
         Pass ``signer.verify`` or an
         :class:`~repro.crypto.signer.RsaVerifier` bound to the owner's
-        public key.
+        public key.  ``min_descriptor_version`` is the freshness floor
+        the owner announces alongside the key: when set, any response
+        signed under an older graph version is rejected as a
+        stale-proof replay (reason ``stale-descriptor``).
         """
         self.verify_signature = verify_signature
+        self.min_descriptor_version = min_descriptor_version
+
+    def require_version(self, version: int) -> None:
+        """Raise the freshness floor (called after an owner update).
+
+        Monotonic: a late or out-of-order announcement for an older
+        version must not re-admit replays the client already rejects.
+        """
+        current = self.min_descriptor_version or 0
+        self.min_descriptor_version = max(current, version)
 
     def verify(self, source: int, target: int, response) -> VerificationResult:
         """Verify a provider response for the query ``(source, target)``."""
@@ -115,4 +129,5 @@ class Client:
             return VerificationResult.failure(
                 "unknown-method", f"method {response.method!r} is not recognized"
             )
-        return cls.verify(source, target, response, self.verify_signature)
+        return cls.verify(source, target, response, self.verify_signature,
+                          min_version=self.min_descriptor_version)

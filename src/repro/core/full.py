@@ -22,11 +22,19 @@ from repro.core.checks import (
     NetworkTreeBundle,
     check_reported_path,
     decode_tuples,
+    incremental_patch_wins,
+    resign_descriptor,
     sign_descriptor,
     verify_descriptor,
     verify_section_root,
 )
 from repro.core.framework import VerificationResult, distances_close
+from repro.core.incremental import (
+    affected_sources,
+    changed_columns,
+    edge_endpoints,
+    needs_layout_rebuild,
+)
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
 from repro.core.proofs import (
     DISTANCE_TREE,
@@ -38,11 +46,11 @@ from repro.core.proofs import (
 )
 from repro.crypto.signer import Signer
 from repro.errors import EncodingError, GraphError, MethodError, NoPathError
-from repro.graph.graph import SpatialGraph
+from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.graph.tuples import BaseTuple, DistanceTuple, triangle_leaf_digests
 from repro.hiti.hyperedges import triangle_index
 from repro.merkle.tree import MerkleTree
-from repro.shortestpath.bulk import all_pairs_distances
+from repro.shortestpath.bulk import all_pairs_distances, multi_source_distances
 from repro.shortestpath.path import Path
 
 
@@ -100,13 +108,92 @@ class FullMethod(VerificationMethod):
                     TreeConfig(DISTANCE_TREE, distance_tree.num_leaves, fanout,
                                distance_tree.root),
                 ),
+                version=graph.version,
             ),
             signer,
         )
         method = cls(graph, bundle, distance_tree, matrix, descriptor)
         method.construction_seconds = construction
         method.algo_sp = algo_sp
+        method._synced_version = graph.version
+        method._build_params = dict(fanout=fanout, ordering=ordering,
+                                    hash_name=hash_name,
+                                    all_pairs_method=all_pairs_method,
+                                    algo_sp=algo_sp)
+        method._publish_params = method._build_params
         return method
+
+    # ------------------------------------------------------------------
+    def _apply_mutations(self, mutations: "list[GraphMutation]",
+                         signer: Signer) -> tuple[str, int, int]:
+        """Re-derive only the distance rows the batch can have touched.
+
+        The affected-source filter (:mod:`repro.core.incremental`)
+        flags every node whose shortest path forest could involve a
+        mutated edge; those rows are recomputed through the same bulk
+        backend the build used, so unflagged rows — and therefore the
+        untouched triangle leaves — stay bit-identical to a fresh
+        all-pairs run.  ``all_pairs_method="floyd-warshall"`` has no
+        per-row backend, so it falls back to a full rebuild.
+        """
+        if needs_layout_rebuild(mutations, self._bundle.ordering):
+            return self._rebuild(signer)
+        if self._build_params.get("all_pairs_method") == "floyd-warshall":
+            return self._rebuild(signer)
+        graph = self._graph
+        ids = self._ids
+        n = len(ids)
+        matrix = self._matrix
+        affected = affected_sources(matrix, mutations, self._index_of)
+        leaves_patched = 0
+        trees_rebuilt = 0
+        mode = "incremental"
+        if affected.size:
+            new_rows = multi_source_distances(
+                graph, [ids[i] for i in affected.tolist()])
+            if np.isinf(new_rows).any():
+                raise GraphError("FULL requires a connected graph")
+            old_rows = matrix[affected].copy()
+            matrix[affected] = new_rows
+            changed: list[tuple[int, bytes]] = []
+            for k, i in enumerate(affected.tolist()):
+                for j in changed_columns(old_rows[k], new_rows[k]).tolist():
+                    if j <= i:
+                        continue  # leaf (j', i) belongs to row j' < i
+                    changed.append((
+                        triangle_index(i, j, n),
+                        DistanceTuple(ids[i], ids[j],
+                                      float(matrix[i, j])).encode(),
+                    ))
+            if incremental_patch_wins(len(changed), self._distance_tree):
+                self._distance_tree.update_leaves(dict(changed))
+                leaves_patched += len(changed)
+            else:
+                fanout = self._distance_tree.fanout
+                hash_fn = self._distance_tree.hash_fn
+                self._distance_tree = MerkleTree(
+                    leaf_digests=triangle_leaf_digests(ids, matrix, hash_fn),
+                    fanout=fanout, hash_fn=hash_fn,
+                )
+                trees_rebuilt += 1
+                mode = "partial-rebuild"
+        patched, rebuilt = self._bundle.refresh_nodes(edge_endpoints(mutations))
+        leaves_patched += patched
+        trees_rebuilt += int(rebuilt)
+        old = self._descriptor
+        fanout = old.tree(NETWORK_TREE).fanout
+        self._descriptor = resign_descriptor(
+            old, signer,
+            trees=(
+                TreeConfig(NETWORK_TREE, self._bundle.tree.num_leaves, fanout,
+                           self._bundle.tree.root),
+                TreeConfig(DISTANCE_TREE, self._distance_tree.num_leaves,
+                           old.tree(DISTANCE_TREE).fanout,
+                           self._distance_tree.root),
+            ),
+            version=graph.version,
+        )
+        return mode, leaves_patched, trees_rebuilt
 
     # ------------------------------------------------------------------
     def distance_of(self, a: int, b: int) -> float:
@@ -199,8 +286,10 @@ class FullMethod(VerificationMethod):
     # ------------------------------------------------------------------
     @classmethod
     def verify(cls, source: int, target: int, response: QueryResponse,
-               verify_signature: SignatureVerifier) -> VerificationResult:
-        failure = verify_descriptor(cls.name, response, verify_signature)
+               verify_signature: SignatureVerifier, *,
+               min_version: "int | None" = None) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature,
+                                    min_version=min_version)
         if failure is not None:
             return failure
         try:

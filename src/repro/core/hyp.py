@@ -25,15 +25,24 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.core.checks import (
     NetworkTreeBundle,
     check_reported_path,
     decode_tuples,
+    incremental_patch_wins,
+    resign_descriptor,
     sign_descriptor,
     verify_descriptor,
     verify_section_root,
 )
 from repro.core.framework import VerificationResult, distances_close
+from repro.core.incremental import (
+    affected_sources,
+    edge_endpoints,
+    needs_layout_rebuild,
+)
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
 from repro.core.proofs import (
     DIRECTORY_TREE,
@@ -45,8 +54,8 @@ from repro.core.proofs import (
     TreeSection,
 )
 from repro.crypto.signer import Signer
-from repro.errors import EncodingError
-from repro.graph.graph import SpatialGraph
+from repro.errors import EncodingError, GraphError
+from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.graph.tuples import (
     CellDirectoryTuple,
     DistanceTuple,
@@ -54,11 +63,31 @@ from repro.graph.tuples import (
     triangle_leaf_digests,
 )
 from repro.hiti.coarse import build_coarse_graph
-from repro.hiti.hyperedges import HyperEdgeSet, compute_hyperedges
+from repro.hiti.hyperedges import HyperEdgeSet, compute_hyperedges, triangle_index
 from repro.hiti.partition import GridPartition, GridSpec
 from repro.merkle.tree import MerkleTree
+from repro.shortestpath.bulk import multi_source_distances
 from repro.shortestpath.dijkstra import dijkstra
 from repro.shortestpath.path import Path
+
+
+def _make_tuple_factory(graph: SpatialGraph, partition: GridPartition):
+    """Φ(v) encoder bound to one partition state (Eq. 7).
+
+    Shared by ``build`` and the update path so incremental
+    re-authentication re-encodes tuples exactly as a fresh build would.
+    """
+
+    def tuple_factory(node_id: int) -> HypTuple:
+        node = graph.node(node_id)
+        adjacency = tuple(sorted(
+            (int(v), float(w)) for v, w in graph.neighbors(node_id).items()
+        ))
+        return HypTuple(node.id, node.x, node.y, adjacency,
+                        cell_id=partition.cell(node_id),
+                        is_border=partition.is_border(node_id))
+
+    return tuple_factory
 
 
 @register_method
@@ -110,17 +139,9 @@ class HypMethod(VerificationMethod):
         directory_tree = MerkleTree(payload_list, fanout=fanout, hash_fn=hash_name)
         construction = time.perf_counter() - start
 
-        def tuple_factory(node_id: int) -> HypTuple:
-            node = graph.node(node_id)
-            adjacency = tuple(sorted(
-                (int(v), float(w)) for v, w in graph.neighbors(node_id).items()
-            ))
-            return HypTuple(node.id, node.x, node.y, adjacency,
-                            cell_id=partition.cell(node_id),
-                            is_border=partition.is_border(node_id))
-
-        bundle = NetworkTreeBundle(graph, tuple_factory, ordering=ordering,
-                                   fanout=fanout, hash_name=hash_name)
+        bundle = NetworkTreeBundle(graph, _make_tuple_factory(graph, partition),
+                                   ordering=ordering, fanout=fanout,
+                                   hash_name=hash_name)
         descriptor = sign_descriptor(
             SignedDescriptor(
                 method=cls.name,
@@ -134,6 +155,7 @@ class HypMethod(VerificationMethod):
                     TreeConfig(DIRECTORY_TREE, directory_tree.num_leaves, fanout,
                                directory_tree.root),
                 ),
+                version=graph.version,
             ),
             signer,
         )
@@ -141,7 +163,150 @@ class HypMethod(VerificationMethod):
                      directory_tree, directory_payloads, descriptor)
         method.construction_seconds = construction
         method.algo_sp = algo_sp
+        method._synced_version = graph.version
+        method._build_params = dict(fanout=fanout, ordering=ordering,
+                                    hash_name=hash_name, num_cells=num_cells,
+                                    algo_sp=algo_sp)
+        method._publish_params = method._build_params
         return method
+
+    # ------------------------------------------------------------------
+    def _border_flags_moved(self, mutations: "list[GraphMutation]") -> bool:
+        """Whether the batch flipped any endpoint's border status.
+
+        Only structural mutations can: a node is a border node iff some
+        neighbor lives in another cell, and the batch only changed the
+        neighbor sets of its endpoints.
+        """
+        partition = self._partition
+        for node_id in edge_endpoints(mutations):
+            cell = partition.cell(node_id)
+            is_border = any(
+                partition.cell(nbr) != cell
+                for nbr in self._graph.neighbors(node_id)
+            )
+            if is_border != partition.is_border(node_id):
+                return True
+        return False
+
+    def _apply_mutations(self, mutations: "list[GraphMutation]",
+                         signer: Signer) -> tuple[str, int, int]:
+        """Re-derive only the hyper-edge rows the batch can have touched.
+
+        The grid partition depends on coordinates alone and the cell
+        directory on membership alone, so both survive any edge
+        mutation.  Weight changes leave the border set intact: the
+        affected-source filter picks the border nodes whose shortest
+        path forests could cross a mutated edge, their raw rows are
+        re-run through the bulk backend, and the re-symmetrized pairs
+        that moved are patched into the distance tree.  A structural
+        mutation that flips a border flag changes the hyper-edge *set*
+        itself, so the hyper layer is reconstructed wholesale while the
+        partition, directory tree and untouched Φ leaves are kept —
+        the targeted partial rebuild.
+        """
+        if needs_layout_rebuild(mutations, self._bundle.ordering):
+            return self._rebuild(signer)
+        if self._hyper.source_rows is None:  # externally-built hyper layer
+            return self._rebuild(signer)
+        graph = self._graph
+        old = self._descriptor
+        fanout = old.tree(DISTANCE_TREE).fanout
+        hash_fn = self._distance_tree.hash_fn
+        leaves_patched = 0
+        trees_rebuilt = 0
+        mode = "incremental"
+
+        if self._border_flags_moved(mutations):
+            # Border set changed: same grid, new hyper layer.  Build
+            # everything before committing any of it, so a rejected
+            # mutation (e.g. a disconnecting removal raising inside
+            # compute_hyperedges) leaves the method untouched and the
+            # caller free to roll the graph back.
+            partition = GridPartition(graph, self._partition.spec.num_cells)
+            flag_flips = {
+                node_id for node_id, flag in partition.border_flags.items()
+                if flag != self._partition.border_flags[node_id]
+            }
+            hyper = compute_hyperedges(graph, partition.all_borders())
+            distance_tree = MerkleTree(
+                leaf_digests=triangle_leaf_digests(
+                    hyper.borders, hyper.distances, hash_fn),
+                fanout=fanout, hash_fn=hash_fn,
+            )
+            self._partition = partition
+            self._hyper = hyper
+            self._distance_tree = distance_tree
+            bundle = self._bundle
+            bundle.set_tuple_factory(_make_tuple_factory(graph, partition))
+            patched, rebuilt = bundle.refresh_nodes(
+                flag_flips | edge_endpoints(mutations))
+            leaves_patched += patched
+            trees_rebuilt += 1 + int(rebuilt)
+            mode = "partial-rebuild"
+        else:
+            hyper = self._hyper
+            # The compiled index's id -> column map is exactly the
+            # bulk-row column order (ascending ids) and version-cached.
+            col_of = graph.to_index().index_of
+            affected = affected_sources(hyper.source_rows, mutations, col_of)
+            if affected.size:
+                new_rows = multi_source_distances(
+                    graph, [hyper.borders[i] for i in affected.tolist()])
+                border_cols = [col_of[b] for b in hyper.borders]
+                # Reject before touching method state: unaffected rows
+                # are finite, so a disconnected border pair can only
+                # show up in the recomputed rows' border columns.
+                if np.isinf(new_rows[:, border_cols]).any():
+                    raise GraphError(
+                        "disconnected border pair; HYP requires a connected graph")
+                hyper.source_rows[affected] = new_rows
+                sliced = hyper.source_rows[:, border_cols]
+                symmetric = np.minimum(sliced, sliced.T)
+                changed: list[tuple[int, bytes]] = []
+                n_borders = len(hyper.borders)
+                moved_rows, moved_cols = np.nonzero(
+                    hyper.distances != symmetric)
+                for i, j in zip(moved_rows.tolist(), moved_cols.tolist()):
+                    if i >= j:
+                        continue
+                    changed.append((
+                        triangle_index(i, j, n_borders),
+                        DistanceTuple(hyper.borders[i], hyper.borders[j],
+                                      float(symmetric[i, j])).encode(),
+                    ))
+                hyper.distances = symmetric
+                if incremental_patch_wins(len(changed), self._distance_tree):
+                    self._distance_tree.update_leaves(dict(changed))
+                    leaves_patched += len(changed)
+                else:
+                    self._distance_tree = MerkleTree(
+                        leaf_digests=triangle_leaf_digests(
+                            hyper.borders, symmetric, hash_fn),
+                        fanout=fanout, hash_fn=hash_fn,
+                    )
+                    trees_rebuilt += 1
+                    mode = "partial-rebuild"
+            patched, rebuilt = self._bundle.refresh_nodes(
+                edge_endpoints(mutations))
+            leaves_patched += patched
+            trees_rebuilt += int(rebuilt)
+
+        self._descriptor = resign_descriptor(
+            old, signer,
+            trees=(
+                TreeConfig(NETWORK_TREE, self._bundle.tree.num_leaves,
+                           old.tree(NETWORK_TREE).fanout,
+                           self._bundle.tree.root),
+                TreeConfig(DISTANCE_TREE, self._distance_tree.num_leaves,
+                           fanout, self._distance_tree.root),
+                TreeConfig(DIRECTORY_TREE, self._directory_tree.num_leaves,
+                           old.tree(DIRECTORY_TREE).fanout,
+                           self._directory_tree.root),
+            ),
+            version=graph.version,
+        )
+        return mode, leaves_patched, trees_rebuilt
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -210,8 +375,10 @@ class HypMethod(VerificationMethod):
     # ------------------------------------------------------------------
     @classmethod
     def verify(cls, source: int, target: int, response: QueryResponse,
-               verify_signature: SignatureVerifier) -> VerificationResult:
-        failure = verify_descriptor(cls.name, response, verify_signature)
+               verify_signature: SignatureVerifier, *,
+               min_version: "int | None" = None) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature,
+                                    min_version=min_version)
         if failure is not None:
             return failure
         try:

@@ -32,28 +32,38 @@ from repro.core.checks import (
     NetworkTreeBundle,
     check_reported_path,
     decode_tuples,
+    resign_descriptor,
     sign_descriptor,
     verify_descriptor,
     verify_section_root,
 )
 from repro.core.framework import ABS_TOL, REL_TOL, VerificationResult, distances_close
+from repro.core.incremental import (
+    affected_sources,
+    changed_columns_2d,
+    edge_endpoints,
+    needs_layout_rebuild,
+)
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
 from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeConfig
 from repro.crypto.signer import Signer
-from repro.encoding import Decoder, Encoder
-from repro.errors import EncodingError
-from repro.graph.graph import SpatialGraph
+from repro.encoding import Decoder, Encoder, encode_uvarint, pack_codes_rows
+from repro.errors import EncodingError, GraphError
+from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.graph.tuples import LdmTuple
 from repro.landmarks.compression import (
     CompressedVectors,
+    apply_compression_plan,
     compress_exact_greedy,
     compress_leader,
+    compression_plan,
     lemma4_lower_bound,
 )
-from repro.landmarks.quantization import quantize_vectors
+from repro.landmarks.quantization import QuantizationSpec, quantize_vectors
 from repro.landmarks.selection import select_landmarks
 from repro.landmarks.vectors import LandmarkVectors
 from repro.order import hilbert_order
+from repro.shortestpath.bulk import multi_source_distances
 from repro.shortestpath.kernel import indexed_ball, indexed_dijkstra
 from repro.shortestpath.path import Path
 
@@ -102,6 +112,101 @@ def _lemma2_margin(distance: float) -> float:
     return 2 * (REL_TOL * distance + ABS_TOL)
 
 
+def _make_tuple_factory(graph: SpatialGraph, compressed: CompressedVectors,
+                        bits: int):
+    """Φ(v) encoder bound to one compression state.
+
+    Shared by ``build`` and ``_apply_mutations`` so the incremental
+    path re-encodes tuples exactly as a fresh build would.
+    """
+
+    def tuple_factory(node_id: int) -> LdmTuple:
+        node = graph.node(node_id)
+        adjacency = tuple(sorted(
+            (int(v), float(w)) for v, w in graph.neighbors(node_id).items()
+        ))
+        if node_id in compressed.codes_of:
+            return LdmTuple(
+                node.id, node.x, node.y, adjacency,
+                codes=tuple(int(code) for code in compressed.codes_of[node_id]),
+                bits=bits,
+            )
+        theta, eps_units = compressed.ref_of[node_id]
+        return LdmTuple(node.id, node.x, node.y, adjacency,
+                        codes=None, ref_id=theta, eps_units=eps_units,
+                        bits=bits)
+
+    return tuple_factory
+
+
+def _varint_len(value: int) -> int:
+    """Encoded length of *value* as a varint (delegates to the encoder,
+    so the header-splice suffix arithmetic can never drift from the
+    wire format)."""
+    return len(encode_uvarint(value))
+
+
+def _encode_changed_payloads(
+    bundle: NetworkTreeBundle,
+    old_compressed: CompressedVectors,
+    compressed: CompressedVectors,
+    bits: int,
+    changed_nodes,
+    endpoints,
+    tuple_factory,
+) -> "dict[int, bytes]":
+    """Batch-encode Φ for the nodes a live update touched.
+
+    Byte-identical to calling ``tuple_factory(node).encode()`` per
+    node, but ~10x cheaper on the hot path: for a node whose adjacency
+    did not change, the header bytes (id, coords, Φ edge list) are
+    spliced straight out of its current payload — the old suffix
+    length is computable from the old compression record — and the new
+    code vectors are bit-packed in one vectorized pass
+    (:func:`repro.encoding.pack_codes_rows`).  Mutated endpoints (and
+    any node without a cached payload) fall back to the factory.
+    """
+    payloads: dict[int, bytes] = {}
+    plain_nodes: list[int] = []
+    headers: dict[int, bytes] = {}
+    bits_prefix = encode_uvarint(bits)
+    # Every code vector has the same landmark count, so the suffix of
+    # an uncompressed payload has one constant length.
+    c = len(next(iter(old_compressed.codes_of.values())))
+    plain_suffix = 1 + _varint_len(bits) + _varint_len(c) + (c * bits + 7) // 8
+    old_codes_of = old_compressed.codes_of
+    old_ref_of = old_compressed.ref_of
+    for node_id in sorted(changed_nodes):
+        old_payload = bundle.payload_of.get(node_id)
+        if node_id in endpoints or old_payload is None:
+            payloads[node_id] = tuple_factory(node_id).encode()
+            continue
+        if node_id in old_codes_of:
+            suffix = plain_suffix
+        else:
+            theta, eps_units = old_ref_of[node_id]
+            suffix = 1 + _varint_len(theta) + _varint_len(eps_units)
+        header = old_payload[: len(old_payload) - suffix]
+        if node_id in compressed.codes_of:
+            plain_nodes.append(node_id)
+            headers[node_id] = header
+        else:
+            theta, eps_units = compressed.ref_of[node_id]
+            payloads[node_id] = b"".join((
+                header, b"\x01",
+                encode_uvarint(theta), encode_uvarint(eps_units),
+            ))
+    if plain_nodes:
+        matrix = np.stack([compressed.codes_of[n] for n in plain_nodes])
+        count_prefix = encode_uvarint(matrix.shape[1])
+        for node_id, stream in zip(plain_nodes,
+                                   pack_codes_rows(matrix, bits)):
+            payloads[node_id] = b"".join((
+                headers[node_id], b"\x00", bits_prefix, count_prefix, stream,
+            ))
+    return payloads
+
+
 @register_method
 class LdmMethod(VerificationMethod):
     """Landmark-based verification with quantization and compression."""
@@ -119,8 +224,9 @@ class LdmMethod(VerificationMethod):
         self._descriptor = descriptor
         # Dense effective-vector arrays aligned with the graph index
         # (ascending id order), for vectorized cone selection in
-        # :meth:`answer`.  LDM never mutates the graph (no incremental
-        # updates), so the alignment is stable for the method's life.
+        # :meth:`answer`.  The node set is fixed for the method's life
+        # (node additions force a full rebuild), so the alignment is
+        # stable; weight updates refresh the arrays in place.
         self._eff_codes, self._eff_eps = compressed.effective_arrays(
             graph.node_ids()
         )
@@ -132,45 +238,62 @@ class LdmMethod(VerificationMethod):
               c: int = 100, bits: int = 12, xi: float = 50.0,
               landmark_strategy: str = "farthest", compressor: str = "leader",
               seed: int = 0, algo_sp: str = "dijkstra",
+              landmarks: "tuple[int, ...] | None" = None,
+              d_max: "float | None" = None,
+              compression_plan_pin: "dict[int, int] | None" = None,
               **params) -> "LdmMethod":
+        """Owner build; the ``landmarks`` / ``d_max`` /
+        ``compression_plan_pin`` extras pin the three graph-global
+        choices (placement, quantization grid, follower assignment) so
+        a rebuild can reproduce an incrementally-updated method byte
+        for byte — ``apply_update`` records them in the method's
+        rebuild parameters automatically.
+        """
         if params:
             raise EncodingError(f"LDM got unknown parameters {sorted(params)}")
         start = time.perf_counter()
-        landmarks = select_landmarks(graph, c, strategy=landmark_strategy, seed=seed)
-        vectors = LandmarkVectors(graph, landmarks)
-        codes, spec = quantize_vectors(vectors.vectors, bits)
-        ids = graph.node_ids()
-        if compressor == "leader":
-            compressed = compress_leader(ids, codes, spec, xi,
-                                         scan_order=hilbert_order(graph))
-        elif compressor == "exact":
-            compressed = compress_exact_greedy(ids, codes, spec, xi)
+        if landmarks is None:
+            # Landmark placement is the expensive, graph-global choice;
+            # passing an explicit tuple pins it (incremental updates
+            # rebuild everything downstream of the vectors but keep the
+            # original placement, so a comparison rebuild must too).
+            landmarks = select_landmarks(graph, c, strategy=landmark_strategy,
+                                         seed=seed)
         else:
-            raise EncodingError(f"unknown compressor {compressor!r}")
+            landmarks = sorted(int(v) for v in landmarks)
+            for landmark in landmarks:
+                if not graph.has_node(landmark):
+                    raise GraphError(f"unknown landmark node {landmark}")
+        vectors = LandmarkVectors(graph, landmarks)
+        spec = None
+        if d_max is not None:
+            spec = QuantizationSpec(bits=bits, d_max=d_max,
+                                    lam=d_max / float((1 << bits) - 1))
+        codes, spec = quantize_vectors(vectors.vectors, bits, spec=spec)
+        ids = graph.node_ids()
+        if compression_plan_pin is not None:
+            compressed, _, _ = apply_compression_plan(
+                ids, codes, spec, xi, compression_plan_pin)
+            plan = dict(compression_plan_pin)
+        else:
+            if compressor == "leader":
+                compressed = compress_leader(ids, codes, spec, xi,
+                                             scan_order=hilbert_order(graph))
+            elif compressor == "exact":
+                compressed = compress_exact_greedy(ids, codes, spec, xi)
+            else:
+                raise EncodingError(f"unknown compressor {compressor!r}")
+            plan = compression_plan(compressed)
         construction = time.perf_counter() - start
 
         ldm_params = LdmParams(
             landmarks=tuple(landmarks), bits=bits,
             d_max=spec.d_max, lam=spec.lam, xi=xi,
         )
-
-        def tuple_factory(node_id: int) -> LdmTuple:
-            node = graph.node(node_id)
-            adjacency = tuple(sorted(
-                (int(v), float(w)) for v, w in graph.neighbors(node_id).items()
-            ))
-            if node_id in compressed.codes_of:
-                return LdmTuple(
-                    node.id, node.x, node.y, adjacency,
-                    codes=tuple(int(code) for code in compressed.codes_of[node_id]),
-                    bits=bits,
-                )
-            theta, eps_units = compressed.ref_of[node_id]
-            return LdmTuple(node.id, node.x, node.y, adjacency,
-                            codes=None, ref_id=theta, eps_units=eps_units, bits=bits)
-
-        bundle = NetworkTreeBundle(graph, tuple_factory, ordering=ordering,
-                                   fanout=fanout, hash_name=hash_name)
+        bundle = NetworkTreeBundle(
+            graph, _make_tuple_factory(graph, compressed, bits),
+            ordering=ordering, fanout=fanout, hash_name=hash_name,
+        )
         descriptor = sign_descriptor(
             SignedDescriptor(
                 method=cls.name,
@@ -178,13 +301,117 @@ class LdmMethod(VerificationMethod):
                 params=ldm_params.encode(),
                 trees=(TreeConfig(NETWORK_TREE, bundle.tree.num_leaves, fanout,
                                   bundle.tree.root),),
+                version=graph.version,
             ),
             signer,
         )
         method = cls(graph, bundle, compressed, ldm_params, descriptor)
         method.construction_seconds = construction
         method.algo_sp = algo_sp
+        method._synced_version = graph.version
+        method._publish_params = dict(
+            fanout=fanout, ordering=ordering, hash_name=hash_name,
+            c=len(landmarks), bits=bits, xi=xi,
+            landmark_strategy=landmark_strategy, compressor=compressor,
+            seed=seed, algo_sp=algo_sp,
+        )
+        method._build_params = dict(
+            method._publish_params,
+            landmarks=tuple(landmarks), d_max=spec.d_max,
+            compression_plan_pin=plan,
+        )
+        # Update-path state: the exact vectors/codes behind the current
+        # hints plus the pinned grid and follower plan.
+        method._vectors = vectors.vectors
+        method._codes = codes
+        method._spec = spec
+        method._plan = plan
         return method
+
+    # ------------------------------------------------------------------
+    def _apply_mutations(self, mutations: "list[GraphMutation]",
+                         signer: Signer) -> tuple[str, int, int]:
+        """Targeted partial rebuild: the pinned choices stay, the rest
+        re-derives.
+
+        Landmark placement, the quantization grid (λ) and the
+        compression plan are pinned from the original build — they are
+        the expensive or signed graph-global choices.  What a weight
+        change can actually move is re-derived narrowly: only the
+        landmark rows the batch can have touched re-run through the
+        bulk backend, codes re-quantize against the pinned grid
+        (vectorized), follower ε values re-measure against their
+        pinned representatives, and only the tuples whose encoding
+        moved — changed code columns, changed compression records,
+        mutated endpoints — re-hash into the network tree.
+        Byte-for-byte equivalence is against a rebuild passing the same
+        pins (exactly what :meth:`_rebuild` does via
+        ``_build_params``).
+        """
+        if needs_layout_rebuild(mutations, self._bundle.ordering):
+            return self._rebuild(signer)
+        graph = self._graph
+        ids = graph.node_ids()
+        landmarks = list(self._params.landmarks)
+        # The compiled index's id -> column map matches the vectors'
+        # (ascending-id) column order and is version-cached.
+        affected = affected_sources(self._vectors, mutations,
+                                    graph.to_index().index_of)
+        if affected.size:
+            new_rows = multi_source_distances(
+                graph, [landmarks[i] for i in affected.tolist()])
+            if np.isinf(new_rows).any():
+                raise GraphError(
+                    "graph is disconnected: landmark vectors contain infinite "
+                    "distances; restrict to the largest component first"
+                )
+            self._vectors[affected] = new_rows
+
+        old_codes = self._codes
+        old_compressed = self._compressed
+        bits = self._params.bits
+        codes = old_codes
+        if affected.size:
+            # Codes re-quantize only where vectors moved; rows outside
+            # the affected set are bit-identical by construction.
+            new_code_rows, _ = quantize_vectors(
+                self._vectors[affected], bits, spec=self._spec)
+            codes = old_codes.copy()
+            codes[affected] = new_code_rows
+        compressed, eff_codes, eff_eps = apply_compression_plan(
+            ids, codes, self._spec, self._params.xi, self._plan)
+
+        # Φ(v) changes iff its adjacency, its own code column (when it
+        # carries codes) or its compression record moved.
+        changed_nodes = edge_endpoints(mutations)
+        if affected.size:
+            for j in changed_columns_2d(old_codes[affected],
+                                        codes[affected]):
+                changed_nodes.add(ids[j])
+        changed_nodes.update(
+            old_compressed.codes_of.keys() ^ compressed.codes_of.keys())
+        for node_id in self._plan:
+            if old_compressed.ref_of.get(node_id) != compressed.ref_of.get(node_id):
+                changed_nodes.add(node_id)
+
+        self._codes = codes
+        self._eff_codes, self._eff_eps = eff_codes, eff_eps
+        factory = _make_tuple_factory(graph, compressed, bits)
+        self._bundle.set_tuple_factory(factory)
+        payloads = _encode_changed_payloads(
+            self._bundle, old_compressed, compressed, bits,
+            changed_nodes, edge_endpoints(mutations), factory)
+        self._compressed = compressed
+        patched, rebuilt = self._bundle.refresh_payloads(payloads)
+        old = self._descriptor
+        self._descriptor = resign_descriptor(
+            old, signer,
+            trees=(TreeConfig(NETWORK_TREE, self._bundle.tree.num_leaves,
+                              old.tree(NETWORK_TREE).fanout,
+                              self._bundle.tree.root),),
+            version=graph.version,
+        )
+        return "incremental", patched, int(rebuilt)
 
     # ------------------------------------------------------------------
     def answer(self, source: int, target: int, *,
@@ -250,8 +477,10 @@ class LdmMethod(VerificationMethod):
     # ------------------------------------------------------------------
     @classmethod
     def verify(cls, source: int, target: int, response: QueryResponse,
-               verify_signature: SignatureVerifier) -> VerificationResult:
-        failure = verify_descriptor(cls.name, response, verify_signature)
+               verify_signature: SignatureVerifier, *,
+               min_version: "int | None" = None) -> VerificationResult:
+        failure = verify_descriptor(cls.name, response, verify_signature,
+                                    min_version=min_version)
         if failure is not None:
             return failure
         try:

@@ -15,13 +15,14 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Callable, Type
+from dataclasses import dataclass
+from typing import Callable, Sequence, Type
 
 from repro.crypto.signer import Signer
 from repro.errors import MethodError
 from repro.core.framework import VerificationResult
 from repro.core.proofs import QueryResponse, SignedDescriptor
-from repro.graph.graph import SpatialGraph
+from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.shortestpath.path import Path
 
 #: ``verify(message, signature) -> bool`` — the client's view of the owner key.
@@ -31,6 +32,35 @@ SignatureVerifier = Callable[[bytes, bytes], bool]
 #: one combined Merkle cover (:mod:`repro.core.batch`).  FULL and HYP
 #: proofs are already near-constant size and gain nothing from unioning.
 BATCHABLE_METHODS = ("DIJ", "LDM")
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Outcome of one :meth:`VerificationMethod.apply_update` call.
+
+    ``mode`` records how the method absorbed the pending mutations:
+
+    * ``"noop"`` — nothing was pending;
+    * ``"incremental"`` — only the touched hint tuples were recomputed
+      and the affected Merkle leaves patched via ``update_leaf``;
+    * ``"partial-rebuild"`` — one ADS was reconstructed wholesale while
+      the others were patched (e.g. HYP after the border set changed);
+    * ``"full-rebuild"`` — the mutation invalidated the leaf layout
+      itself (new nodes, adjacency-dependent ordering), so the method
+      was rebuilt from scratch with its original parameters.
+
+    All four modes end in a freshly signed descriptor carrying the new
+    graph version; the resulting state is byte-identical to a
+    from-scratch build on the mutated graph.
+    """
+
+    method: str
+    mode: str
+    mutations: int
+    leaves_patched: int = 0
+    trees_rebuilt: int = 0
+    seconds: float = 0.0
+    version: int = 0
 
 
 class VerificationMethod(ABC):
@@ -48,6 +78,18 @@ class VerificationMethod(ABC):
         #: The provider's search algorithm ``algo_sp`` (Algorithm 1 line 1).
         #: The proofs never depend on how the provider found the path.
         self.algo_sp: str = "dijkstra"
+        #: Graph version the authenticated structures currently reflect;
+        #: :meth:`apply_update` absorbs ``graph.mutations_since(this)``.
+        self._synced_version: int = 0
+        #: Exact keyword arguments a from-scratch rebuild needs to
+        #: reproduce this instance byte for byte (``build`` fills it,
+        #: pinning derived choices such as LDM's selected landmarks).
+        self._build_params: dict = {}
+        #: The user-facing build arguments, *without* the pins — what a
+        #: re-publish from scratch would pass (for LDM that re-runs
+        #: landmark selection; for the other methods it equals
+        #: :attr:`_build_params`).
+        self._publish_params: dict = {}
 
     def _shortest_path(self, source: int, target: int) -> "Path":
         """Run the provider's chosen ``algo_sp``.
@@ -75,20 +117,73 @@ class VerificationMethod(ABC):
             f"choose 'dijkstra', 'dijkstra-dict' or 'bidirectional'"
         )
 
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
     def update_edge_weight(self, u: int, v: int, weight: float,
-                           signer: "Signer") -> None:
-        """Owner-side incremental weight update.
+                           signer: "Signer") -> UpdateReport:
+        """Owner-side convenience: re-weight one edge and re-authenticate.
 
-        Only DIJ supports this (its sole ADS is the network Merkle
-        tree, refreshable in ``O(log n)`` hashes).  The hint-bearing
-        methods must rebuild: a weight change invalidates materialized
-        distances, landmark vectors and hyper-edges wholesale.
+        Equivalent to ``graph.update_edge_weight(...)`` followed by
+        :meth:`apply_update`.  All four methods support it; how much
+        work it costs depends on the method (DIJ patches two Merkle
+        leaves, the hint-bearing methods re-derive only the distance
+        rows the edge can have touched).
         """
-        raise MethodError(
-            f"{self.name} hints depend on global distances; rebuild the "
-            f"method after weight changes (only DIJ supports incremental "
-            f"updates)"
+        self.graph.update_edge_weight(u, v, weight)
+        return self.apply_update(signer)
+
+    def apply_update(self, signer: "Signer") -> UpdateReport:
+        """Absorb every graph mutation since the last sync and re-sign.
+
+        Reads the graph changelog past :attr:`_synced_version`, lets
+        the concrete method patch its authenticated structures (or
+        rebuild them where a mutation's effect is global), and leaves
+        the method holding a descriptor signed over the new roots and
+        the new graph version.  The post-update state is byte-identical
+        to a from-scratch ``build`` on the mutated graph with the same
+        (pinned) parameters.
+        """
+        graph = self.graph
+        pending = graph.mutations_since(self._synced_version)
+        if not pending:
+            return UpdateReport(self.name, "noop", 0,
+                                version=self._descriptor.version
+                                if self._descriptor else 0)
+        start = time.perf_counter()
+        mode, leaves_patched, trees_rebuilt = self._apply_mutations(
+            pending, signer)
+        self._synced_version = graph.version
+        return UpdateReport(
+            method=self.name,
+            mode=mode,
+            mutations=len(pending),
+            leaves_patched=leaves_patched,
+            trees_rebuilt=trees_rebuilt,
+            seconds=time.perf_counter() - start,
+            version=self.descriptor.version,
         )
+
+    def _apply_mutations(self, mutations: "Sequence[GraphMutation]",
+                         signer: "Signer") -> tuple[str, int, int]:
+        """Method-specific update path; default is a full rebuild.
+
+        Returns ``(mode, leaves patched, trees rebuilt)``.  Concrete
+        methods override this with incremental paths and call
+        :meth:`_rebuild` for the cases they cannot patch.
+        """
+        return self._rebuild(signer)
+
+    def _rebuild(self, signer: "Signer") -> tuple[str, int, int]:
+        """From-scratch rebuild on the current graph, in place."""
+        fresh = type(self).build(self._graph, signer, **self._build_params)
+        self.__dict__.update(fresh.__dict__)
+        return "full-rebuild", 0, self._num_trees()
+
+    def _num_trees(self) -> int:
+        """How many ADSs the method's descriptor covers."""
+        descriptor = self._descriptor
+        return len(descriptor.trees) if descriptor is not None else 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -124,8 +219,15 @@ class VerificationMethod(ABC):
         target: int,
         response: QueryResponse,
         verify_signature: SignatureVerifier,
+        *,
+        min_version: "int | None" = None,
     ) -> VerificationResult:
-        """Client role: accept or reject a response."""
+        """Client role: accept or reject a response.
+
+        ``min_version`` is the client's freshness floor: responses
+        signed under an older graph version are rejected as stale
+        replays (see :func:`repro.core.checks.verify_descriptor`).
+        """
 
     # ------------------------------------------------------------------
     @property

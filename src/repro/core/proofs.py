@@ -46,18 +46,30 @@ class TreeConfig:
 
 @dataclass(frozen=True)
 class SignedDescriptor:
-    """Owner-signed binding of method, parameters and ADS roots."""
+    """Owner-signed binding of method, parameters, version and ADS roots.
+
+    ``version`` is the graph mutation counter the descriptor was signed
+    at.  It is part of the signed message, so a provider replaying a
+    response from before an update cannot hide that the proof speaks
+    about a superseded network: a client that has learned the owner's
+    current version (out of band, like the public key) rejects any
+    older descriptor (see ``min_version`` in
+    :func:`repro.core.checks.verify_descriptor`).
+    """
 
     method: str
     hash_name: str
     params: bytes
     trees: tuple[TreeConfig, ...]
+    version: int = 0
     signature: bytes = b""
 
     def message(self) -> bytes:
         """The byte string the owner signs (everything but the signature)."""
         enc = Encoder()
-        enc.write_str(self.method).write_str(self.hash_name).write_bytes(self.params)
+        enc.write_str(self.method).write_str(self.hash_name)
+        enc.write_uint(self.version)
+        enc.write_bytes(self.params)
         enc.write_uint(len(self.trees))
         for tree in self.trees:
             enc.write_str(tree.name)
@@ -69,7 +81,7 @@ class SignedDescriptor:
     def with_signature(self, signature: bytes) -> "SignedDescriptor":
         """A copy carrying the owner's signature."""
         return SignedDescriptor(self.method, self.hash_name, self.params,
-                                self.trees, signature)
+                                self.trees, self.version, signature)
 
     def tree(self, name: str) -> TreeConfig:
         """Look up an ADS by name."""
@@ -99,13 +111,14 @@ class SignedDescriptor:
         dec = Decoder(message)
         method = dec.read_str()
         hash_name = dec.read_str()
+        version = dec.read_uint()
         params = dec.read_bytes()
         trees = tuple(
             TreeConfig(dec.read_str(), dec.read_uint(), dec.read_uint(), dec.read_bytes())
             for _ in range(dec.read_uint())
         )
         dec.expect_end()
-        return cls(method, hash_name, params, trees, signature)
+        return cls(method, hash_name, params, trees, version, signature)
 
 
 @dataclass

@@ -71,6 +71,43 @@ def encode_uvarint(value: int) -> bytes:
     return bytes(out)
 
 
+def pack_codes_rows(rows, bits: int) -> "list[bytes]":
+    """Batch bit-packing: one :meth:`Encoder.write_packed_codes`
+    bitstream (without the leading count varint) per matrix row.
+
+    ``rows`` is a ``(k, c)`` integer array; the return value is ``k``
+    byte strings, each byte-identical to the stream the per-value
+    Python packer emits for that row.  The whole batch is four
+    vectorized NumPy passes — this is what makes re-encoding hundreds
+    of landmark tuples per live update affordable.
+    """
+    import numpy as np
+
+    if bits <= 0 or bits > 64:
+        raise EncodingError(f"bits must be in [1, 64], got {bits}")
+    rows = np.asarray(rows)
+    if rows.ndim != 2:
+        raise EncodingError(f"expected a (rows, codes) matrix, got {rows.shape}")
+    if rows.size and (rows.min() < 0 or rows.max() >= (1 << bits)):
+        raise EncodingError(f"code out of range for {bits} bits")
+    k, c = rows.shape
+    if c == 0:
+        return [b""] * k
+    # Narrowest big-endian container covering the code width: unpackbits
+    # then touches 2/4/8x fewer bytes for the common small-bits cases.
+    if bits <= 16:
+        width, dtype = 16, ">u2"
+    elif bits <= 32:
+        width, dtype = 32, ">u4"
+    else:
+        width, dtype = 64, ">u8"
+    as_bytes = rows.astype(dtype).reshape(k, c, 1).view(np.uint8)
+    all_bits = np.unpackbits(as_bytes, axis=2)
+    wanted = all_bits[:, :, width - bits:].reshape(k, c * bits)
+    packed = np.packbits(wanted, axis=1)  # zero-pads the final byte, as
+    return [row.tobytes() for row in packed]  # the streaming packer does
+
+
 def zigzag_encode(value: int) -> int:
     """Map a signed integer to an unsigned one (0, -1, 1, -2 -> 0, 1, 2, 3)."""
     return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1

@@ -7,7 +7,7 @@ the HiTi grid) and whose edge weights are arbitrary non-negative costs
 """
 
 from repro.graph.components import connected_components, is_connected, largest_component
-from repro.graph.graph import Node, SpatialGraph
+from repro.graph.graph import GraphMutation, Node, SpatialGraph
 from repro.graph.index import GraphIndex, build_graph_index
 from repro.graph.synthetic import grid_network, random_geometric_network, road_network
 from repro.graph.tuples import BaseTuple, DistanceTuple, HypTuple, LdmTuple
@@ -15,6 +15,7 @@ from repro.graph.tuples import BaseTuple, DistanceTuple, HypTuple, LdmTuple
 __all__ = [
     "Node",
     "SpatialGraph",
+    "GraphMutation",
     "GraphIndex",
     "build_graph_index",
     "BaseTuple",

@@ -21,6 +21,11 @@ Design notes
 * Mutation bumps an internal version counter that invalidates the
   index and CSR caches, so callers can freely interleave edits and
   exports.
+* Every mutation is also appended to a :class:`GraphMutation`
+  changelog, so owner-side incremental re-authentication
+  (:meth:`repro.core.method.VerificationMethod.apply_update`) can
+  replay exactly the edits it has not yet absorbed instead of
+  diffing the whole graph.
 """
 
 from __future__ import annotations
@@ -32,6 +37,42 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.errors import GraphError
 from repro.graph.index import GraphIndex, build_graph_index
+
+
+#: Changelog mutation kinds.
+ADD_NODE = "add-node"
+ADD_EDGE = "add-edge"
+UPDATE_WEIGHT = "update-weight"
+REMOVE_EDGE = "remove-edge"
+
+#: Mutation kinds that change the adjacency *structure* (not just a
+#: weight).  Adjacency-dependent leaf orderings (bfs/dfs) are only
+#: stable across weight changes, so incremental re-authentication
+#: checks pending mutations against this set.
+TOPOLOGY_KINDS = frozenset({ADD_NODE, ADD_EDGE, REMOVE_EDGE})
+
+
+@dataclass(frozen=True, slots=True)
+class GraphMutation:
+    """One changelog entry: what changed and the version it produced.
+
+    ``old_weight`` carries the pre-mutation weight for
+    ``update-weight`` / ``remove-edge`` entries (``nan`` otherwise);
+    incremental re-authentication needs it to decide which distances a
+    weight change can possibly have touched.
+    """
+
+    kind: str
+    u: int
+    v: int = -1
+    weight: float = math.nan
+    old_weight: float = math.nan
+    version: int = 0
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """``(u, v)`` for edge mutations."""
+        return (self.u, self.v)
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,7 +99,7 @@ class SpatialGraph:
     """
 
     __slots__ = ("_nodes", "_adj", "_num_edges", "_version", "_csr_cache",
-                 "_index_cache")
+                 "_index_cache", "_changelog", "_changelog_base")
 
     def __init__(self) -> None:
         self._nodes: dict[int, Node] = {}
@@ -67,6 +108,19 @@ class SpatialGraph:
         self._version = 0
         self._csr_cache: tuple[int, object] | None = None
         self._index_cache: tuple[int, GraphIndex] | None = None
+        self._changelog: list[GraphMutation] = []
+        #: Version of the oldest retained changelog entry minus one —
+        #: entries before it were dropped by :meth:`trim_changelog`.
+        self._changelog_base = 0
+
+    def _record(self, kind: str, u: int, v: int = -1,
+                weight: float = math.nan,
+                old_weight: float = math.nan) -> None:
+        """Bump the version and append the matching changelog entry."""
+        self._version += 1
+        self._changelog.append(GraphMutation(
+            kind, u, v, weight, old_weight, self._version,
+        ))
 
     # ------------------------------------------------------------------
     # construction
@@ -82,10 +136,14 @@ class SpatialGraph:
             return
         self._nodes[node_id] = Node(node_id, float(x), float(y))
         self._adj[node_id] = {}
-        self._version += 1
+        self._record(ADD_NODE, node_id)
 
     def add_edge(self, u: int, v: int, weight: float) -> None:
-        """Add an undirected edge; both endpoints must already exist."""
+        """Add an undirected edge; both endpoints must already exist.
+
+        Re-adding an existing edge overwrites its weight and is logged
+        as an ``update-weight`` mutation (not a structural change).
+        """
         if u == v:
             raise GraphError(f"self-loop on node {u} is not allowed")
         if u not in self._nodes or v not in self._nodes:
@@ -94,20 +152,43 @@ class SpatialGraph:
         weight = float(weight)
         if weight < 0 or math.isnan(weight) or math.isinf(weight):
             raise GraphError(f"edge ({u}, {v}) has invalid weight {weight}")
-        if v not in self._adj[u]:
+        old = self._adj[u].get(v)
+        if old is None:
             self._num_edges += 1
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+            self._record(ADD_EDGE, u, v, weight)
+            return
         self._adj[u][v] = weight
         self._adj[v][u] = weight
-        self._version += 1
+        self._record(UPDATE_WEIGHT, u, v, weight, old)
 
-    def remove_edge(self, u: int, v: int) -> None:
-        """Remove an undirected edge (used by tamper/ablation tooling)."""
+    def update_edge_weight(self, u: int, v: int, weight: float) -> None:
+        """Re-weight an *existing* undirected edge.
+
+        The explicit live-update entry point: unlike :meth:`add_edge`
+        it refuses to create the edge, so a typo'd node pair fails
+        loudly instead of silently growing the network.
+        """
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u}, {v}) does not exist")
+        weight = float(weight)
+        if weight < 0 or math.isnan(weight) or math.isinf(weight):
+            raise GraphError(f"edge ({u}, {v}) has invalid weight {weight}")
+        old = self._adj[u][v]
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._record(UPDATE_WEIGHT, u, v, weight, old)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove an undirected edge (closures, tamper/ablation tooling)."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        old = self._adj[u][v]
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
-        self._version += 1
+        self._record(REMOVE_EDGE, u, v, math.nan, old)
 
     # ------------------------------------------------------------------
     # queries
@@ -163,6 +244,65 @@ class SpatialGraph:
         comparison.
         """
         return self._version
+
+    @property
+    def changelog(self) -> tuple[GraphMutation, ...]:
+        """The retained mutation history, oldest first."""
+        return tuple(self._changelog)
+
+    def mutations_since(self, version: int) -> tuple[GraphMutation, ...]:
+        """Mutations applied after the graph was at *version*.
+
+        Every version bump appends exactly one changelog entry, so the
+        slice is an O(1) index, not a scan.  Raises when *version* is
+        ahead of the graph or behind the retained history (entries
+        dropped by :meth:`trim_changelog`).
+        """
+        if not self._changelog_base <= version <= self._version:
+            raise GraphError(
+                f"version {version} outside the retained changelog "
+                f"[{self._changelog_base}, {self._version}]"
+            )
+        return tuple(self._changelog[version - self._changelog_base:])
+
+    def trim_changelog(self, before_version: int) -> None:
+        """Drop changelog entries at or below *before_version*.
+
+        A long-lived owner absorbing a steady update stream calls this
+        with the version every consumer has already synced past
+        (:class:`~repro.service.server.ProofServer` does so after each
+        successful update batch), keeping memory flat.  Trimming never
+        touches the graph itself; it only limits how far back
+        :meth:`mutations_since` and :meth:`rollback_to` can reach.
+        """
+        before_version = min(before_version, self._version)
+        if before_version <= self._changelog_base:
+            return
+        del self._changelog[: before_version - self._changelog_base]
+        self._changelog_base = before_version
+
+    def rollback_to(self, version: int) -> None:
+        """Inverse-apply retained mutations back to the state at *version*.
+
+        Restores nodes/edges/weights as of *version* by applying each
+        newer edge mutation in reverse (the changelog records old
+        weights).  The version counter keeps moving forward — a
+        rollback is itself a sequence of mutations, so caches and
+        derived structures invalidate normally.  Node additions have
+        no inverse and raise.
+        """
+        for mutation in reversed(self.mutations_since(version)):
+            if mutation.kind == UPDATE_WEIGHT:
+                self.update_edge_weight(mutation.u, mutation.v,
+                                        mutation.old_weight)
+            elif mutation.kind == ADD_EDGE:
+                self.remove_edge(mutation.u, mutation.v)
+            elif mutation.kind == REMOVE_EDGE:
+                self.add_edge(mutation.u, mutation.v, mutation.old_weight)
+            else:
+                raise GraphError(
+                    f"cannot roll back mutation kind {mutation.kind!r}"
+                )
 
     @property
     def num_nodes(self) -> int:
@@ -233,7 +373,20 @@ class SpatialGraph:
         """
         if self._index_cache is not None and self._index_cache[0] == self._version:
             return self._index_cache[1]
-        index = build_graph_index(self._adj)
+        index = None
+        if self._index_cache is not None and \
+                self._index_cache[0] >= self._changelog_base:
+            cached_version, cached = self._index_cache
+            pending = self._changelog[cached_version - self._changelog_base:]
+            if pending and all(m.kind == UPDATE_WEIGHT for m in pending):
+                # Weight-only drift: topology arrays are still valid, so
+                # patch a shared-topology sibling instead of recompiling
+                # (identical output; the live-update hot path).
+                index = cached.with_updated_weights(
+                    (m.u, m.v, m.weight) for m in pending
+                )
+        if index is None:
+            index = build_graph_index(self._adj)
         self._index_cache = (self._version, index)
         return index
 

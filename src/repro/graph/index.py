@@ -24,6 +24,8 @@ on mutation, exactly like the CSR export.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.errors import GraphError
 
 
@@ -78,6 +80,29 @@ class GraphIndex:
                 np.asarray(self.weights, dtype=np.float64),
             )
         return self._np_cache
+
+    def with_updated_weights(self, edges) -> "GraphIndex":
+        """A sibling snapshot with re-weighted edges, topology shared.
+
+        *edges* yields ``(u id, v id, weight)``.  Weight-only mutations
+        leave ``ids`` / ``indptr`` / ``neighbors`` untouched, so the
+        new snapshot shares them and only copies the weights array —
+        this is the live-update fast path behind
+        :meth:`SpatialGraph.to_index`, identical to a full recompile.
+        Raises :class:`GraphError` when an edge does not exist.
+        """
+        weights = list(self.weights)
+        indptr, neighbors = self.indptr, self.neighbors
+        for u, v, weight in edges:
+            iu, iv = self.index(u), self.index(v)
+            for a, b in ((iu, iv), (iv, iu)):
+                lo, hi = indptr[a], indptr[a + 1]
+                # Neighbor runs are sorted by neighbor index (= id order).
+                slot = bisect_left(neighbors, b, lo, hi)
+                if slot >= hi or neighbors[slot] != b:
+                    raise GraphError(f"edge ({u}, {v}) is not in the index")
+                weights[slot] = float(weight)
+        return GraphIndex(self.ids, self.index_of, indptr, neighbors, weights)
 
     def csr_matrix(self):
         """SciPy CSR matrix of weights in index order (cached).

@@ -33,12 +33,17 @@ class HyperEdgeSet:
     """All-pairs border distances with triangle indexing.
 
     ``distances[i, j]`` is the exact graph distance between
-    ``borders[i]`` and ``borders[j]``.
+    ``borders[i]`` and ``borders[j]``.  ``source_rows`` optionally
+    keeps the raw per-border multi-source rows over *every* node
+    (pre-slicing, pre-symmetrization): incremental updates need them
+    both to decide which borders a mutated edge can have affected and
+    to re-symmetrize after recomputing only those rows.
     """
 
-    __slots__ = ("borders", "position_of", "distances")
+    __slots__ = ("borders", "position_of", "distances", "source_rows")
 
-    def __init__(self, borders: "list[int]", distances: np.ndarray) -> None:
+    def __init__(self, borders: "list[int]", distances: np.ndarray,
+                 source_rows: "np.ndarray | None" = None) -> None:
         if distances.shape != (len(borders), len(borders)):
             raise GraphError(
                 f"distance matrix shape {distances.shape} does not match "
@@ -47,6 +52,7 @@ class HyperEdgeSet:
         self.borders = list(borders)
         self.position_of = {b: i for i, b in enumerate(borders)}
         self.distances = distances
+        self.source_rows = source_rows
 
     @property
     def num_borders(self) -> int:
@@ -101,4 +107,4 @@ def compute_hyperedges(graph: SpatialGraph, borders: "list[int]") -> HyperEdgeSe
     # Runs from different sources agree only up to float rounding;
     # symmetrize so W*(a, b) is one well-defined value.
     matrix = np.minimum(matrix, matrix.T)
-    return HyperEdgeSet(borders, matrix)
+    return HyperEdgeSet(borders, matrix, source_rows=all_dist)

@@ -159,6 +159,67 @@ def compress_exact_greedy(
     return result
 
 
+def compression_plan(compressed: CompressedVectors) -> "dict[int, int]":
+    """The follower → representative assignment behind a compression.
+
+    The *plan* is the scan's expensive output; the ε values are cheap
+    functions of the current codes.  Pinning the plan (like pinning the
+    landmark set) lets the live-update path refresh a compression in a
+    few vectorized operations — see :func:`apply_compression_plan`.
+    """
+    return {node_id: theta for node_id, (theta, _) in compressed.ref_of.items()}
+
+
+def apply_compression_plan(
+    ids: "list[int]",
+    codes: np.ndarray,
+    spec: QuantizationSpec,
+    xi: float,
+    plan: "dict[int, int]",
+) -> "tuple[CompressedVectors, np.ndarray, np.ndarray]":
+    """Re-derive a compression from a pinned plan and fresh codes.
+
+    Every planned follower is re-measured against its representative:
+    within ξ it stays compressed with the recomputed (honest) ε; drifted
+    beyond ξ it is *promoted* to carrying its own codes, so the ε ≤ ξ
+    invariant Lemma 4 rests on holds unconditionally.  Promoted nodes do
+    not become representatives for anyone else, so the result is a pure
+    function of ``(ids, codes, spec, xi, plan)`` — a rebuild given the
+    same plan reproduces it byte for byte.  On the codes that produced
+    the plan, the output equals the original scan's output exactly.
+
+    Returns ``(compressed, eff_codes, eff_eps)`` where the ``eff_*``
+    arrays equal ``compressed.effective_arrays(ids)`` (computed here
+    for free from the plan's index arrays).
+    """
+    xi_units = _xi_units(xi, spec)
+    cols = np.ascontiguousarray(codes.T)
+    index_of = {node_id: i for i, node_id in enumerate(ids)}
+    result = CompressedVectors(spec=spec)
+    eff_codes = cols.astype(np.int64)
+    eff_eps = np.zeros(len(ids), dtype=np.int64)
+    planned = sorted(plan)
+    if planned:
+        follower_idx = np.fromiter((index_of[f] for f in planned),
+                                   dtype=np.intp, count=len(planned))
+        rep_idx = np.fromiter((index_of[plan[f]] for f in planned),
+                              dtype=np.intp, count=len(planned))
+        deltas = np.abs(cols[follower_idx] - cols[rep_idx]).max(axis=1)
+        kept = deltas <= xi_units
+        for k, follower in enumerate(planned):
+            if kept[k]:
+                result.ref_of[follower] = (plan[follower], int(deltas[k]))
+            else:
+                result.codes_of[follower] = cols[follower_idx[k]]
+        eff_codes[follower_idx[kept]] = cols[rep_idx[kept]]
+        eff_eps[follower_idx[kept]] = deltas[kept]
+    in_plan = set(plan)
+    for i, node_id in enumerate(ids):
+        if node_id not in in_plan:
+            result.codes_of[node_id] = cols[i]
+    return result, eff_codes, eff_eps
+
+
 def compress_leader(
     ids: "list[int]",
     codes: np.ndarray,

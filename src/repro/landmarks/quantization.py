@@ -56,17 +56,32 @@ class QuantizationSpec:
         return self.lam * code
 
 
-def quantize_vectors(vectors: np.ndarray, bits: int) -> "tuple[np.ndarray, QuantizationSpec]":
+def quantize_vectors(
+    vectors: np.ndarray,
+    bits: int,
+    *,
+    spec: "QuantizationSpec | None" = None,
+) -> "tuple[np.ndarray, QuantizationSpec]":
     """Quantize a ``(c, n)`` distance matrix to integer codes.
 
     Returns ``(codes, spec)`` where ``codes`` is an ``(c, n)`` int32
-    array of values in ``[0, 2^bits - 1]``.
+    array of values in ``[0, 2^bits - 1]``.  Passing an explicit *spec*
+    pins the grid (the live-update path does: λ is part of the signed
+    parameters, so it must not drift with every re-weight); distances
+    beyond the pinned ``d_max`` saturate at the top code, which only
+    *under*-estimates them — the Lemma 3 bound stays admissible, merely
+    looser, until the owner re-publishes with a fresh grid.
     """
-    spec = QuantizationSpec.for_vectors(vectors, bits)
+    if spec is None:
+        spec = QuantizationSpec.for_vectors(vectors, bits)
+    elif spec.bits != bits:
+        raise GraphError(f"spec is {spec.bits}-bit, requested {bits}")
     # Round half *up* (the paper's Fig. 6a quantizes 9/2 to 5, not to the
     # even 4 that banker's rounding would give).  |d - dist_b| <= lam/2
-    # holds either way, which is all Lemma 3 needs.
+    # holds either way, which is all Lemma 3 needs.  The clip is a no-op
+    # when the spec was derived from these vectors.
     codes = np.floor(vectors / spec.lam + 0.5).astype(np.int32)
+    np.clip(codes, 0, (1 << bits) - 1, out=codes)
     return codes, spec
 
 

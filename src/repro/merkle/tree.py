@@ -155,34 +155,56 @@ class MerkleTree:
         road networks (weight updates, closures) affordable: the owner
         re-signs the new root instead of rebuilding the tree.
         """
-        if not 0 <= index < self._num_leaves:
-            raise MerkleError(f"leaf index {index} out of range")
+        self.update_leaves({index: payload})
+
+    def update_leaves(self, payloads: "Mapping[int, bytes]") -> None:
+        """Replace a batch of leaf payloads and refresh shared root paths.
+
+        The batch form of :meth:`update_leaf`, and what the incremental
+        re-authentication paths call: each level buffer is copied
+        *once* per batch (``update_leaf`` in a loop would copy the full
+        leaf level per call — ruinous on the million-leaf FULL distance
+        tree), digests along overlapping root paths are recomputed
+        once, and the result is identical to applying the updates one
+        at a time.
+        """
+        if not payloads:
+            return
+        indices = sorted(payloads)
+        if indices[0] < 0 or indices[-1] >= self._num_leaves:
+            raise MerkleError(
+                f"leaf indices must be in [0, {self._num_leaves}); got "
+                f"[{indices[0]}, {indices[-1]}]"
+            )
         d = self.hash_fn.digest_size
         f = self.fanout
-        factory = self.hash_fn.new
-
-        hasher = factory()
-        hasher.update(_LEAF_TAG)
-        hasher.update(payload)
-        digest = hasher.digest()
+        factory = self.hash_fn.factory
 
         levels = self._levels
         level0 = bytearray(levels[0])
-        level0[index * d : (index + 1) * d] = digest
+        for index in indices:
+            digest = factory(_LEAF_TAG + payloads[index]).digest()
+            level0[index * d : (index + 1) * d] = digest
         levels[0] = bytes(level0)
 
-        child = index
+        frontier = indices
         for level in range(1, len(levels)):
-            parent = child // f
-            child_count = len(levels[level - 1]) // d
-            lo, hi = parent * f, min((parent + 1) * f, child_count)
-            hasher = factory()
-            hasher.update(_NODE_TAG)
-            hasher.update(levels[level - 1][lo * d : hi * d])
+            below = levels[level - 1]
+            child_count = len(below) // d
+            parents: list[int] = []
+            previous = -1
+            for child in frontier:
+                parent = child // f
+                if parent != previous:
+                    parents.append(parent)
+                    previous = parent
             row = bytearray(levels[level])
-            row[parent * d : (parent + 1) * d] = hasher.digest()
+            for parent in parents:
+                lo, hi = parent * f, min((parent + 1) * f, child_count)
+                digest = factory(_NODE_TAG + below[lo * d : hi * d]).digest()
+                row[parent * d : (parent + 1) * d] = digest
             levels[level] = bytes(row)
-            child = parent
+            frontier = parents
 
     def prove(self, disclosed: "Sequence[int] | set[int]") -> list[MerkleProofEntry]:
         """Integrity proof ΓT for the *disclosed* leaf indices.

@@ -25,13 +25,17 @@ from repro.service.server import (
     ProofRequest,
     ProofServer,
     ServedResponse,
+    UpdateRequest,
 )
+from repro.service.sync import ReadWriteLock
 
 __all__ = [
     "ProofServer",
     "ProofRequest",
+    "UpdateRequest",
     "ServedResponse",
     "BurstResult",
+    "ReadWriteLock",
     "ProofCache",
     "CacheEntry",
     "CacheStats",

@@ -10,11 +10,11 @@ keyed by that triple.
 Staleness is handled through the graph's mutation counter
 (:attr:`~repro.graph.graph.SpatialGraph.version`): every lookup and
 insert carries the version the caller observed, and the first operation
-that arrives with a different version drops the whole cache.  A graph
-mutation invalidates materialized distances wholesale (only DIJ can even
-refresh its tree incrementally), so per-entry invalidation would buy
-nothing — after a rebuild or an incremental re-sign, every cached proof
-carries a dead descriptor.
+that arrives with a different version drops the whole cache.  Per-entry
+invalidation would buy nothing: however incrementally the owner patched
+the hints (:meth:`~repro.core.method.VerificationMethod.apply_update`),
+the re-signed descriptor supersedes every cached proof at once — each
+one carries the old root and the old version.
 
 The cache is thread-safe; :class:`~repro.service.server.ProofServer`
 shares one instance across its worker threads.

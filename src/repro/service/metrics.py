@@ -40,6 +40,8 @@ class MetricsSnapshot:
     proof_bytes: int
     p50_ms: float
     p95_ms: float
+    updates: int = 0
+    update_seconds: float = 0.0
 
     @property
     def qps(self) -> float:
@@ -70,7 +72,16 @@ class MetricsSnapshot:
             "proof_bytes": self.proof_bytes,
             "p50_ms": self.p50_ms,
             "p95_ms": self.p95_ms,
+            "updates": self.updates,
+            "update_seconds": self.update_seconds,
         }
+
+    @property
+    def update_ms_mean(self) -> float:
+        """Mean owner-update latency over the window, in milliseconds."""
+        if not self.updates:
+            return 0.0
+        return 1000.0 * self.update_seconds / self.updates
 
 
 class ServerMetrics:
@@ -88,6 +99,8 @@ class ServerMetrics:
             self._hits = 0
             self._misses = 0
             self._bytes = 0
+            self._updates = 0
+            self._update_seconds = 0.0
 
     def record(self, latency_seconds: float, proof_bytes: int,
                *, cached: bool) -> None:
@@ -99,6 +112,12 @@ class ServerMetrics:
             else:
                 self._misses += 1
             self._bytes += proof_bytes
+
+    def record_update(self, seconds: float) -> None:
+        """Record one applied owner update (re-auth latency included)."""
+        with self._lock:
+            self._updates += 1
+            self._update_seconds += seconds
 
     def snapshot(self) -> MetricsSnapshot:
         """Freeze the current window (the window keeps accumulating)."""
@@ -112,4 +131,6 @@ class ServerMetrics:
                 proof_bytes=self._bytes,
                 p50_ms=percentile(latencies, 0.50) * 1000.0,
                 p95_ms=percentile(latencies, 0.95) * 1000.0,
+                updates=self._updates,
+                update_seconds=self._update_seconds,
             )

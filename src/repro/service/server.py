@@ -18,8 +18,16 @@ concerns around the unchanged proof machinery:
   responses for later single-query traffic;
 * **concurrency** — a thread-pool mode answers independent requests in
   parallel (cache and metrics are lock-protected);
+* **live updates** — :meth:`ProofServer.apply_updates` mutates the
+  graph and incrementally re-authenticates the wrapped method under
+  the exclusive side of a reader/writer gate
+  (:class:`~repro.service.sync.ReadWriteLock`), while queries hold the
+  shared side: proofs never observe a half-applied update, and the
+  version bump drops the cache so no post-update request replays a
+  stale proof;
 * **metrics** — :class:`~repro.service.metrics.ServerMetrics` tracks
-  QPS, p50/p95 serve latency, cache hit rate and proof bytes served.
+  QPS, p50/p95 serve latency, cache hit rate, proof bytes served and
+  update latency.
 
 Per-query failures (unknown node, unreachable target) are *error
 responses*, not exceptions: a long-lived server must keep serving the
@@ -38,11 +46,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.batch import BatchResponse, combine_responses
-from repro.core.method import VerificationMethod
+from repro.core.method import UpdateReport, VerificationMethod
 from repro.core.proofs import QueryResponse
+from repro.crypto.signer import Signer
 from repro.errors import ReproError, ServiceError
 from repro.service.cache import DEFAULT_CAPACITY, CacheKey, ProofCache
 from repro.service.metrics import MetricsSnapshot, ServerMetrics
+from repro.service.sync import ReadWriteLock
+from repro.workload.updates import GraphUpdate
 
 
 @dataclass(frozen=True)
@@ -56,6 +67,15 @@ class ProofRequest:
     def pair(self) -> tuple[int, int]:
         """``(source, target)``."""
         return (self.source, self.target)
+
+
+#: One owner mutation as received by the server: kind (one of
+#: ``"update-weight"`` / ``"add-edge"`` / ``"remove-edge"`` — the
+#: changelog vocabulary minus node additions, which a serving
+#: deployment handles as a re-publish), endpoints, and weight.  The
+#: server speaks the same type the update workload generator emits, so
+#: generated streams feed :meth:`ProofServer.apply_updates` directly.
+UpdateRequest = GraphUpdate
 
 
 @dataclass(frozen=True)
@@ -108,13 +128,25 @@ class ProofServer:
 
     def __init__(self, method: VerificationMethod, *,
                  cache_size: int = DEFAULT_CAPACITY,
-                 max_workers: int = 4) -> None:
+                 max_workers: int = 4,
+                 trim_changelog: bool = True) -> None:
+        """``trim_changelog`` keeps the graph changelog bounded by
+        dropping entries this server's method has absorbed after each
+        successful update batch (memory stays flat under a steady
+        update stream).  Disable it when other consumers — a second
+        method built on the same graph object — still need the older
+        entries for their own ``apply_update``.
+        """
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         self.method = method
         self.cache = ProofCache(cache_size)
         self.metrics = ServerMetrics()
         self.max_workers = max_workers
+        self.trim_changelog = trim_changelog
+        #: Queries hold the shared side, updates the exclusive side, so
+        #: a proof never assembles against a half-applied update.
+        self._update_gate = ReadWriteLock()
 
     # ------------------------------------------------------------------
     def _key(self, source: int, target: int) -> CacheKey:
@@ -138,19 +170,29 @@ class ProofServer:
 
     # ------------------------------------------------------------------
     def answer(self, source: int, target: int) -> ServedResponse:
-        """Serve one query, from cache when possible."""
+        """Serve one query, from cache when possible.
+
+        The whole request — version read, cache probe, proof
+        computation, store — runs under the shared side of the update
+        gate, so it observes exactly one graph version: once an update
+        has committed, no request can replay a pre-update proof (the
+        version read under the gate is post-update, and the cache's
+        version sync retires the old entries on that very probe).
+        """
         start = time.perf_counter()
-        version = self._version()
-        entry = self.cache.get(self._key(source, target), version)
-        if entry is not None:
-            elapsed = time.perf_counter() - start
-            self.metrics.record(elapsed, entry.proof_bytes, cached=True)
-            return ServedResponse(entry.response, True, elapsed, entry.proof_bytes)
-        try:
-            response = self.method.answer(source, target)
-        except ReproError as exc:
-            return self._error(start, exc)
-        proof_bytes = self._store(source, target, version, response)
+        with self._update_gate.read():
+            version = self._version()
+            entry = self.cache.get(self._key(source, target), version)
+            if entry is not None:
+                elapsed = time.perf_counter() - start
+                self.metrics.record(elapsed, entry.proof_bytes, cached=True)
+                return ServedResponse(entry.response, True, elapsed,
+                                      entry.proof_bytes)
+            try:
+                response = self.method.answer(source, target)
+            except ReproError as exc:
+                return self._error(start, exc)
+            proof_bytes = self._store(source, target, version, response)
         elapsed = time.perf_counter() - start
         self.metrics.record(elapsed, proof_bytes, cached=False)
         return ServedResponse(response, False, elapsed, proof_bytes)
@@ -180,55 +222,60 @@ class ProofServer:
         if not (coalesce and self.method.supports_batching):
             return BurstResult(tuple(self.answer(vs, vt) for vs, vt in queries))
 
-        version = self._version()
-        served: "list[ServedResponse | None]" = [None] * len(queries)
-        miss_indices: "dict[tuple[int, int], list[int]]" = {}
-        for index, (vs, vt) in enumerate(queries):
-            lookup_start = time.perf_counter()
-            entry = self.cache.get(self._key(vs, vt), version)
-            if entry is not None:
-                elapsed = time.perf_counter() - lookup_start
-                self.metrics.record(elapsed, entry.proof_bytes, cached=True)
-                served[index] = ServedResponse(entry.response, True, elapsed,
-                                               entry.proof_bytes)
-            else:
-                miss_indices.setdefault((vs, vt), []).append(index)
-
-        batch_start = time.perf_counter()
-        responses: "dict[tuple[int, int], QueryResponse]" = {}
-        for pair in miss_indices:
-            try:
-                responses[pair] = self.method.answer(pair[0], pair[1])
-            except ReproError as exc:
-                failed = self._error(batch_start, exc)
-                for extra in miss_indices[pair][1:]:
-                    # Errors are not cached, so repeats fail afresh.
-                    self.metrics.record(0.0, 0, cached=False)
-                for index in miss_indices[pair]:
-                    served[index] = failed
-                batch_start = time.perf_counter()
-
         combined: "BatchResponse | None" = None
-        amortized_wire: "int | None" = None
-        if len(responses) > 1:
-            combined = combine_responses(self.method, list(responses),
-                                         list(responses.values()))
-            amortized_wire = -(-combined.total_bytes // len(responses))
-        if responses:
-            per_query = (time.perf_counter() - batch_start) / len(responses)
-            for pair, response in responses.items():
-                proof_bytes = self._store(pair[0], pair[1], version, response)
-                first, *duplicates = miss_indices[pair]
-                wire = amortized_wire if amortized_wire is not None else proof_bytes
-                self.metrics.record(per_query, wire, cached=False)
-                served[first] = ServedResponse(response, False, per_query,
-                                               proof_bytes)
-                for index in duplicates:
-                    # Repeats within the burst replay the entry just
-                    # cached, mirroring the non-coalesced path.
-                    self.metrics.record(0.0, proof_bytes, cached=True)
-                    served[index] = ServedResponse(response, True, 0.0,
+        # One shared-gate acquisition covers the cache scan and the
+        # miss computation, so the whole burst observes a single graph
+        # version — an update either precedes the burst (hits are
+        # retired by the version sync) or follows it entirely.
+        with self._update_gate.read():
+            version = self._version()
+            served: "list[ServedResponse | None]" = [None] * len(queries)
+            miss_indices: "dict[tuple[int, int], list[int]]" = {}
+            for index, (vs, vt) in enumerate(queries):
+                lookup_start = time.perf_counter()
+                entry = self.cache.get(self._key(vs, vt), version)
+                if entry is not None:
+                    elapsed = time.perf_counter() - lookup_start
+                    self.metrics.record(elapsed, entry.proof_bytes, cached=True)
+                    served[index] = ServedResponse(entry.response, True, elapsed,
+                                                   entry.proof_bytes)
+                else:
+                    miss_indices.setdefault((vs, vt), []).append(index)
+
+            batch_start = time.perf_counter()
+            responses: "dict[tuple[int, int], QueryResponse]" = {}
+            for pair in miss_indices:
+                try:
+                    responses[pair] = self.method.answer(pair[0], pair[1])
+                except ReproError as exc:
+                    failed = self._error(batch_start, exc)
+                    for extra in miss_indices[pair][1:]:
+                        # Errors are not cached, so repeats fail afresh.
+                        self.metrics.record(0.0, 0, cached=False)
+                    for index in miss_indices[pair]:
+                        served[index] = failed
+                    batch_start = time.perf_counter()
+
+            amortized_wire: "int | None" = None
+            if len(responses) > 1:
+                combined = combine_responses(self.method, list(responses),
+                                             list(responses.values()))
+                amortized_wire = -(-combined.total_bytes // len(responses))
+            if responses:
+                per_query = (time.perf_counter() - batch_start) / len(responses)
+                for pair, response in responses.items():
+                    proof_bytes = self._store(pair[0], pair[1], version, response)
+                    first, *duplicates = miss_indices[pair]
+                    wire = amortized_wire if amortized_wire is not None else proof_bytes
+                    self.metrics.record(per_query, wire, cached=False)
+                    served[first] = ServedResponse(response, False, per_query,
                                                    proof_bytes)
+                    for index in duplicates:
+                        # Repeats within the burst replay the entry just
+                        # cached, mirroring the non-coalesced path.
+                        self.metrics.record(0.0, proof_bytes, cached=True)
+                        served[index] = ServedResponse(response, True, 0.0,
+                                                       proof_bytes)
         return BurstResult(
             tuple(s for s in served if s is not None), combined)
 
@@ -249,6 +296,75 @@ class ProofServer:
             raise ServiceError(f"max_workers must be >= 1, got {workers}")
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(lambda q: self.answer(q[0], q[1]), queries))
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    @property
+    def descriptor_version(self) -> int:
+        """Graph version of the currently-signed descriptor.
+
+        This is what the owner announces to clients as their freshness
+        floor (``min_version``) after an update round.
+        """
+        return self.method.descriptor.version
+
+    def apply_updates(self, updates: "list[UpdateRequest]",
+                      signer: Signer) -> UpdateReport:
+        """Apply owner mutations and incrementally re-authenticate.
+
+        Runs under the exclusive side of the update gate: in-flight
+        queries drain first, queued queries (including the thread-pool
+        mode's) wait, and once the method re-signs, the graph version
+        bump retires every cached proof at the next lookup.  The batch
+        is atomic from the server's point of view: if any mutation or
+        the re-authentication fails (an invalid edge, a removal that
+        disconnects the network), the graph is rolled back to its
+        pre-batch state and the method re-synced to it before the
+        error propagates, so the server keeps serving verifiable
+        responses for the old network instead of searching a graph its
+        signed trees no longer describe.
+        Returns the method's :class:`~repro.core.method.UpdateReport`;
+        the update latency is also metered into the current window.
+        """
+        if not updates:
+            raise ServiceError("empty update batch")
+        start = time.perf_counter()
+        with self._update_gate.write():
+            graph = self.method.graph
+            base_version = graph.version
+            try:
+                for update in updates:
+                    update.apply(graph)
+                report = self.method.apply_update(signer)
+            except Exception:
+                graph.rollback_to(base_version)
+                try:
+                    # Re-sync the method against the restored graph:
+                    # the method-specific paths order validation before
+                    # commits, but an unexpected late failure (say a
+                    # transient signer error after leaves were patched)
+                    # may have left half-applied hint state.  Replaying
+                    # the batch+inverse pairs patches any such leaves
+                    # back and re-signs the original roots.
+                    self.method.apply_update(signer)
+                except Exception:
+                    # Still failing (broken signer): the next successful
+                    # apply_update heals the same way.
+                    pass
+                raise
+            if self.trim_changelog:
+                # The method has absorbed everything up to this point;
+                # earlier entries are dead weight on a long-lived server.
+                graph.trim_changelog(base_version)
+        self.metrics.record_update(time.perf_counter() - start)
+        return report
+
+    def update_edge_weight(self, u: int, v: int, weight: float,
+                           signer: Signer) -> UpdateReport:
+        """Convenience wrapper for a single re-weight update."""
+        return self.apply_updates(
+            [UpdateRequest("update-weight", u, v, weight)], signer)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:

@@ -1,0 +1,216 @@
+"""Update-heavy workload generation for the live-update pipeline.
+
+The query workloads (:mod:`repro.workload.queries`) model read traffic;
+this module models the *owner's* write traffic: streams of edge
+re-weights (congestion), insertions (new road segments) and removals
+(closures) that the incremental re-authentication path must absorb.
+
+Generation is seeded and self-consistent: updates are drawn against a
+scratch copy of the graph that replays them as they are emitted, so a
+generated stream never re-removes a missing edge, never duplicates an
+insertion, and never disconnects the network (removals are only drawn
+from cycle edges — FULL, LDM and HYP all require a connected graph).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.graph.graph import ADD_EDGE, REMOVE_EDGE, UPDATE_WEIGHT, SpatialGraph
+
+#: Update kinds — re-exported from the graph changelog vocabulary so
+#: generated streams, the server's dispatch and the incremental filter
+#: all speak the same strings.
+__all__ = [
+    "UPDATE_WEIGHT", "ADD_EDGE", "REMOVE_EDGE",
+    "GraphUpdate", "UpdateWorkload", "generate_update_workload", "interleave",
+]
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """One owner mutation, ready to apply to a :class:`SpatialGraph`."""
+
+    kind: str
+    u: int
+    v: int
+    weight: float = 0.0
+
+    def apply(self, graph: SpatialGraph) -> None:
+        """Apply this update (the graph changelog records it)."""
+        if self.kind == UPDATE_WEIGHT:
+            graph.update_edge_weight(self.u, self.v, self.weight)
+        elif self.kind == ADD_EDGE:
+            graph.add_edge(self.u, self.v, self.weight)
+        elif self.kind == REMOVE_EDGE:
+            graph.remove_edge(self.u, self.v)
+        else:
+            raise WorkloadError(f"unknown update kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class UpdateWorkload:
+    """A batch of owner mutations, in application order."""
+
+    updates: tuple[GraphUpdate, ...]
+
+    def __iter__(self):
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def apply_all(self, graph: SpatialGraph) -> None:
+        """Apply every update in order."""
+        for update in self.updates:
+            update.apply(graph)
+
+
+def _still_connected(graph: SpatialGraph, u: int, v: int) -> bool:
+    """Whether *u* still reaches *v* if edge (u, v) were removed (BFS)."""
+    seen = {u}
+    queue = deque([u])
+    while queue:
+        node = queue.popleft()
+        for nbr in graph.neighbors(node):
+            if node == u and nbr == v:
+                continue  # pretend the edge is gone
+            if nbr == v:
+                return True
+            if nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    return False
+
+
+def generate_update_workload(
+    graph: SpatialGraph,
+    count: int,
+    *,
+    seed: int = 0,
+    kinds: "tuple[str, ...]" = (UPDATE_WEIGHT, ADD_EDGE, REMOVE_EDGE),
+    weights: "tuple[float, ...] | None" = None,
+    jitter: tuple[float, float] = (0.5, 2.0),
+    max_attempts_factor: int = 50,
+) -> UpdateWorkload:
+    """Generate *count* seeded, self-consistent owner mutations.
+
+    ``kinds``/``weights`` set the mix (defaults: uniform over the three
+    kinds).  Re-weights scale an existing edge by a factor drawn from
+    ``jitter``; insertions connect a node to a nearby non-neighbor with
+    a weight matching the graph's cost-per-coordinate-distance ratio;
+    removals only pick edges whose loss keeps the network connected.
+    Raises :class:`WorkloadError` when the graph cannot satisfy the mix
+    (e.g. removals requested on a tree).
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if not kinds or any(
+        k not in (UPDATE_WEIGHT, ADD_EDGE, REMOVE_EDGE) for k in kinds
+    ):
+        raise WorkloadError(f"invalid update kinds {kinds!r}")
+    rng = random.Random(seed)
+    working = graph.copy()
+    ids = working.node_ids()
+    if len(ids) < 2 or working.num_edges == 0:
+        raise WorkloadError("graph has no edges to mutate")
+
+    # Cost model for insertions: median weight per unit of coordinate
+    # distance over a sample of existing edges (fallback: weight 1.0 for
+    # purely topological graphs whose coordinates are all zero), plus a
+    # locality bound — a new road segment connects *nearby* nodes, so
+    # candidate pairs beyond a few median edge spans are rejected
+    # rather than creating cross-map shortcuts.
+    cost_sample = []
+    span_sample = []
+    edges = list(working.edges())
+    for u, v, w in rng.sample(edges, min(64, len(edges))):
+        span = working.euclidean(u, v)
+        if span > 0:
+            cost_sample.append(w / span)
+            span_sample.append(span)
+    cost_per_unit = sorted(cost_sample)[len(cost_sample) // 2] \
+        if cost_sample else 0.0
+    max_span = 4.0 * sorted(span_sample)[len(span_sample) // 2] \
+        if span_sample else float("inf")
+
+    updates: list[GraphUpdate] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * count
+    while len(updates) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise WorkloadError(
+                f"could not generate {count} updates after {attempts} "
+                f"attempts; got {len(updates)} — is the mix {kinds} "
+                f"feasible on this graph?"
+            )
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == UPDATE_WEIGHT:
+            u = ids[rng.randrange(len(ids))]
+            neighbors = sorted(working.neighbors(u))
+            if not neighbors:
+                continue
+            v = neighbors[rng.randrange(len(neighbors))]
+            update = GraphUpdate(
+                UPDATE_WEIGHT, u, v,
+                working.weight(u, v) * rng.uniform(*jitter),
+            )
+        elif kind == ADD_EDGE:
+            # A new road segment connects *nearby* nodes: draw one
+            # endpoint, then pick among its nearest non-neighbors
+            # within the locality bound (no cross-map shortcuts).
+            u = ids[rng.randrange(len(ids))]
+            nearest = sorted(
+                (working.euclidean(u, x), x) for x in ids
+                if x != u and not working.has_edge(u, x)
+            )[:8]
+            nearby = [x for span, x in nearest if span <= max_span]
+            if not nearby:
+                continue
+            v = nearby[rng.randrange(len(nearby))]
+            span = working.euclidean(u, v)
+            weight = span * cost_per_unit if span > 0 and cost_per_unit > 0 \
+                else 1.0
+            update = GraphUpdate(ADD_EDGE, u, v, weight * rng.uniform(*jitter))
+        else:  # REMOVE_EDGE
+            u, v, _ = edges[rng.randrange(len(edges))]
+            if not working.has_edge(u, v) or not _still_connected(working, u, v):
+                continue
+            update = GraphUpdate(REMOVE_EDGE, u, v)
+        update.apply(working)
+        updates.append(update)
+    return UpdateWorkload(updates=tuple(updates))
+
+
+def interleave(
+    queries: "list[tuple[int, int]]",
+    updates: UpdateWorkload,
+    *,
+    seed: int = 0,
+) -> "list[tuple[str, object]]":
+    """A mixed read/write trace: ``("query", (vs, vt))`` / ``("update", GraphUpdate)``.
+
+    Updates are scattered uniformly through the query stream (seeded),
+    preserving each stream's internal order — the shape the serving
+    benchmarks and the cache-invalidation tests replay.
+    """
+    rng = random.Random(seed)
+    update_list = list(updates)
+    cut_points = sorted(
+        rng.randrange(len(queries) + 1) for _ in update_list
+    )
+    trace: "list[tuple[str, object]]" = []
+    next_update = 0
+    for position, query in enumerate(queries):
+        while next_update < len(update_list) \
+                and cut_points[next_update] <= position:
+            trace.append(("update", update_list[next_update]))
+            next_update += 1
+        trace.append(("query", query))
+    for update in update_list[next_update:]:
+        trace.append(("update", update))
+    return trace

@@ -160,6 +160,98 @@ class TestSubgraphDropAttack:
         assert not verify(name, vs, vt, response, signer).ok
 
 
+@pytest.mark.parametrize("name,params", [
+    ("DIJ", {}),
+    ("FULL", {}),
+    ("LDM", dict(c=16)),
+    ("HYP", dict(num_cells=25)),
+])
+class TestFreshnessAttacks:
+    """Stale-proof replay after a live update (every method)."""
+
+    def _updated_method(self, name, params, road300, workload, signer):
+        graph = road300.copy()
+        method = get_method(name).build(graph, signer, **params)
+        vs, vt = workload.queries[0]
+        stale = method.answer(vs, vt)
+        u, v, w = next(iter(graph.edges()))
+        method.update_edge_weight(u, v, w * 2, signer)
+        return method, graph, (vs, vt), stale
+
+    def test_stale_replay_rejected_with_version_pin(
+        self, name, params, road300, workload, signer
+    ):
+        method, graph, (vs, vt), stale = self._updated_method(
+            name, params, road300, workload, signer)
+        replayed = adversary.replay_stale_root(stale)
+        result = get_method(name).verify(vs, vt, replayed, signer.verify,
+                                         min_version=graph.version)
+        assert not result.ok
+        assert result.reason == "stale-descriptor"
+
+    def test_stale_replay_is_authentic_without_pin(
+        self, name, params, road300, workload, signer
+    ):
+        """Without a freshness floor the replay verifies — every byte is
+        genuinely owner-signed.  This is exactly why clients must pin
+        the version, not a defect of the tamper checks."""
+        method, _, (vs, vt), stale = self._updated_method(
+            name, params, road300, workload, signer)
+        replayed = adversary.replay_stale_root(stale)
+        assert verify(name, vs, vt, replayed, signer).ok
+
+    def test_fresh_response_passes_version_pin(
+        self, name, params, road300, workload, signer
+    ):
+        method, graph, (vs, vt), _ = self._updated_method(
+            name, params, road300, workload, signer)
+        fresh = method.answer(vs, vt)
+        result = get_method(name).verify(vs, vt, fresh, signer.verify,
+                                         min_version=graph.version)
+        assert result.ok, (result.reason, result.detail)
+
+    def test_post_update_responses_still_reject_tampering(
+        self, name, params, road300, workload, signer
+    ):
+        """The classic mutations stay rejected after incremental
+        re-authentication — updating must not weaken tamper detection."""
+        method, graph, (vs, vt), _ = self._updated_method(
+            name, params, road300, workload, signer)
+        fresh = method.answer(vs, vt)
+        floor = graph.version
+
+        tampered = adversary.tamper_weight(fresh)
+        result = get_method(name).verify(vs, vt, tampered, signer.verify,
+                                         min_version=floor)
+        assert not result.ok
+        assert result.reason == "root-mismatch"
+
+        stripped = adversary.strip_signature(fresh)
+        assert not get_method(name).verify(
+            vs, vt, stripped, signer.verify, min_version=floor).ok
+
+        inflated = adversary.inflate_cost(fresh)
+        assert not get_method(name).verify(
+            vs, vt, inflated, signer.verify, min_version=floor).ok
+
+        if name in ("FULL", "HYP"):
+            forged = adversary.forge_distance(fresh)
+            assert not get_method(name).verify(
+                vs, vt, forged, signer.verify, min_version=floor).ok
+
+        if name in ("DIJ", "LDM"):
+            try:
+                dropped = adversary.drop_tuple(
+                    fresh,
+                    keep={n for n in _disclosed_ids(fresh)
+                          if n not in set(fresh.path_nodes[1:-1])},
+                )
+            except MethodError:
+                return
+            assert not get_method(name).verify(
+                vs, vt, dropped, signer.verify, min_version=floor).ok
+
+
 def _disclosed_ids(response):
     from repro.core.proofs import NETWORK_TREE
     from repro.encoding import Decoder

@@ -50,6 +50,51 @@ class TestMerkleLeafUpdate:
         assert tree.root == MerkleTree([b"new"]).root
 
 
+class TestMerkleBatchUpdate:
+    @pytest.mark.parametrize("fanout", [2, 3, 16])
+    def test_batch_matches_rebuild(self, fanout):
+        payloads = [b"p%d" % i for i in range(57)]
+        tree = MerkleTree(payloads, fanout=fanout)
+        updates = {3: b"a", 4: b"b", 29: b"c", 56: b"d"}
+        for index, payload in updates.items():
+            payloads[index] = payload
+        tree.update_leaves(updates)
+        assert tree.root == MerkleTree(payloads, fanout=fanout).root
+
+    def test_batch_matches_sequential_updates(self):
+        payloads = [b"q%d" % i for i in range(40)]
+        batched = MerkleTree(payloads, fanout=2)
+        sequential = MerkleTree(payloads, fanout=2)
+        updates = {i: b"new%d" % i for i in (0, 1, 17, 39)}
+        batched.update_leaves(updates)
+        for index, payload in updates.items():
+            sequential.update_leaf(index, payload)
+        assert batched.root == sequential.root
+        assert batched._levels == sequential._levels
+
+    def test_empty_batch_is_noop(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        root = tree.root
+        tree.update_leaves({})
+        assert tree.root == root
+
+    def test_out_of_range_batch_rejected(self):
+        from repro.errors import MerkleError
+
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(MerkleError):
+            tree.update_leaves({2: b"c"})
+
+    def test_proofs_valid_after_batch(self):
+        payloads = [b"z%d" % i for i in range(31)]
+        tree = MerkleTree(payloads, fanout=3)
+        tree.update_leaves({5: b"x", 20: b"y"})
+        entries = tree.prove([5, 20, 30])
+        root = reconstruct_root(31, 3, "sha1",
+                                {5: b"x", 20: b"y", 30: payloads[30]}, entries)
+        assert root == tree.root
+
+
 class TestDijIncrementalUpdate:
     def test_update_then_verify(self, road300, signer, workload):
         graph = road300.copy()
@@ -88,9 +133,31 @@ class TestDijIncrementalUpdate:
         assert not result.ok
         assert result.reason == "root-mismatch"
 
-    def test_hint_methods_refuse_incremental(self, ldm, signer):
-        with pytest.raises(MethodError):
-            ldm.update_edge_weight(0, 1, 2.0, signer)
+    def test_hint_methods_update_incrementally(self, road300, signer, workload):
+        """LDM (a hint-bearing method) now absorbs weight updates too."""
+        from repro.core.ldm import LdmMethod
+
+        graph = road300.copy()
+        method = LdmMethod.build(graph, signer, c=8)
+        vs, vt = workload.queries[0]
+        u, v, w = next(iter(graph.edges()))
+        report = method.update_edge_weight(u, v, w * 2, signer)
+        assert report.mode == "incremental"
+        assert report.version == graph.version
+        response = method.answer(vs, vt)
+        result = get_method("LDM").verify(vs, vt, response, signer.verify)
+        assert result.ok, (result.reason, result.detail)
+
+    def test_update_requires_existing_edge(self, road300, signer):
+        graph = road300.copy()
+        method = DijMethod.build(graph, signer)
+        missing = graph.node_ids()[:2]
+        if graph.has_edge(*missing):  # pick a definitely-absent pair
+            missing = (graph.node_ids()[0], graph.node_ids()[0])
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            method.update_edge_weight(missing[0], missing[1], 2.0, signer)
 
 
 class TestProviderAlgorithmChoice:

@@ -1,0 +1,162 @@
+"""Property-based update-equivalence suite.
+
+The contract of the live-update pipeline: however a method absorbed a
+mutation sequence — leaf patches, partial rebuilds, full rebuilds — its
+observable state must be *byte-identical* to a from-scratch build on
+the mutated graph with the same pinned parameters.  Seeded random
+sequences of weight updates and edge insertions/removals are applied
+incrementally and compared, for all four methods across fanouts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.method import get_method
+from repro.crypto.signer import NullSigner
+from repro.shortestpath.dijkstra import dijkstra
+from repro.workload.updates import (
+    ADD_EDGE,
+    REMOVE_EDGE,
+    UPDATE_WEIGHT,
+    generate_update_workload,
+)
+
+METHOD_PARAMS = {
+    "DIJ": {},
+    "FULL": {},
+    "LDM": dict(c=12),
+    "HYP": dict(num_cells=25),
+}
+
+ALL_KINDS = (UPDATE_WEIGHT, ADD_EDGE, REMOVE_EDGE)
+
+
+def assert_equivalent(method, graph, signer, queries):
+    """Incrementally-updated *method* must equal a pinned rebuild."""
+    fresh = type(method).build(graph, signer, **method._build_params)
+    assert method.descriptor.encode() == fresh.descriptor.encode(), \
+        "signed descriptor (roots/version/params) diverged from a rebuild"
+    for tree_cfg, fresh_cfg in zip(method.descriptor.trees,
+                                   fresh.descriptor.trees):
+        assert tree_cfg.root == fresh_cfg.root
+    for vs, vt in queries:
+        incremental = method.answer(vs, vt).encode()
+        rebuilt = fresh.answer(vs, vt).encode()
+        assert incremental == rebuilt, f"response diverged for ({vs}, {vt})"
+
+
+@pytest.mark.parametrize("name", sorted(METHOD_PARAMS))
+@pytest.mark.parametrize("fanout", [2, 4])
+@pytest.mark.parametrize("seed", [11, 23])
+class TestUpdateEquivalence:
+    def test_random_sequence_matches_rebuild(self, name, fanout, seed,
+                                             road300, workload, signer):
+        graph = road300.copy()
+        method = get_method(name).build(graph, signer, fanout=fanout,
+                                        **METHOD_PARAMS[name])
+        updates = generate_update_workload(graph, 8, seed=seed,
+                                           kinds=ALL_KINDS)
+        for update in updates:
+            update.apply(graph)
+            report = method.apply_update(signer)
+            assert report.version == graph.version
+        assert_equivalent(method, graph, signer, workload.queries[:3])
+
+    def test_batched_sequence_matches_rebuild(self, name, fanout, seed,
+                                              road300, workload, signer):
+        """One apply_update over the whole batch, not one per mutation."""
+        graph = road300.copy()
+        method = get_method(name).build(graph, signer, fanout=fanout,
+                                        **METHOD_PARAMS[name])
+        generate_update_workload(graph, 6, seed=seed,
+                                 kinds=ALL_KINDS).apply_all(graph)
+        report = method.apply_update(signer)
+        assert report.mutations == 6
+        assert_equivalent(method, graph, signer, workload.queries[:3])
+
+
+@pytest.mark.parametrize("name", sorted(METHOD_PARAMS))
+class TestUpdateSemantics:
+    def test_weight_updates_take_the_incremental_path(self, name, road300,
+                                                      signer):
+        graph = road300.copy()
+        method = get_method(name).build(graph, signer, **METHOD_PARAMS[name])
+        generate_update_workload(graph, 3, seed=5,
+                                 kinds=(UPDATE_WEIGHT,)).apply_all(graph)
+        report = method.apply_update(signer)
+        assert report.mode in ("incremental", "partial-rebuild")
+        assert report.mode != "full-rebuild"
+
+    def test_updated_answers_verify_and_are_optimal(self, name, road300,
+                                                    workload, signer):
+        graph = road300.copy()
+        method = get_method(name).build(graph, signer, **METHOD_PARAMS[name])
+        generate_update_workload(graph, 6, seed=3,
+                                 kinds=ALL_KINDS).apply_all(graph)
+        method.apply_update(signer)
+        for vs, vt in workload.queries[:3]:
+            response = method.answer(vs, vt)
+            result = get_method(name).verify(vs, vt, response, signer.verify,
+                                             min_version=graph.version)
+            assert result.ok, (result.reason, result.detail)
+            expected = dijkstra(graph, vs, target=vt).dist[vt]
+            assert response.path_cost == pytest.approx(expected)
+
+    def test_node_addition_forces_full_rebuild(self, name, road300, signer):
+        graph = road300.copy()
+        method = get_method(name).build(graph, signer, **METHOD_PARAMS[name])
+        new_id = max(graph.node_ids()) + 1
+        anchor = graph.node_ids()[0]
+        node = graph.node(anchor)
+        graph.add_node(new_id, node.x + 1.0, node.y + 1.0)
+        graph.add_edge(new_id, anchor, 5.0)
+        # Keep FULL/LDM/HYP satisfiable: the new node is connected.
+        report = method.apply_update(signer)
+        assert report.mode == "full-rebuild"
+        fresh = type(method).build(graph, signer, **method._build_params)
+        assert method.descriptor.encode() == fresh.descriptor.encode()
+
+    def test_noop_apply_is_free(self, name, road300, signer):
+        graph = road300.copy()
+        method = get_method(name).build(graph, signer, **METHOD_PARAMS[name])
+        before = method.descriptor.encode()
+        report = method.apply_update(signer)
+        assert report.mode == "noop"
+        assert report.mutations == 0
+        assert method.descriptor.encode() == before
+
+
+def test_adjacency_dependent_ordering_rebuilds_on_topology_change(
+    road300, signer
+):
+    """bfs leaf order moves when edges appear, so incremental patching
+    would diverge — the pipeline must fall back to a full rebuild and
+    still match a fresh build byte for byte."""
+    graph = road300.copy()
+    method = get_method("DIJ").build(graph, signer, ordering="bfs")
+    ids = graph.node_ids()
+    rng = random.Random(1)
+    while True:
+        a, b = rng.sample(ids, 2)
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b, 100.0)
+            break
+    report = method.apply_update(signer)
+    assert report.mode == "full-rebuild"
+    fresh = get_method("DIJ").build(graph, signer, **method._build_params)
+    assert method.descriptor.encode() == fresh.descriptor.encode()
+
+
+def test_weight_only_change_keeps_bfs_incremental(road300, signer):
+    """bfs order ignores weights, so pure re-weights still patch."""
+    graph = road300.copy()
+    method = get_method("DIJ").build(graph, signer, ordering="bfs")
+    u, v, w = next(iter(graph.edges()))
+    graph.update_edge_weight(u, v, w * 3)
+    report = method.apply_update(signer)
+    assert report.mode == "incremental"
+    fresh = get_method("DIJ").build(graph, signer, **method._build_params)
+    assert method.descriptor.encode() == fresh.descriptor.encode()

@@ -194,3 +194,71 @@ class TestDerived:
 
     def test_repr(self, triangle):
         assert "SpatialGraph" in repr(triangle)
+
+
+class TestChangelog:
+    def test_mutations_recorded_with_versions(self, triangle):
+        base = triangle.version
+        triangle.update_edge_weight(1, 2, 9.0)
+        triangle.remove_edge(2, 3)
+        triangle.add_edge(2, 3, 4.0)
+        kinds = [m.kind for m in triangle.mutations_since(base)]
+        assert kinds == ["update-weight", "remove-edge", "add-edge"]
+        update = triangle.mutations_since(base)[0]
+        assert update.old_weight == 1.0 and update.weight == 9.0
+        assert [m.version for m in triangle.mutations_since(base)] == \
+            [base + 1, base + 2, base + 3]
+
+    def test_readding_edge_logs_weight_update(self, triangle):
+        base = triangle.version
+        triangle.add_edge(1, 2, 7.0)  # edge exists: overwrite
+        (mutation,) = triangle.mutations_since(base)
+        assert mutation.kind == "update-weight"
+        assert mutation.old_weight == 1.0
+
+    def test_update_requires_existing_edge(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.update_edge_weight(1, 99, 2.0)
+
+    def test_mutations_since_bounds_checked(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.mutations_since(triangle.version + 1)
+
+    def test_trim_bounds_history(self, triangle):
+        triangle.update_edge_weight(1, 2, 9.0)
+        mid = triangle.version
+        triangle.update_edge_weight(1, 2, 10.0)
+        triangle.trim_changelog(mid)
+        assert [m.weight for m in triangle.mutations_since(mid)] == [10.0]
+        with pytest.raises(GraphError):
+            triangle.mutations_since(mid - 1)  # trimmed away
+        assert len(triangle.changelog) == 1
+
+    def test_rollback_restores_state(self, triangle):
+        base = triangle.version
+        before = dict(((u, v), w) for u, v, w in triangle.edges())
+        triangle.update_edge_weight(1, 2, 9.0)
+        triangle.remove_edge(2, 3)
+        triangle.add_edge(2, 3, 4.0)
+        triangle.rollback_to(base)
+        assert dict(((u, v), w) for u, v, w in triangle.edges()) == before
+        assert triangle.version > base  # rollback moves forward
+        triangle.validate()
+
+    def test_rollback_cannot_cross_node_addition(self, triangle):
+        base = triangle.version
+        triangle.add_node(4, 2.0, 2.0)
+        with pytest.raises(GraphError):
+            triangle.rollback_to(base)
+
+    def test_weight_only_index_patch_matches_rebuild(self, triangle):
+        index = triangle.to_index()
+        triangle.update_edge_weight(1, 2, 5.5)
+        patched = triangle.to_index()
+        assert patched is not index
+        assert patched.indptr is index.indptr  # topology shared
+        from repro.graph.index import build_graph_index
+
+        rebuilt = build_graph_index(triangle._adj)
+        assert patched.weights == rebuilt.weights
+        assert patched.neighbors == rebuilt.neighbors

@@ -29,6 +29,7 @@ ALL_EXAMPLES = [
     "method_tradeoffs",
     "dynamic_network",
     "proof_server",
+    "live_updates",
 ]
 
 

@@ -1,0 +1,105 @@
+"""Tests for the update-heavy workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.components import is_connected
+from repro.graph.graph import SpatialGraph
+from repro.workload.updates import (
+    ADD_EDGE,
+    REMOVE_EDGE,
+    UPDATE_WEIGHT,
+    GraphUpdate,
+    generate_update_workload,
+    interleave,
+)
+
+
+class TestGenerateUpdateWorkload:
+    def test_deterministic_per_seed(self, road300):
+        a = generate_update_workload(road300, 12, seed=4)
+        b = generate_update_workload(road300, 12, seed=4)
+        c = generate_update_workload(road300, 12, seed=5)
+        assert a.updates == b.updates
+        assert a.updates != c.updates
+
+    def test_applies_cleanly_and_keeps_connectivity(self, road300):
+        graph = road300.copy()
+        workload = generate_update_workload(graph, 25, seed=7)
+        workload.apply_all(graph)
+        graph.validate()
+        assert is_connected(graph)
+
+    def test_weight_only_mix(self, road300):
+        graph = road300.copy()
+        workload = generate_update_workload(graph, 10, seed=1,
+                                            kinds=(UPDATE_WEIGHT,))
+        assert all(u.kind == UPDATE_WEIGHT for u in workload)
+        edges_before = graph.num_edges
+        workload.apply_all(graph)
+        assert graph.num_edges == edges_before
+
+    def test_generated_weights_are_positive(self, road300):
+        workload = generate_update_workload(road300, 20, seed=2)
+        for update in workload:
+            if update.kind in (UPDATE_WEIGHT, ADD_EDGE):
+                assert update.weight > 0
+
+    def test_self_consistent_adds_and_removes(self, road300):
+        """Replaying on a fresh copy must never hit a missing/duplicate
+        edge — the generator tracks its own mutations."""
+        workload = generate_update_workload(road300, 30, seed=11)
+        graph = road300.copy()
+        for update in workload:
+            if update.kind == ADD_EDGE:
+                assert not graph.has_edge(update.u, update.v)
+            else:
+                assert graph.has_edge(update.u, update.v)
+            update.apply(graph)
+
+    def test_source_graph_untouched(self, road300):
+        version = road300.version
+        generate_update_workload(road300, 10, seed=0)
+        assert road300.version == version
+
+    def test_bad_arguments_rejected(self, road300):
+        with pytest.raises(WorkloadError):
+            generate_update_workload(road300, 0)
+        with pytest.raises(WorkloadError):
+            generate_update_workload(road300, 3, kinds=("teleport",))
+        with pytest.raises(WorkloadError):
+            generate_update_workload(road300, 3, kinds=())
+
+    def test_infeasible_mix_raises(self):
+        # A path graph has no removable (cycle) edge.
+        graph = SpatialGraph()
+        for i in range(4):
+            graph.add_node(i, float(i), 0.0)
+        for i in range(3):
+            graph.add_edge(i, i + 1, 1.0)
+        with pytest.raises(WorkloadError):
+            generate_update_workload(graph, 2, kinds=(REMOVE_EDGE,),
+                                     max_attempts_factor=5)
+
+    def test_unknown_kind_apply_rejected(self, road300):
+        with pytest.raises(WorkloadError):
+            GraphUpdate("teleport", 0, 1).apply(road300.copy())
+
+
+class TestInterleave:
+    def test_preserves_both_streams_in_order(self, road300):
+        queries = [(1, 2), (3, 4), (5, 6)]
+        updates = generate_update_workload(road300, 4, seed=0)
+        trace = interleave(queries, updates, seed=3)
+        assert len(trace) == len(queries) + len(updates)
+        assert [item for kind, item in trace if kind == "query"] == queries
+        assert [item for kind, item in trace
+                if kind == "update"] == list(updates)
+
+    def test_seeded(self, road300):
+        queries = [(i, i + 1) for i in range(10)]
+        updates = generate_update_workload(road300, 5, seed=0)
+        assert interleave(queries, updates, seed=1) == \
+            interleave(queries, updates, seed=1)
