@@ -1,0 +1,70 @@
+"""Wire-protocol overhead — bytes-on-wire versus the paper's proof sizes.
+
+The paper (Fig. 8a) reports communication overhead as serialized proof
+bytes; the wire API adds an envelope (frame magic, version, message
+type, length prefixes) and, over HTTP, transport framing.  This
+benchmark replays the default workload through a real localhost HTTP
+service via :class:`~repro.api.client.RemoteClient` and records what
+the protocol costs on top of the proofs themselves.
+
+Expected shape: the envelope adds a fixed ~12 bytes per response, so
+the overhead ratio stays within a fraction of a percent of 1.0 for
+every method — the wire protocol does not distort the paper's
+proof-size story.  Every wire response must verify.
+"""
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_DATASET, DEFAULT_RANGE, DEFAULT_SCALE, emit
+from repro.bench.serving import HttpLoadtestReport, run_http_loadtest
+
+METHODS = ["DIJ", "FULL", "LDM", "HYP"]
+
+#: The envelope must stay under this fraction of the proof bytes on the
+#: default workload (measured ~0.5%; 5% leaves headroom for tiny
+#: graphs where fixed framing weighs more).
+MAX_OVERHEAD_RATIO = 1.05
+
+
+@pytest.fixture(scope="module")
+def wire_reports(ctx) -> "dict[str, HttpLoadtestReport]":
+    reports = {}
+    for name in METHODS:
+        method = ctx.method(name)
+        queries = list(ctx.workload())
+        method.answer(*queries[0])  # warm process state, not the cache
+        reports[name] = run_http_loadtest(
+            method, queries, ctx.signer.verify, passes=2,
+        )
+    return reports
+
+
+def test_wire_overhead(ctx, wire_reports, results):
+    graph = ctx.dataset()
+    rows = []
+    for name in METHODS:
+        report = wire_reports[name]
+        assert report.all_verified, f"{name}: wire responses failed verification"
+        assert report.wire_overhead_ratio < MAX_OVERHEAD_RATIO, (
+            f"{name}: wire framing costs "
+            f"{100.0 * (report.wire_overhead_ratio - 1):.2f}% "
+            f"over proof bytes"
+        )
+        cold = report.cold
+        rows.append([
+            name, cold.requests, cold.qps,
+            cold.proof_bytes / 1024.0, cold.wire_bytes / 1024.0,
+            100.0 * (report.wire_overhead_ratio - 1.0),
+        ])
+        results.add(
+            "wire_overhead", dataset=DEFAULT_DATASET,
+            scale=DEFAULT_SCALE, nodes=graph.num_nodes,
+            query_range=DEFAULT_RANGE, **report.as_dict(),
+        )
+    emit(
+        f"Wire overhead — HTTP frames vs standalone proofs "
+        f"({DEFAULT_DATASET}-like, |V|={graph.num_nodes}, range={DEFAULT_RANGE:g})",
+        ["method", "requests", "wire QPS", "proof KB", "wire KB",
+         "overhead %"],
+        rows,
+    )

@@ -23,6 +23,9 @@ Quick start::
     assert client.verify(vs, vt, response).ok
 """
 
+from repro.api.client import RemoteClient, RemoteResult
+from repro.api.dispatcher import Dispatcher
+from repro.api.transport import HttpTransport, InProcessTransport
 from repro.core import (
     Client,
     DataOwner,
@@ -43,6 +46,7 @@ from repro.graph import SpatialGraph, grid_network, road_network
 from repro.service import (
     BurstResult,
     ProofCache,
+    ProofHttpServer,
     ProofRequest,
     ProofServer,
     ServedResponse,
@@ -69,6 +73,12 @@ __all__ = [
     "HypMethod",
     "RsaSigner",
     "ProofServer",
+    "ProofHttpServer",
+    "Dispatcher",
+    "RemoteClient",
+    "RemoteResult",
+    "HttpTransport",
+    "InProcessTransport",
     "ProofRequest",
     "UpdateRequest",
     "UpdateReport",

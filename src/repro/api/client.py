@@ -1,0 +1,229 @@
+"""A client that trusts nothing but bytes and the owner's public key.
+
+:class:`RemoteClient` is the paper's third party made literal: it holds
+a transport and a signature verifier, and everything else it learns —
+the served method, the signed descriptor, every proof — arrives as wire
+bytes it decodes and checks itself.  Verification goes through the
+method registry's *class-level* ``verify`` (via
+:class:`~repro.core.framework.Client`), so no built
+:class:`~repro.core.method.VerificationMethod` instance — and hence no
+graph data — ever exists on the client side.
+
+The claim this layering buys: a response that verifies here would
+verify for a browser on another continent, because both see the same
+bytes and hold the same public key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.envelope import (
+    BatchQueryRequest,
+    BatchQueryReply,
+    DescriptorReply,
+    DescriptorRequest,
+    ErrorMessage,
+    HelloReply,
+    HelloRequest,
+    Message,
+    MetricsReply,
+    MetricsRequest,
+    QueryReply,
+    QueryRequest,
+    SUPPORTED_VERSIONS,
+    UpdatePushRequest,
+    UpdateReply,
+    WireUpdate,
+    decode_frame,
+    decode_message,
+)
+from repro.core.framework import Client, VerificationResult
+from repro.core.proofs import QueryResponse, SignedDescriptor
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class RemoteResult:
+    """One remotely served and locally verified query.
+
+    ``response_bytes`` is the provider's payload verbatim (``None`` when
+    the server answered with a wire error); ``wire_bytes`` is what the
+    reply frame actually cost on the wire, framing included — the
+    number to hold against the paper's proof-size figures.
+    """
+
+    source: int
+    target: int
+    verdict: VerificationResult
+    response_bytes: "bytes | None"
+    wire_bytes: int
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the response arrived and verified."""
+        return self.verdict.ok
+
+    @property
+    def response(self) -> "QueryResponse | None":
+        """The decoded response (re-decoded on access; None on error)."""
+        if self.response_bytes is None:
+            return None
+        return QueryResponse.decode(self.response_bytes)
+
+
+class RemoteClient:
+    """Query a proof service over any transport and verify from bytes.
+
+    >>> transport = HttpTransport("http://127.0.0.1:8350")  # doctest: +SKIP
+    >>> client = RemoteClient(transport, owner_public.verify)  # doctest: +SKIP
+    >>> client.query(3, 9).ok                               # doctest: +SKIP
+    True
+    """
+
+    def __init__(self, transport, verify_signature, *,
+                 min_descriptor_version: "int | None" = None) -> None:
+        """``transport`` has ``roundtrip(bytes) -> bytes`` (or is a bare
+        callable); ``verify_signature`` and ``min_descriptor_version``
+        are the trust anchors, exactly as for
+        :class:`~repro.core.framework.Client`.
+        """
+        self.transport = transport
+        #: The bytes-first verifier doing the actual checking.
+        self.client = Client(verify_signature,
+                             min_descriptor_version=min_descriptor_version)
+
+    # ------------------------------------------------------------------
+    def require_version(self, version: int) -> None:
+        """Raise the freshness floor (monotonic; see ``Client``)."""
+        self.client.require_version(version)
+
+    @property
+    def min_descriptor_version(self) -> "int | None":
+        """The current stale-replay rejection floor."""
+        return self.client.min_descriptor_version
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, frame: bytes) -> bytes:
+        roundtrip = getattr(self.transport, "roundtrip", self.transport)
+        return roundtrip(frame)
+
+    def _exchange(self, request: Message, reply_cls) -> Message:
+        """Send one request; return its typed reply or the error message.
+
+        Malformed reply frames raise :class:`ProtocolError` (the
+        transport or server is broken — there is no verdict to salvage);
+        a well-formed :class:`ErrorMessage` is returned for the caller
+        to turn into a failure value where one makes sense.
+        """
+        reply_frame = self._roundtrip(request.to_frame())
+        message = decode_message(decode_frame(reply_frame))
+        if isinstance(message, (reply_cls, ErrorMessage)):
+            return message
+        raise ProtocolError(
+            f"expected {reply_cls.__name__} or ErrorMessage, "
+            f"got {type(message).__name__}"
+        )
+
+    @staticmethod
+    def _raise_on_error(message: Message) -> Message:
+        if isinstance(message, ErrorMessage):
+            raise ProtocolError(f"server error {message.code}: {message.detail}")
+        return message
+
+    # ------------------------------------------------------------------
+    def hello(self, versions=SUPPORTED_VERSIONS) -> HelloReply:
+        """Negotiate a protocol version; learn what is being served."""
+        return self._raise_on_error(
+            self._exchange(HelloRequest(tuple(versions)), HelloReply))
+
+    def fetch_descriptor(self) -> "tuple[SignedDescriptor, bytes]":
+        """The served signed descriptor, decoded plus verbatim bytes.
+
+        The descriptor inside each response is what verification
+        actually trusts; this call exists so a client can inspect the
+        service (method, graph version) before querying, and so
+        artifact-based verification (``repro-spv verify``) has a
+        descriptor file to pin.
+        """
+        reply = self._raise_on_error(
+            self._exchange(DescriptorRequest(), DescriptorReply))
+        return SignedDescriptor.decode(reply.descriptor_bytes), reply.descriptor_bytes
+
+    def query(self, source: int, target: int) -> RemoteResult:
+        """One verified shortest path query over the wire."""
+        request = QueryRequest(source, target)
+        reply_frame = self._roundtrip(request.to_frame())
+        wire_bytes = len(reply_frame)
+        message = decode_message(decode_frame(reply_frame))
+        if isinstance(message, ErrorMessage):
+            return RemoteResult(
+                source, target,
+                VerificationResult.failure(message.code, message.detail),
+                None, wire_bytes,
+            )
+        if not isinstance(message, QueryReply):
+            raise ProtocolError(
+                f"expected QueryReply or ErrorMessage, got {type(message).__name__}"
+            )
+        verdict = self.client.verify_bytes(source, target, message.response_bytes)
+        return RemoteResult(source, target, verdict, message.response_bytes,
+                            wire_bytes, cached=message.cached)
+
+    def query_many(self, pairs) -> "list[RemoteResult]":
+        """A burst of queries in one frame, individually verified."""
+        pairs = [(int(s), int(t)) for s, t in pairs]
+        request = BatchQueryRequest(tuple(pairs))
+        reply_frame = self._roundtrip(request.to_frame())
+        message = decode_message(decode_frame(reply_frame))
+        self._raise_on_error(message)
+        if not isinstance(message, BatchQueryReply):
+            raise ProtocolError(
+                f"expected BatchQueryReply, got {type(message).__name__}"
+            )
+        if len(message.items) != len(pairs):
+            raise ProtocolError(
+                f"batch reply has {len(message.items)} items for "
+                f"{len(pairs)} queries"
+            )
+        # The frame's framing bytes are charged to the batch's first
+        # item; per-item payload sizes dominate by orders of magnitude.
+        overhead = len(reply_frame) - sum(
+            len(item.response_bytes or b"") for item in message.items)
+        results = []
+        for index, ((source, target), item) in enumerate(zip(pairs, message.items)):
+            wire = len(item.response_bytes or b"") + (overhead if index == 0 else 0)
+            if not item.ok:
+                results.append(RemoteResult(
+                    source, target,
+                    VerificationResult.failure(item.error_code, item.error_detail),
+                    None, wire,
+                ))
+                continue
+            verdict = self.client.verify_bytes(source, target, item.response_bytes)
+            results.append(RemoteResult(source, target, verdict,
+                                        item.response_bytes, wire,
+                                        cached=item.cached))
+        return results
+
+    def push_updates(self, updates) -> UpdateReply:
+        """Push an owner mutation batch (server must hold the signer).
+
+        ``updates`` may be :class:`~repro.api.envelope.WireUpdate`,
+        :class:`~repro.workload.updates.GraphUpdate`, or any object with
+        ``kind`` / ``u`` / ``v`` / ``weight``.  Raises
+        :class:`ProtocolError` when the server refuses
+        (``updates-not-supported``) or the batch fails.
+        """
+        wire_updates = tuple(
+            WireUpdate(u.kind, u.u, u.v, getattr(u, "weight", 0.0))
+            for u in updates
+        )
+        return self._raise_on_error(
+            self._exchange(UpdatePushRequest(wire_updates), UpdateReply))
+
+    def metrics(self) -> MetricsReply:
+        """The server's current metrics window."""
+        return self._raise_on_error(
+            self._exchange(MetricsRequest(), MetricsReply))

@@ -1,0 +1,179 @@
+"""Transport-neutral request dispatch: frames in, frames out.
+
+:class:`Dispatcher` is the single place requests become serving calls.
+Every frontend — the in-process trivial transport, the HTTP server, a
+test poking bytes directly — hands it one request frame and ships back
+whatever frame it returns.  The dispatcher owns the protocol concerns
+(version acceptance, strict decoding, the error taxonomy); the wrapped
+:class:`~repro.service.server.ProofServer` owns the serving concerns
+(cache, coalescing, the update gate).  Keeping the split strict is what
+makes transports interchangeable: nothing below this layer knows
+whether bytes crossed a network.
+
+A dispatcher never raises on malformed input: protocol failures become
+:class:`~repro.api.envelope.ErrorMessage` frames with codes from
+:mod:`repro.api.codes`, because the peer that sent garbage is exactly
+the peer that still needs a well-formed reply.
+
+Update pushes are only honoured when the dispatcher was built with the
+owner's ``update_signer`` — a provider-side deployment (which must not
+hold signing keys) leaves it unset and answers pushes with
+``updates-not-supported``.
+"""
+
+from __future__ import annotations
+
+from repro.api import codes
+from repro.api.envelope import (
+    BatchItem,
+    BatchQueryReply,
+    BatchQueryRequest,
+    DescriptorReply,
+    DescriptorRequest,
+    ErrorMessage,
+    HelloReply,
+    HelloRequest,
+    MetricsReply,
+    MetricsRequest,
+    QueryReply,
+    QueryRequest,
+    SUPPORTED_VERSIONS,
+    UpdatePushRequest,
+    UpdateReply,
+    decode_frame,
+    decode_message,
+    error_frame,
+)
+from repro.crypto.signer import Signer
+from repro.errors import ProtocolError, ReproError, UnsupportedVersionError
+from repro.service.server import ProofServer, UpdateRequest
+
+
+class Dispatcher:
+    """Route request frames to a :class:`ProofServer`, reply with frames.
+
+    >>> dispatcher = Dispatcher(server)                  # doctest: +SKIP
+    >>> reply = dispatcher.dispatch(QueryRequest(3, 9).to_frame())
+    ...                                                  # doctest: +SKIP
+    """
+
+    def __init__(self, server: ProofServer, *,
+                 update_signer: "Signer | None" = None,
+                 accept_versions=SUPPORTED_VERSIONS) -> None:
+        self.server = server
+        self.update_signer = update_signer
+        self.accept_versions = tuple(accept_versions)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, frame_bytes: bytes) -> bytes:
+        """Handle one request frame; always returns a reply frame."""
+        try:
+            frame = decode_frame(frame_bytes,
+                                 accept_versions=self.accept_versions)
+        except UnsupportedVersionError as exc:
+            return error_frame(codes.E_UNSUPPORTED_VERSION, str(exc))
+        except ProtocolError as exc:
+            return error_frame(codes.E_MALFORMED_FRAME, str(exc))
+        try:
+            message = decode_message(frame)
+        except ProtocolError as exc:
+            code = (codes.E_UNKNOWN_MESSAGE if "unknown message type" in str(exc)
+                    else codes.E_MALFORMED_FRAME)
+            return error_frame(code, str(exc), version=frame.version)
+        try:
+            reply = self.handle(message)
+        except ReproError as exc:  # a handler's own typed failure
+            reply = ErrorMessage(codes.E_BAD_REQUEST, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a server must not crash
+            reply = ErrorMessage(codes.E_INTERNAL,
+                                 f"{type(exc).__name__}: {exc}")
+        return reply.to_frame(version=frame.version)
+
+    # ------------------------------------------------------------------
+    def handle(self, message):
+        """Dispatch one decoded message to its handler; returns a reply."""
+        handler = self._HANDLERS.get(type(message))
+        if handler is None:
+            return ErrorMessage(
+                codes.E_UNKNOWN_MESSAGE,
+                f"{type(message).__name__} is not a request",
+            )
+        return handler(self, message)
+
+    def _handle_hello(self, message: HelloRequest):
+        shared = [v for v in message.versions if v in self.accept_versions]
+        if not shared:
+            return ErrorMessage(
+                codes.E_UNSUPPORTED_VERSION,
+                f"no shared protocol version: client speaks "
+                f"{sorted(message.versions)}, server accepts "
+                f"{sorted(self.accept_versions)}",
+            )
+        return HelloReply(
+            version=max(shared),
+            method=self.server.method.name,
+            descriptor_version=self.server.descriptor_version,
+        )
+
+    def _handle_query(self, message: QueryRequest):
+        served = self.server.answer(message.source, message.target)
+        if not served.ok:
+            return ErrorMessage(codes.E_QUERY_FAILED, served.error)
+        return QueryReply(served.response.encode(), cached=served.cached)
+
+    def _handle_batch(self, message: BatchQueryRequest):
+        served = self.server.answer_many(list(message.pairs))
+        items = tuple(
+            BatchItem(item.response.encode(), item.cached) if item.ok
+            else BatchItem(None, False, codes.E_QUERY_FAILED, item.error)
+            for item in served
+        )
+        return BatchQueryReply(items)
+
+    def _handle_descriptor(self, message: DescriptorRequest):
+        return DescriptorReply(self.server.method.descriptor.encode())
+
+    def _handle_updates(self, message: UpdatePushRequest):
+        if self.update_signer is None:
+            return ErrorMessage(
+                codes.E_UPDATES_DISABLED,
+                "this endpoint serves proofs only; it holds no signing key",
+            )
+        updates = [UpdateRequest(u.kind, u.u, u.v, u.weight)
+                   for u in message.updates]
+        try:
+            report = self.server.apply_updates(updates, self.update_signer)
+        except ReproError as exc:
+            # The server rolled back; old state keeps serving.
+            return ErrorMessage(codes.E_UPDATE_FAILED, str(exc))
+        return UpdateReply(
+            mode=report.mode,
+            mutations=report.mutations,
+            leaves_patched=report.leaves_patched,
+            trees_rebuilt=report.trees_rebuilt,
+            seconds=report.seconds,
+            version=report.version,
+        )
+
+    def _handle_metrics(self, message: MetricsRequest):
+        snapshot = self.server.snapshot()
+        return MetricsReply(
+            requests=snapshot.requests,
+            elapsed_seconds=snapshot.elapsed_seconds,
+            cache_hits=snapshot.cache_hits,
+            cache_misses=snapshot.cache_misses,
+            proof_bytes=snapshot.proof_bytes,
+            p50_ms=snapshot.p50_ms,
+            p95_ms=snapshot.p95_ms,
+            updates=snapshot.updates,
+            update_seconds=snapshot.update_seconds,
+        )
+
+    _HANDLERS = {
+        HelloRequest: _handle_hello,
+        QueryRequest: _handle_query,
+        BatchQueryRequest: _handle_batch,
+        DescriptorRequest: _handle_descriptor,
+        UpdatePushRequest: _handle_updates,
+        MetricsRequest: _handle_metrics,
+    }

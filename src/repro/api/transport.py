@@ -1,0 +1,94 @@
+"""Transports: how a request frame reaches a dispatcher.
+
+A transport is anything with ``roundtrip(frame: bytes) -> bytes``.  The
+protocol layer never looks inside one, so the same
+:class:`~repro.api.client.RemoteClient` runs over:
+
+* :class:`InProcessTransport` — the trivial transport: hands the frame
+  straight to a local :class:`~repro.api.dispatcher.Dispatcher`.  This
+  is what "three parties in one Python process" becomes under the wire
+  API: the same bytes cross the same boundary, minus the socket.
+* :class:`HttpTransport` — POSTs frames to a
+  :class:`~repro.service.http.ProofHttpServer` (or anything speaking
+  the same one-endpoint contract) using only the standard library.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+from repro.errors import ProtocolError
+
+
+class Transport:
+    """Abstract frame carrier (duck-typed; subclassing is optional)."""
+
+    def roundtrip(self, frame: bytes) -> bytes:
+        """Deliver a request frame, return the reply frame."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held connections (default: nothing to do)."""
+
+
+class InProcessTransport(Transport):
+    """The trivial transport: frames go straight to a dispatcher.
+
+    ``wire_log``, when enabled, records ``(request, reply)`` sizes so
+    in-process tests can account bytes-on-wire exactly like a network
+    frontend would.
+    """
+
+    def __init__(self, dispatcher, *, log_frames: bool = False) -> None:
+        self.dispatcher = dispatcher
+        self.wire_log: "list[tuple[int, int]]" = []
+        self._log_frames = log_frames
+
+    def roundtrip(self, frame: bytes) -> bytes:
+        reply = self.dispatcher.dispatch(frame)
+        if self._log_frames:
+            self.wire_log.append((len(frame), len(reply)))
+        return reply
+
+
+class HttpTransport(Transport):
+    """Frames over HTTP POST, stdlib-only.
+
+    The contract is one endpoint: ``POST {base_url}/rpc`` with the
+    request frame as an ``application/octet-stream`` body; the reply
+    frame comes back as the response body with status 200 (protocol
+    errors ride *inside* the frame, keeping HTTP itself boring).
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    @property
+    def endpoint(self) -> str:
+        """The rpc URL frames are POSTed to."""
+        return f"{self.base_url}/rpc"
+
+    def roundtrip(self, frame: bytes) -> bytes:
+        request = urllib.request.Request(
+            self.endpoint,
+            data=bytes(frame),
+            method="POST",
+            headers={"Content-Type": "application/octet-stream"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                if reply.status != 200:
+                    raise ProtocolError(
+                        f"HTTP {reply.status} from {self.endpoint}"
+                    )
+                return reply.read()
+        except urllib.error.HTTPError as exc:
+            raise ProtocolError(
+                f"HTTP {exc.code} from {self.endpoint}: {exc.reason}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ProtocolError(
+                f"cannot reach {self.endpoint}: {exc.reason}"
+            ) from exc

@@ -14,11 +14,19 @@ verified under the descriptor version it was served at — so the run
 also exercises incremental re-authentication, versioned cache
 invalidation and the client's freshness floor end to end.
 
+With ``run_http_loadtest`` the same workload instead crosses a real
+socket: an in-process :class:`~repro.service.http.ProofHttpServer` is
+booted on an ephemeral port and a bytes-only
+:class:`~repro.api.client.RemoteClient` drives it, measuring wire-level
+QPS and bytes-on-wire against the standalone proof sizes the paper
+reports — the framing overhead of the protocol, quantified.
+
 Shared by ``repro-spv loadtest`` and ``benchmarks/test_serving.py``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.method import SignatureVerifier, VerificationMethod, get_method
@@ -182,5 +190,195 @@ def run_loadtest(
     return LoadtestReport(
         method=method.name,
         num_queries=len(queries),
+        passes=tuple(results),
+    )
+
+
+# ----------------------------------------------------------------------
+# HTTP (wire-level) load testing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HttpLoadtestPass:
+    """One workload replay over the wire."""
+
+    label: str
+    requests: int
+    seconds: float
+    wire_bytes: int
+    proof_bytes: int
+    verified: int
+    failures: tuple[str, ...]
+
+    @property
+    def qps(self) -> float:
+        """Wire-level queries per second (client-observed)."""
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether the client accepted every wire response."""
+        return not self.failures
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Bytes-on-wire over standalone proof bytes (>= 1.0)."""
+        return self.wire_bytes / self.proof_bytes if self.proof_bytes else 0.0
+
+
+@dataclass(frozen=True)
+class HttpLoadtestReport:
+    """Cold-versus-warm wire serving comparison."""
+
+    method: str
+    num_queries: int
+    url: str
+    passes: tuple[HttpLoadtestPass, ...]
+
+    @property
+    def cold(self) -> HttpLoadtestPass:
+        """The first (cold-cache) pass."""
+        return self.passes[0]
+
+    @property
+    def warm(self) -> HttpLoadtestPass:
+        """The last (fully warm) pass."""
+        return self.passes[-1]
+
+    @property
+    def speedup(self) -> float:
+        """Warm wire QPS over cold wire QPS."""
+        return self.warm.qps / self.cold.qps if self.cold.qps else 0.0
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether every pass verified completely."""
+        return all(p.all_verified for p in self.passes)
+
+    @property
+    def wire_overhead_ratio(self) -> float:
+        """Whole-run bytes-on-wire over standalone proof bytes."""
+        wire = sum(p.wire_bytes for p in self.passes)
+        proof = sum(p.proof_bytes for p in self.passes)
+        return wire / proof if proof else 0.0
+
+    def table_rows(self) -> "list[list[object]]":
+        """Rows for :func:`repro.bench.reporting.format_table`."""
+        return [
+            [p.label, p.requests, p.qps, p.wire_bytes / 1024.0,
+             p.proof_bytes / 1024.0, p.overhead_ratio,
+             "ok" if p.all_verified else f"{len(p.failures)} FAILED"]
+            for p in self.passes
+        ]
+
+    #: Header matching :meth:`table_rows`.
+    TABLE_HEADERS = ("pass", "requests", "wire QPS", "wire KB",
+                     "proof KB", "overhead", "verified")
+
+    def as_dict(self) -> dict:
+        """Flat record for JSON results logs."""
+        return {
+            "method": self.method,
+            "num_queries": self.num_queries,
+            "cold_qps": self.cold.qps,
+            "warm_qps": self.warm.qps,
+            "speedup": self.speedup,
+            "wire_bytes": sum(p.wire_bytes for p in self.passes),
+            "proof_bytes": sum(p.proof_bytes for p in self.passes),
+            "wire_overhead_ratio": self.wire_overhead_ratio,
+            "all_verified": self.all_verified,
+        }
+
+
+def run_http_loadtest(
+    method: VerificationMethod,
+    queries: "list[tuple[int, int]]",
+    verify_signature: SignatureVerifier,
+    *,
+    passes: int = 2,
+    cache_size: int = DEFAULT_CAPACITY,
+    updates_per_pass: int = 0,
+    update_signer: "Signer | None" = None,
+    update_seed: int = 2010,
+) -> HttpLoadtestReport:
+    """Replay *queries* over real HTTP, verifying every wire response.
+
+    Boots a :class:`~repro.service.http.ProofHttpServer` on an
+    ephemeral localhost port around the method's
+    :class:`~repro.service.server.ProofServer`, then drives the full
+    workload through a :class:`~repro.api.client.RemoteClient` —
+    handshake, descriptor fetch, per-query frames — so the measured
+    path includes framing, HTTP and socket costs.  With
+    ``updates_per_pass`` the harness pushes that many owner re-weights
+    per pass *over the wire* and raises the client's freshness floor
+    from each push's reported version, so a stale replay would fail
+    the run exactly as it would fail a real client.
+    """
+    from repro.api.client import RemoteClient
+    from repro.api.transport import HttpTransport
+    from repro.service.http import ProofHttpServer
+
+    if passes < 2:
+        raise ServiceError(f"need a cold and a warm pass; got passes={passes}")
+    if not queries:
+        raise ServiceError("empty load-test workload")
+    if updates_per_pass < 0:
+        raise ServiceError(f"updates_per_pass must be >= 0, got {updates_per_pass}")
+    if updates_per_pass and update_signer is None:
+        raise ServiceError("updates_per_pass needs an update_signer to re-sign")
+
+    server = ProofServer(method, cache_size=cache_size)
+    dispatcher = server.dispatcher(update_signer=update_signer)
+    results: list[HttpLoadtestPass] = []
+    with ProofHttpServer(dispatcher) as http_server:
+        client = RemoteClient(HttpTransport(http_server.url), verify_signature)
+        hello = client.hello()
+        if hello.method != method.name:
+            raise ServiceError(
+                f"handshake says method {hello.method!r}, expected {method.name!r}"
+            )
+        for index in range(passes):
+            label = "cold" if index == 0 else f"warm{index}"
+            failures: list[str] = []
+            wire_bytes = 0
+            proof_bytes = 0
+            updates = []
+            if updates_per_pass:
+                updates = list(generate_update_workload(
+                    method.graph, updates_per_pass,
+                    seed=update_seed + index, kinds=(UPDATE_WEIGHT,),
+                ))
+            step = (-(-len(queries) // (len(updates) + 1))
+                    if updates else len(queries))
+            chunks = [queries[i:i + step] for i in range(0, len(queries), step)]
+            start = time.perf_counter()
+            for ci, chunk in enumerate(chunks):
+                for vs, vt in chunk:
+                    result = client.query(vs, vt)
+                    wire_bytes += result.wire_bytes
+                    proof_bytes += len(result.response_bytes or b"")
+                    if not result.ok:
+                        failures.append(
+                            f"({vs},{vt}): {result.verdict.reason} "
+                            f"{result.verdict.detail}")
+                if ci < len(updates):
+                    report = client.push_updates([updates[ci]])
+                    client.require_version(report.version)
+            for update in updates[len(chunks):]:
+                report = client.push_updates([update])
+                client.require_version(report.version)
+            results.append(HttpLoadtestPass(
+                label=label,
+                requests=len(queries),
+                seconds=time.perf_counter() - start,
+                wire_bytes=wire_bytes,
+                proof_bytes=proof_bytes,
+                verified=len(queries) - len(failures),
+                failures=tuple(failures),
+            ))
+        url = http_server.url
+    return HttpLoadtestReport(
+        method=method.name,
+        num_queries=len(queries),
+        url=url,
         passes=tuple(results),
     )

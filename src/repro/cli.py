@@ -8,19 +8,31 @@ Subcommands::
     repro-spv demo      net.txt --method HYP --queries 3
     repro-spv estimate  net.txt --range 2000
     repro-spv serve     net.txt --method DIJ --workload queries.txt
+    repro-spv serve     net.txt --method DIJ --http 8350 --save-key owner.pub
+    repro-spv fetch     http://host:8350 3 9 --out r.bin --descriptor-out d.bin
+    repro-spv verify    r.bin --key owner.pub --descriptor d.bin
     repro-spv loadtest  net.txt --method DIJ --range 2000 --passes 3
+    repro-spv loadtest  net.txt --method DIJ --http
     repro-spv bench     net.txt --method DIJ --out BENCH_DIJ.json
 
 ``demo`` runs the full three-party protocol (build, answer, verify) and
 prints per-query proof sizes; ``estimate`` prints the predictive sizing
 model's ranking without building anything.  ``serve`` answers a request
 stream (workload file, or interactive ``source target`` lines on stdin)
-through a cached :class:`~repro.service.server.ProofServer`;
+through a cached :class:`~repro.service.server.ProofServer` — or, with
+``--http PORT``, boots the wire-protocol HTTP frontend and serves until
+interrupted (``--save-key`` writes the owner's public key file clients
+verify against); ``fetch`` retrieves one response (and optionally the
+descriptor) from a running HTTP service as artifact files; ``verify``
+checks a serialized response file offline against a public key file —
+the exit code is the verdict, so scripts can gate on it;
 ``loadtest`` replays one workload repeatedly against a single server and
 prints a cold-versus-warm metrics table — with ``--updates N`` it
 interleaves N owner re-weights through every pass, exercising the
 live-update pipeline (incremental re-auth, versioned cache
-invalidation, client freshness floors) under load; ``bench`` profiles
+invalidation, client freshness floors) under load, and with ``--http``
+the whole replay instead crosses a real localhost socket through
+``RemoteClient`` (wire QPS, bytes-on-wire vs proof bytes); ``bench`` profiles
 one workload replay into a ``BENCH_*.json`` record (QPS, p50/p95,
 construction seconds, proof bytes, and with ``--updates N`` the
 incremental-update-versus-rebuild cost) and can gate on a checked-in
@@ -43,11 +55,17 @@ from repro.bench.profile import (
     write_record,
 )
 from repro.bench.reporting import format_table
-from repro.bench.serving import LoadtestReport, run_loadtest
+from repro.bench.serving import (
+    HttpLoadtestReport,
+    LoadtestReport,
+    run_http_loadtest,
+    run_loadtest,
+)
 from repro.core.estimate import ProofSizeModel
 from repro.core.framework import Client, DataOwner, ServiceProvider
-from repro.crypto.signer import NullSigner, RsaSigner
-from repro.errors import ReproError
+from repro.core.proofs import QueryResponse
+from repro.crypto.signer import NullSigner, RsaSigner, load_public_key, save_public_key
+from repro.errors import EncodingError, ReproError
 from repro.graph.io import read_graph, read_workload, write_graph, write_workload
 from repro.graph.synthetic import road_network
 from repro.service.server import ProofServer
@@ -149,8 +167,56 @@ def _read_requests(args: argparse.Namespace) -> "list[tuple[int, int]]":
     return read_workload(sys.stdin)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    """``serve --http``: the wire-protocol frontend, until interrupted."""
+    from repro.service.http import ProofHttpServer
+
     owner, method, build_seconds = _published_method(args)
+    if args.save_key:
+        save_public_key(owner.signer, args.save_key)
+        print(f"wrote owner public key to {args.save_key}")
+    server = ProofServer(method, cache_size=args.cache_size,
+                         max_workers=args.workers)
+    # The wire protocol carries no authentication, so honouring update
+    # pushes means anyone who can reach the socket can mutate the graph
+    # and have this process re-sign it with the owner's key.  That is
+    # only acceptable as an explicit opt-in for trusted-network demos;
+    # the default endpoint serves proofs and refuses pushes
+    # (updates-not-supported), exactly like a provider that holds no
+    # signing key.
+    update_signer = owner.signer if args.allow_updates else None
+    dispatcher = server.dispatcher(update_signer=update_signer)
+    http_server = ProofHttpServer(dispatcher, host=args.host, port=args.http)
+    pushes = ("enabled — trusted networks only" if args.allow_updates
+              else "disabled")
+    print(f"{args.method} proof service on {http_server.url} "
+          f"(build {build_seconds:.2f}s, cache {args.cache_size}, "
+          f"update pushes {pushes}); "
+          f"POST frames to {http_server.url}/rpc, Ctrl-C to stop",
+          flush=True)
+    try:
+        http_server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        http_server.close()
+    s = server.snapshot()
+    print(format_table(
+        ["requests", "QPS", "p50 ms", "p95 ms", "hit %", "proof KB"],
+        [[s.requests, s.qps, s.p50_ms, s.p95_ms,
+          100.0 * s.hit_rate, s.proof_kbytes]],
+        title="serving metrics",
+    ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        return _cmd_serve_http(args)
+    owner, method, build_seconds = _published_method(args)
+    if args.save_key:
+        save_public_key(owner.signer, args.save_key)
+        print(f"wrote owner public key to {args.save_key}")
     client = Client(owner.signer.verify)
     server = ProofServer(method, cache_size=args.cache_size,
                          max_workers=args.workers)
@@ -206,12 +272,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     owner, method, build_seconds = _published_method(args)
+    if args.save_key:
+        save_public_key(owner.signer, args.save_key)
+        print(f"wrote owner public key to {args.save_key}")
+    if args.http and args.workers > 1:
+        print("note: --workers applies to the in-process pool only; "
+              "HTTP concurrency comes from the threaded frontend",
+              file=sys.stderr)
     if args.workload:
         queries = _read_workload_file(args.workload)
     else:
         queries = list(generate_workload(owner.graph, args.range,
                                          count=args.count, seed=args.seed,
                                          tolerance=1.0))
+    if args.http:
+        report = run_http_loadtest(
+            method, queries, owner.signer.verify,
+            passes=args.passes, cache_size=args.cache_size,
+            updates_per_pass=args.updates, update_signer=owner.signer,
+            update_seed=args.seed,
+        )
+        print(format_table(
+            list(HttpLoadtestReport.TABLE_HEADERS), report.table_rows(),
+            title=(f"{args.method} HTTP load test: {len(queries)} queries x "
+                   f"{args.passes} passes on {args.graph} via {report.url} "
+                   f"(build {build_seconds:.2f}s)"),
+        ))
+        print(f"\nwarm/cold wire speedup: {report.speedup:.1f}x, "
+              f"bytes-on-wire / proof bytes: {report.wire_overhead_ratio:.4f}x")
+        if not report.all_verified:
+            print("error: some wire responses failed client verification",
+                  file=sys.stderr)
+            return 1
+        return 0
     report = run_loadtest(
         method, queries, owner.signer.verify,
         passes=args.passes, cache_size=args.cache_size,
@@ -290,6 +383,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    """Fetch one response (and the descriptor) from a running service."""
+    from repro.api.client import RemoteClient
+    from repro.api.transport import HttpTransport
+
+    if args.key:
+        verify_signature = load_public_key(args.key).verify
+    else:
+        # No key, no verdict: the artifact is fetched for later offline
+        # verification (``repro-spv verify``), so accept any signature
+        # here rather than pretending to check one.
+        verify_signature = lambda message, signature: True  # noqa: E731
+    client = RemoteClient(HttpTransport(args.url), verify_signature,
+                          min_descriptor_version=args.min_version)
+    hello = client.hello()
+    print(f"service: method {hello.method}, protocol v{hello.version}, "
+          f"descriptor version {hello.descriptor_version}")
+    if args.descriptor_out:
+        _, descriptor_bytes = client.fetch_descriptor()
+        with open(args.descriptor_out, "wb") as out:
+            out.write(descriptor_bytes)
+        print(f"wrote descriptor ({len(descriptor_bytes)} bytes) "
+              f"to {args.descriptor_out}")
+    result = client.query(args.source, args.target)
+    if result.response_bytes is None:
+        print(f"error: server refused: {result.verdict.reason} "
+              f"{result.verdict.detail}", file=sys.stderr)
+        return 1
+    with open(args.out, "wb") as out:
+        out.write(result.response_bytes)
+    print(f"wrote response ({len(result.response_bytes)} bytes, "
+          f"{result.wire_bytes} on the wire) to {args.out}")
+    if args.key:
+        print(f"verdict: {'ok' if result.ok else result.verdict.reason}")
+        return 0 if result.ok else 1
+    print("verdict: not checked (no --key); verify offline with "
+          "`repro-spv verify`")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Verify a response artifact; the exit code is the verdict."""
+    with open(args.response, "rb") as infile:
+        data = infile.read()
+    client = Client(load_public_key(args.key).verify,
+                    min_descriptor_version=args.min_version)
+    source, target = args.source, args.target
+    decoded: "QueryResponse | None" = None
+    if source is None or target is None or args.descriptor:
+        # The query pair defaults to the one recorded in the response;
+        # passing --source/--target pins the artifact to *your* query,
+        # which is the stronger check.
+        try:
+            decoded = QueryResponse.decode(data)
+        except EncodingError as exc:
+            print(f"reject: malformed-response — {exc}")
+            return 1
+        source = source if source is not None else decoded.source
+        target = target if target is not None else decoded.target
+    if args.descriptor:
+        with open(args.descriptor, "rb") as infile:
+            trusted = infile.read()
+        if decoded.descriptor.encode() != trusted:
+            print("reject: descriptor-mismatch — response descriptor differs "
+                  f"from the trusted copy in {args.descriptor}")
+            return 1
+    result = client.verify_bytes(source, target, data)
+    if result.ok:
+        print(f"ok: {source} -> {target} verified "
+              f"({len(data)} response bytes)")
+        return 0
+    print(f"reject: {result.reason} — {result.detail}")
+    return 1
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     graph = read_graph(args.graph)
     model = ProofSizeModel.for_graph(graph)
@@ -365,18 +533,64 @@ def build_parser() -> argparse.ArgumentParser:
                        help="thread-pool size (>1 disables coalescing)")
         p.add_argument("--no-coalesce", action="store_true",
                        help="answer bursts per query instead of batching")
+        p.add_argument("--save-key",
+                       help="write the owner's public key file (for "
+                            "`repro-spv verify` / RemoteClient users)")
 
     serve = sub.add_parser(
         "serve", help="answer a request stream through a cached proof server")
     add_server_args(serve, default_method="DIJ")
     serve.add_argument("--workload",
                        help="query file (default: read stdin lines)")
+    serve.add_argument("--http", type=int, metavar="PORT",
+                       help="serve the wire protocol over HTTP on PORT "
+                            "(0 picks an ephemeral port) until interrupted")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind with --http (default "
+                            "loopback; 0.0.0.0 exposes the service)")
+    serve.add_argument("--allow-updates", action="store_true",
+                       help="honour wire update pushes by re-signing with "
+                            "the owner key (UNAUTHENTICATED — trusted "
+                            "networks only; default: refuse pushes)")
     serve.set_defaults(fn=_cmd_serve)
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch one response from a running HTTP service")
+    fetch.add_argument("url", help="service base URL, e.g. http://host:8350")
+    fetch.add_argument("source", type=int)
+    fetch.add_argument("target", type=int)
+    fetch.add_argument("--out", required=True,
+                       help="write the serialized response here")
+    fetch.add_argument("--descriptor-out",
+                       help="also save the signed descriptor")
+    fetch.add_argument("--key",
+                       help="owner public key file: verify before saving")
+    fetch.add_argument("--min-version", type=int,
+                       help="freshness floor (reject older descriptors)")
+    fetch.set_defaults(fn=_cmd_fetch)
+
+    ver = sub.add_parser(
+        "verify", help="verify a response artifact; exit code is the verdict")
+    ver.add_argument("response", help="serialized QueryResponse file")
+    ver.add_argument("--key", required=True,
+                     help="owner public key file (see serve --save-key)")
+    ver.add_argument("--descriptor",
+                     help="trusted descriptor file the response must match")
+    ver.add_argument("--min-version", type=int,
+                     help="freshness floor (reject older descriptors)")
+    ver.add_argument("--source", type=int,
+                     help="expected query source (default: from the response)")
+    ver.add_argument("--target", type=int,
+                     help="expected query target (default: from the response)")
+    ver.set_defaults(fn=_cmd_verify)
 
     lt = sub.add_parser(
         "loadtest", help="replay a workload cold vs warm and print metrics")
     add_server_args(lt, default_method="DIJ")
     lt.add_argument("--workload", help="query file (default: generate)")
+    lt.add_argument("--http", action="store_true",
+                    help="drive the workload over a real localhost HTTP "
+                         "socket through RemoteClient (wire-level metrics)")
     lt.add_argument("--range", type=float, default=2000.0)
     lt.add_argument("--count", type=int, default=20)
     lt.add_argument("--seed", type=int, default=0)

@@ -13,6 +13,7 @@ import time
 from bisect import bisect_left
 from typing import Callable, Mapping, Type
 
+from repro.api import codes
 from repro.core.framework import VerificationResult, distances_close
 from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeSection
 from repro.crypto.signer import Signer
@@ -41,17 +42,17 @@ def verify_descriptor(
     descriptor = response.descriptor
     if response.method != expected_method or descriptor.method != expected_method:
         return VerificationResult.failure(
-            "method-mismatch",
+            codes.METHOD_MISMATCH,
             f"expected {expected_method}, response says {response.method!r} "
             f"with descriptor {descriptor.method!r}",
         )
     if not verify_signature(descriptor.message(), descriptor.signature):
         return VerificationResult.failure(
-            "bad-signature", "owner signature on the descriptor does not verify"
+            codes.BAD_SIGNATURE, "owner signature on the descriptor does not verify"
         )
     if min_version is not None and descriptor.version < min_version:
         return VerificationResult.failure(
-            "stale-descriptor",
+            codes.STALE_DESCRIPTOR,
             f"descriptor version {descriptor.version} predates the required "
             f"minimum {min_version} (stale-proof replay)",
         )
@@ -67,7 +68,7 @@ def verify_section_root(
         config = descriptor.tree(section.tree)
     except EncodingError:
         return VerificationResult.failure(
-            "unknown-tree", f"descriptor does not cover tree {section.tree!r}"
+            codes.UNKNOWN_TREE, f"descriptor does not cover tree {section.tree!r}"
         )
     try:
         root = reconstruct_root(
@@ -79,11 +80,11 @@ def verify_section_root(
         )
     except (MerkleError, EncodingError) as exc:
         return VerificationResult.failure(
-            "malformed-proof", f"tree {section.tree!r}: {exc}"
+            codes.MALFORMED_PROOF, f"tree {section.tree!r}: {exc}"
         )
     if root != config.root:
         return VerificationResult.failure(
-            "root-mismatch",
+            codes.ROOT_MISMATCH,
             f"tree {section.tree!r}: reconstructed root does not match the signed root",
         )
     return None
@@ -135,34 +136,34 @@ def check_reported_path(
     """
     nodes = response.path_nodes
     if not nodes:
-        return VerificationResult.failure("empty-path", "response contains no path")
+        return VerificationResult.failure(codes.EMPTY_PATH, "response contains no path")
     if nodes[0] != source or nodes[-1] != target:
         return VerificationResult.failure(
-            "endpoint-mismatch",
+            codes.ENDPOINT_MISMATCH,
             f"path runs {nodes[0]} -> {nodes[-1]}, query was {source} -> {target}",
         )
     if len(set(nodes)) != len(nodes):
-        return VerificationResult.failure("path-cycle", "reported path repeats a node")
+        return VerificationResult.failure(codes.PATH_CYCLE, "reported path repeats a node")
     cost = 0.0
     for u, v in zip(nodes, nodes[1:]):
         tup = tuples.get(u)
         if tup is None:
             return VerificationResult.failure(
-                "path-node-missing", f"no authenticated tuple for path node {u}"
+                codes.PATH_NODE_MISSING, f"no authenticated tuple for path node {u}"
             )
         w = adjacency_weight(tup, v)
         if w is None:
             return VerificationResult.failure(
-                "phantom-edge", f"edge ({u}, {v}) is not in the authenticated graph"
+                codes.PHANTOM_EDGE, f"edge ({u}, {v}) is not in the authenticated graph"
             )
         cost += w
     if nodes[-1] not in tuples:
         return VerificationResult.failure(
-            "path-node-missing", f"no authenticated tuple for path node {nodes[-1]}"
+            codes.PATH_NODE_MISSING, f"no authenticated tuple for path node {nodes[-1]}"
         )
     if not distances_close(cost, response.path_cost):
         return VerificationResult.failure(
-            "cost-mismatch",
+            codes.COST_MISMATCH,
             f"authenticated path cost {cost} != reported {response.path_cost}",
         )
     return None

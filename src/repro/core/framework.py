@@ -10,8 +10,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.api import codes
 from repro.crypto.signer import RsaSigner, Signer
-from repro.errors import MethodError
+from repro.errors import EncodingError, MethodError
 from repro.graph.graph import SpatialGraph
 
 #: Relative/absolute tolerances for distance equality.  Provider and
@@ -94,7 +95,19 @@ class ServiceProvider:
 
 
 class Client:
-    """A query client holding only the owner's public key."""
+    """A query client holding only the owner's public key.
+
+    The client is *bytes-first*: the canonical entry point is
+    :meth:`verify_bytes`, which takes the provider's response exactly
+    as it crossed the wire and never requires — or creates — any
+    provider-side object.  :meth:`verify` remains as the historical
+    shim and accepts either bytes or an already-decoded
+    :class:`~repro.core.proofs.QueryResponse`.
+
+    All rejection paths report reason codes from the shared taxonomy
+    (:mod:`repro.api.codes`), the same registry the wire protocol's
+    error envelopes draw from.
+    """
 
     def __init__(self, verify_signature,
                  min_descriptor_version: "int | None" = None) -> None:
@@ -119,15 +132,47 @@ class Client:
         current = self.min_descriptor_version or 0
         self.min_descriptor_version = max(current, version)
 
+    def verify_bytes(self, source: int, target: int,
+                     data: bytes) -> VerificationResult:
+        """Verify a serialized provider response for ``(source, target)``.
+
+        This is the three-party model made literal: *data* is whatever
+        arrived over the wire, and undecodable bytes are a verdict
+        (reason ``malformed-response``), not an exception — a client
+        facing a malicious provider needs an answer either way.
+        """
+        from repro.core.proofs import QueryResponse
+
+        try:
+            response = QueryResponse.decode(data)
+        except EncodingError as exc:
+            return VerificationResult.failure(
+                codes.MALFORMED_RESPONSE,
+                f"response bytes do not decode: {exc}",
+            )
+        return self._verify_decoded(source, target, response)
+
     def verify(self, source: int, target: int, response) -> VerificationResult:
-        """Verify a provider response for the query ``(source, target)``."""
+        """Verify a provider response for the query ``(source, target)``.
+
+        Shim over :meth:`verify_bytes`: *response* may be the raw wire
+        bytes or a decoded :class:`~repro.core.proofs.QueryResponse`
+        (the pre-wire-API signature, kept for in-process callers).
+        """
+        if isinstance(response, (bytes, bytearray, memoryview)):
+            return self.verify_bytes(source, target, bytes(response))
+        return self._verify_decoded(source, target, response)
+
+    def _verify_decoded(self, source: int, target: int,
+                        response) -> VerificationResult:
         from repro.core.method import get_method
 
         try:
             cls = get_method(response.method)
         except MethodError:
             return VerificationResult.failure(
-                "unknown-method", f"method {response.method!r} is not recognized"
+                codes.UNKNOWN_METHOD,
+                f"method {response.method!r} is not recognized",
             )
         return cls.verify(source, target, response, self.verify_signature,
                           min_version=self.min_descriptor_version)

@@ -103,8 +103,15 @@ class SignedDescriptor:
 
     @classmethod
     def decode(cls, data: bytes) -> "SignedDescriptor":
-        """Inverse of :meth:`encode`."""
-        outer = Decoder(data)
+        """Inverse of :meth:`encode`.
+
+        Strict: raises :class:`~repro.errors.EncodingError` — and only
+        that — on truncated, oversized or garbage input.  Descriptors
+        arrive over the wire from an untrusted provider, so the decoder
+        must never surface a raw ``IndexError``/``struct.error`` (and
+        must reject impossible counts before trusting them).
+        """
+        outer = Decoder(bytes(data))
         message = outer.read_bytes()
         signature = outer.read_bytes()
         outer.expect_end()
@@ -115,7 +122,9 @@ class SignedDescriptor:
         params = dec.read_bytes()
         trees = tuple(
             TreeConfig(dec.read_str(), dec.read_uint(), dec.read_uint(), dec.read_bytes())
-            for _ in range(dec.read_uint())
+            # A tree config occupies at least four bytes (name length,
+            # leaf count, fanout, root length).
+            for _ in range(dec.read_count(4))
         )
         dec.expect_end()
         return cls(method, hash_name, params, trees, version, signature)
@@ -225,19 +234,30 @@ class QueryResponse:
 
     @classmethod
     def decode(cls, data: bytes) -> "QueryResponse":
-        """Inverse of :meth:`encode`."""
-        dec = Decoder(data)
+        """Inverse of :meth:`encode`.
+
+        This is the client's entire attack surface for response bytes,
+        so decoding is strict: every malformation — truncation, counts
+        exceeding the bytes present, duplicate sections or positions,
+        trailing garbage — raises a typed
+        :class:`~repro.errors.EncodingError`; nothing else escapes.
+        """
+        dec = Decoder(bytes(data))
         method = dec.read_str()
         source = dec.read_uint()
         target = dec.read_uint()
         path_nodes = tuple(dec.read_uint_seq())
         path_cost = dec.read_f64()
         sections: dict[str, TreeSection] = {}
-        for _ in range(dec.read_uint()):
+        # A section occupies at least four bytes (name length, positions
+        # count, payloads count, entries count).
+        for _ in range(dec.read_count(4)):
             name = dec.read_str()
             positions = dec.read_uint_seq()
-            payloads = [dec.read_bytes() for _ in range(dec.read_uint())]
+            payloads = [dec.read_bytes() for _ in range(dec.read_count(1))]
             entries = decode_proof_entries(dec)
+            if name in sections:
+                raise EncodingError(f"duplicate section {name!r}")
             sections[name] = TreeSection(name, positions, payloads, entries)
         descriptor = SignedDescriptor.decode(dec.read_bytes())
         dec.expect_end()

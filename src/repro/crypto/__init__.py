@@ -9,7 +9,14 @@ implemented from scratch (Miller-Rabin prime generation and full-domain
 
 from repro.crypto.hashing import HashFunction, get_hash
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
-from repro.crypto.signer import NullSigner, RsaSigner, Signer
+from repro.crypto.signer import (
+    NullSigner,
+    RsaSigner,
+    RsaVerifier,
+    Signer,
+    load_public_key,
+    save_public_key,
+)
 
 __all__ = [
     "HashFunction",
@@ -19,5 +26,8 @@ __all__ = [
     "generate_keypair",
     "Signer",
     "RsaSigner",
+    "RsaVerifier",
     "NullSigner",
+    "save_public_key",
+    "load_public_key",
 ]

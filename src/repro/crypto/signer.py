@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from repro.crypto import rsa
 from repro.crypto.hashing import HashFunction, get_hash
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.errors import CryptoError
 
 
 class Signer(ABC):
@@ -76,6 +77,58 @@ class RsaVerifier:
 
     def verify(self, message: bytes, signature: bytes) -> bool:
         return rsa.verify(message, signature, self._public, self._hash)
+
+
+def save_public_key(signer: "Signer | RsaVerifier", path: str) -> None:
+    """Write a signer's *public* verification material to a text file.
+
+    The file is what a data owner distributes out of band alongside
+    the descriptor version: ``repro-spv verify`` loads it to check
+    response artifacts without any live Python objects.  Format is one
+    whitespace-separated line:
+
+    * ``rsa <hash> <n hex> <e hex>`` — an RSA public key;
+    * ``null <key hex> <size>`` — the keyed-hash stub (shared-key MAC,
+      only for ``--insecure`` benchmark flows; the "public" file then
+      contains the MAC key, which is the stub's documented trade-off).
+
+    No private material is ever written for RSA signers.
+    """
+    if isinstance(signer, RsaSigner):
+        public = signer.public_key
+        line = f"rsa {signer._hash.name} {public.n:x} {public.e:x}"
+    elif isinstance(signer, RsaVerifier):
+        line = f"rsa {signer._hash.name} {signer._public.n:x} {signer._public.e:x}"
+    elif isinstance(signer, NullSigner):
+        line = f"null {signer._key.hex()} {signer._size}"
+    else:
+        raise CryptoError(
+            f"cannot serialize a public key for {type(signer).__name__}"
+        )
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(line + "\n")
+
+
+def load_public_key(path: str) -> "RsaVerifier | NullSigner":
+    """Load verification material written by :func:`save_public_key`.
+
+    Returns an object with ``verify(message, signature) -> bool`` —
+    hand its ``verify`` to a :class:`~repro.core.framework.Client`.
+    """
+    with open(path, "r", encoding="utf-8") as infile:
+        fields = infile.read().split()
+    try:
+        kind = fields[0]
+        if kind == "rsa":
+            hash_name, n_hex, e_hex = fields[1:4]
+            return RsaVerifier(RsaPublicKey(n=int(n_hex, 16), e=int(e_hex, 16)),
+                               hash_fn=hash_name)
+        if kind == "null":
+            key_hex, size = fields[1:3]
+            return NullSigner(bytes.fromhex(key_hex), signature_size=int(size))
+    except (IndexError, ValueError) as exc:
+        raise CryptoError(f"malformed public key file {path!r}: {exc}") from exc
+    raise CryptoError(f"unknown public key kind {kind!r} in {path!r}")
 
 
 class NullSigner(Signer):

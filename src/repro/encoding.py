@@ -300,13 +300,31 @@ class Decoder:
         except UnicodeDecodeError as exc:
             raise EncodingError("invalid UTF-8 string") from exc
 
+    def read_count(self, min_item_bytes: int = 1) -> int:
+        """Read a count varint, bounded by the bytes actually present.
+
+        Every counted item occupies at least *min_item_bytes* in the
+        stream, so a count exceeding ``remaining / min_item_bytes`` can
+        only come from a corrupted or adversarial payload: reject it up
+        front (as :class:`EncodingError`) instead of looping into a
+        truncation error item by item — or, worse, pre-sizing buffers
+        from attacker-controlled lengths.
+        """
+        count = self.read_uint()
+        if count * min_item_bytes > self.remaining:
+            raise EncodingError(
+                f"count {count} (>= {min_item_bytes} bytes each) exceeds "
+                f"the {self.remaining} bytes remaining"
+            )
+        return count
+
     def read_uint_seq(self) -> list[int]:
         """Read a count-prefixed sequence of unsigned integers."""
-        return [self.read_uint() for _ in range(self.read_uint())]
+        return [self.read_uint() for _ in range(self.read_count(1))]
 
     def read_f64_seq(self) -> list[float]:
         """Read a count-prefixed sequence of 64-bit floats."""
-        return [self.read_f64() for _ in range(self.read_uint())]
+        return [self.read_f64() for _ in range(self.read_count(8))]
 
     def read_packed_codes(self, bits: int) -> list[int]:
         """Read codes written by :meth:`Encoder.write_packed_codes`."""

@@ -31,6 +31,27 @@ class EncodingError(ReproError):
     """Malformed canonical encoding."""
 
 
+class ProtocolError(EncodingError):
+    """Malformed, truncated or otherwise invalid wire-protocol frame.
+
+    Raised by the strict frame decoders in :mod:`repro.api.envelope`.
+    Deriving from :class:`EncodingError` keeps the contract that no
+    decoder in the package raises anything outside the typed hierarchy.
+    """
+
+
+class UnsupportedVersionError(ProtocolError):
+    """A frame speaks a protocol version this endpoint does not accept."""
+
+    def __init__(self, version: int, accepted) -> None:
+        super().__init__(
+            f"protocol version {version} not accepted (supported: "
+            f"{sorted(accepted)})"
+        )
+        self.version = version
+        self.accepted = tuple(accepted)
+
+
 class MerkleError(ReproError):
     """Invalid Merkle tree operation or malformed Merkle proof."""
 

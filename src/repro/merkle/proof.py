@@ -32,8 +32,14 @@ def encode_proof_entries(entries: "list[MerkleProofEntry]", enc: Encoder) -> Non
 
 
 def decode_proof_entries(dec: Decoder) -> "list[MerkleProofEntry]":
-    """Inverse of :func:`encode_proof_entries`."""
-    count = dec.read_uint()
+    """Inverse of :func:`encode_proof_entries`.
+
+    Strict: an entry occupies at least three bytes (level, index,
+    digest length), so a count claiming more entries than the remaining
+    bytes could hold is rejected up front as an
+    :class:`~repro.errors.EncodingError`.
+    """
+    count = dec.read_count(3)
     return [
         MerkleProofEntry(dec.read_uint(), dec.read_uint(), dec.read_bytes())
         for _ in range(count)

@@ -19,6 +19,7 @@ Typical use::
 """
 
 from repro.service.cache import CacheEntry, CacheStats, ProofCache
+from repro.service.http import ProofHttpServer
 from repro.service.metrics import MetricsSnapshot, ServerMetrics, percentile
 from repro.service.server import (
     BurstResult,
@@ -31,6 +32,7 @@ from repro.service.sync import ReadWriteLock
 
 __all__ = [
     "ProofServer",
+    "ProofHttpServer",
     "ProofRequest",
     "UpdateRequest",
     "ServedResponse",

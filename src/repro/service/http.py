@@ -1,0 +1,160 @@
+"""Stdlib HTTP frontend: protocol frames over POST.
+
+The wire contract is deliberately minimal so that any HTTP stack can
+implement it:
+
+* ``POST /rpc`` — body is one request frame, response body is one
+  reply frame (``application/octet-stream``, status 200 even for
+  protocol-level errors: those ride *inside* the frame, typed by
+  :mod:`repro.api.codes`);
+* ``GET /healthz`` — liveness probe, returns ``ok``.
+
+Concurrency comes from ``ThreadingHTTPServer`` (a thread per request)
+over the dispatcher's :class:`~repro.service.server.ProofServer`, whose
+cache, metrics and update gate are already thread-safe — the frontend
+adds no locking of its own.  The server binds ``port=0`` to an
+ephemeral port, which is what the tests, the load tester and the CI
+smoke job use to avoid port collisions.
+
+This module imports nothing above the error layer: it serves whatever
+object offers ``dispatch(bytes) -> bytes``, keeping the frontend a pure
+transport.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ServiceError
+
+#: Largest request body the frontend will read, in bytes.  Frames are
+#: tiny (requests are a few dozen bytes; update batches a few KB), so
+#: anything huge is garbage or abuse — reject before allocating.
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+
+class _FrameHandler(BaseHTTPRequestHandler):
+    """One-endpoint handler; the server instance carries the dispatcher."""
+
+    server_version = "repro-spv/1"
+    protocol_version = "HTTP/1.1"
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/octet-stream") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._send(200, b"ok", "text/plain")
+        else:
+            self._send(404, b"not found", "text/plain")
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path != "/rpc":
+            self._send(404, b"not found", "text/plain")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send(411, b"length required", "text/plain")
+            return
+        if length <= 0:
+            self._send(411, b"length required", "text/plain")
+            return
+        if length > MAX_REQUEST_BYTES:
+            self._send(413, b"request too large", "text/plain")
+            return
+        frame = self.rfile.read(length)
+        # The dispatcher never raises: malformed frames come back as
+        # typed error frames, so HTTP status stays 200 end to end.
+        self._send(200, self.server.dispatcher.dispatch(frame))
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Per-request stderr logging off by default (serving hot path)."""
+
+
+class ProofHttpServer:
+    """A threaded HTTP frontend around a frame dispatcher.
+
+    >>> server = ProofHttpServer(dispatcher, port=0)     # doctest: +SKIP
+    >>> with server:                                     # doctest: +SKIP
+    ...     client = RemoteClient(HttpTransport(server.url), pk.verify)
+    ...     client.query(3, 9).ok
+
+    ``start()`` serves from a daemon thread (the embedded mode used by
+    tests and the load tester); :meth:`serve_forever` blocks (the CLI
+    mode).  Either way :meth:`close` shuts the listener down.
+    """
+
+    def __init__(self, dispatcher, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        if not hasattr(dispatcher, "dispatch"):
+            raise ServiceError(
+                f"dispatcher must offer dispatch(bytes) -> bytes, "
+                f"got {type(dispatcher).__name__}"
+            )
+        self.dispatcher = dispatcher
+        self._httpd = ThreadingHTTPServer((host, port), _FrameHandler)
+        self._httpd.dispatcher = dispatcher
+        self._httpd.daemon_threads = True
+        self._thread: "threading.Thread | None" = None
+        self._served = False
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bound interface."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL for :class:`~repro.api.transport.HttpTransport`."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ProofHttpServer":
+        """Serve from a background daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise ServiceError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-http-{self.port}",
+            daemon=True,
+        )
+        self._served = True
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (CLI mode)."""
+        self._served = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the listening socket."""
+        if self._served:
+            # shutdown() waits on the serve_forever loop's exit event,
+            # which only exists once a loop has run; calling it on a
+            # never-served instance would block forever.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProofHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -201,6 +201,19 @@ class ProofServer:
         """The request/response entry point."""
         return self.answer(request.source, request.target)
 
+    def dispatcher(self, *, update_signer: "Signer | None" = None):
+        """A wire-protocol :class:`~repro.api.dispatcher.Dispatcher`.
+
+        This is how every transport reaches the server: frontends hand
+        frames to the returned dispatcher, and in-process callers use
+        it with the trivial transport.  ``update_signer`` enables
+        owner update pushes over the wire; leave it unset for
+        provider-side deployments, which must not hold signing keys.
+        """
+        from repro.api.dispatcher import Dispatcher
+
+        return Dispatcher(self, update_signer=update_signer)
+
     # ------------------------------------------------------------------
     def answer_many(self, queries: "list[tuple[int, int]]", *,
                     coalesce: bool = True) -> "list[ServedResponse]":

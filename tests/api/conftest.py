@@ -1,0 +1,50 @@
+"""Wire-API fixtures: a built method, a server and a dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dij import DijMethod
+from repro.crypto.signer import NullSigner
+from repro.service.server import ProofServer
+from repro.workload.queries import generate_workload
+
+QUERY_RANGE = 1500.0
+
+
+@pytest.fixture(scope="package")
+def signer():
+    return NullSigner()
+
+
+@pytest.fixture(scope="package")
+def dij(road300, signer):
+    return DijMethod.build(road300, signer)
+
+
+@pytest.fixture(scope="package")
+def workload(road300):
+    return list(generate_workload(road300, QUERY_RANGE, count=6, seed=99))
+
+
+@pytest.fixture()
+def server(dij):
+    return ProofServer(dij, cache_size=64)
+
+
+@pytest.fixture()
+def dispatcher(server, signer):
+    return server.dispatcher(update_signer=signer)
+
+
+@pytest.fixture()
+def mutable_graph(road300):
+    """A private graph copy for tests that push updates."""
+    return road300.copy()
+
+
+@pytest.fixture()
+def mutable_dispatcher(mutable_graph, signer):
+    """Server + dispatcher over a private graph (update tests)."""
+    method = DijMethod.build(mutable_graph, signer)
+    return ProofServer(method, cache_size=64).dispatcher(update_signer=signer)

@@ -1,0 +1,141 @@
+"""Dispatcher behavior: routing, error taxonomy, update gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import codes
+from repro.api import envelope as E
+from repro.core.proofs import QueryResponse
+
+
+def roundtrip(dispatcher, message):
+    """Dispatch one message, return the decoded reply message."""
+    return E.decode_message(E.decode_frame(dispatcher.dispatch(message.to_frame())))
+
+
+class TestHello:
+    def test_negotiates_highest_shared_version(self, dispatcher, dij):
+        reply = roundtrip(dispatcher, E.HelloRequest((1,)))
+        assert reply == E.HelloReply(1, "DIJ", dij.descriptor.version)
+
+    def test_no_shared_version_is_an_error(self, dispatcher):
+        # The hello frame itself rides v1; the *listed* versions clash.
+        reply = roundtrip(dispatcher, E.HelloRequest((41, 42)))
+        assert isinstance(reply, E.ErrorMessage)
+        assert reply.code == codes.E_UNSUPPORTED_VERSION
+
+
+class TestQuery:
+    def test_query_payload_matches_in_process_answer(self, dispatcher, dij,
+                                                     workload):
+        vs, vt = workload[0]
+        reply = roundtrip(dispatcher, E.QueryRequest(vs, vt))
+        assert isinstance(reply, E.QueryReply)
+        assert reply.response_bytes == dij.answer(vs, vt).encode()
+
+    def test_second_hit_is_cached(self, dispatcher, workload):
+        vs, vt = workload[0]
+        first = roundtrip(dispatcher, E.QueryRequest(vs, vt))
+        second = roundtrip(dispatcher, E.QueryRequest(vs, vt))
+        assert not first.cached and second.cached
+        assert first.response_bytes == second.response_bytes
+
+    def test_unknown_node_is_query_failed(self, dispatcher):
+        reply = roundtrip(dispatcher, E.QueryRequest(10**9, 3))
+        assert isinstance(reply, E.ErrorMessage)
+        assert reply.code == codes.E_QUERY_FAILED
+
+    def test_batch_mixes_responses_and_errors(self, dispatcher, workload):
+        pairs = [workload[0], (10**9, 3), workload[1]]
+        reply = roundtrip(dispatcher, E.BatchQueryRequest(tuple(pairs)))
+        assert isinstance(reply, E.BatchQueryReply)
+        assert [item.ok for item in reply.items] == [True, False, True]
+        assert reply.items[1].error_code == codes.E_QUERY_FAILED
+        for (vs, vt), item in zip(pairs, reply.items):
+            if item.ok:
+                decoded = QueryResponse.decode(item.response_bytes)
+                assert (decoded.source, decoded.target) == (vs, vt)
+
+
+class TestDescriptorAndMetrics:
+    def test_descriptor_verbatim(self, dispatcher, dij):
+        reply = roundtrip(dispatcher, E.DescriptorRequest())
+        assert reply == E.DescriptorReply(dij.descriptor.encode())
+
+    def test_metrics_reflect_traffic(self, dispatcher, workload):
+        for pair in workload[:3]:
+            roundtrip(dispatcher, E.QueryRequest(*pair))
+        reply = roundtrip(dispatcher, E.MetricsRequest())
+        assert isinstance(reply, E.MetricsReply)
+        assert reply.requests == 3
+        assert reply.proof_bytes > 0
+
+
+class TestUpdates:
+    def test_push_without_signer_is_refused(self, server):
+        dispatcher = server.dispatcher()  # provider-side: no signing key
+        reply = roundtrip(dispatcher, E.UpdatePushRequest(
+            (E.WireUpdate("update-weight", 1, 2, 5.0),)))
+        assert isinstance(reply, E.ErrorMessage)
+        assert reply.code == codes.E_UPDATES_DISABLED
+
+    def test_push_bumps_descriptor_version(self, mutable_dispatcher,
+                                           mutable_graph):
+        server = mutable_dispatcher.server
+        base = server.descriptor_version
+        u = next(iter(mutable_graph.node_ids()))
+        v = next(iter(mutable_graph.neighbors(u)))
+        weight = mutable_graph.neighbors(u)[v] * 1.5
+        reply = roundtrip(mutable_dispatcher, E.UpdatePushRequest(
+            (E.WireUpdate("update-weight", u, v, weight),)))
+        assert isinstance(reply, E.UpdateReply)
+        assert reply.version > base
+        assert server.descriptor_version == reply.version
+
+    def test_invalid_update_is_update_failed(self, mutable_dispatcher):
+        server = mutable_dispatcher.server
+        base = server.descriptor_version
+        reply = roundtrip(mutable_dispatcher, E.UpdatePushRequest(
+            (E.WireUpdate("update-weight", 10**9, 10**9 + 1, 1.0),)))
+        assert isinstance(reply, E.ErrorMessage)
+        assert reply.code == codes.E_UPDATE_FAILED
+        # The rollback kept the served state intact.
+        assert server.descriptor_version == base
+
+    def test_unknown_update_kind_is_bad_request(self, mutable_dispatcher):
+        reply = roundtrip(mutable_dispatcher, E.UpdatePushRequest(
+            (E.WireUpdate("teleport-node", 1, 2, 0.0),)))
+        assert isinstance(reply, E.ErrorMessage)
+        assert reply.code in (codes.E_UPDATE_FAILED, codes.E_BAD_REQUEST)
+
+
+class TestProtocolErrors:
+    def test_malformed_frame(self, dispatcher):
+        reply = E.decode_message(E.decode_frame(dispatcher.dispatch(b"junk")))
+        assert reply.code == codes.E_MALFORMED_FRAME
+
+    def test_unsupported_version(self, dispatcher):
+        frame = E.encode_frame(E.MSG_QUERY, b"\x01\x02", version=9)
+        reply = E.decode_message(E.decode_frame(dispatcher.dispatch(frame)))
+        assert reply.code == codes.E_UNSUPPORTED_VERSION
+
+    def test_unknown_message_type(self, dispatcher):
+        frame = E.encode_frame(0x42, b"")
+        reply = E.decode_message(E.decode_frame(dispatcher.dispatch(frame)))
+        assert reply.code == codes.E_UNKNOWN_MESSAGE
+
+    def test_reply_types_are_not_requests(self, dispatcher):
+        reply = roundtrip(dispatcher, E.QueryReply(b"x", False))
+        assert isinstance(reply, E.ErrorMessage)
+        assert reply.code == codes.E_UNKNOWN_MESSAGE
+
+    def test_all_emitted_codes_are_registered(self, dispatcher, workload):
+        probes = [b"junk", E.encode_frame(0x42, b""),
+                  E.encode_frame(E.MSG_QUERY, b"", version=9),
+                  E.QueryRequest(10**9, 1).to_frame(),
+                  E.QueryReply(b"x", False).to_frame()]
+        for probe in probes:
+            message = E.decode_message(E.decode_frame(dispatcher.dispatch(probe)))
+            if isinstance(message, E.ErrorMessage):
+                assert message.code in codes.WIRE_ERRORS

@@ -1,0 +1,180 @@
+"""Round-trip + malformed-bytes fuzz suite for the wire decoders.
+
+The property under test: for *any* byte string — a valid encoding, a
+truncation, a bit-flipped copy, or pure noise — every decoder either
+returns a value or raises a typed :class:`~repro.errors.EncodingError`
+(which :class:`~repro.errors.ProtocolError` derives from).  Nothing
+else may escape: no ``IndexError``, no ``struct.error``, no
+``MemoryError`` from attacker-controlled counts, no hang.  And the
+dispatcher, one level up, must not even raise — garbage in, error
+frame out.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import envelope as E
+from repro.core.proofs import QueryResponse, SignedDescriptor
+from repro.errors import EncodingError
+from repro.merkle.proof import MerkleProofEntry
+
+SEED = 20100301
+FLIP_TRIALS = 300
+NOISE_TRIALS = 200
+
+
+@pytest.fixture(scope="module")
+def response_bytes(dij, workload):
+    vs, vt = workload[0]
+    return dij.answer(vs, vt).encode()
+
+
+def _assert_typed_decode(decode, data: bytes) -> None:
+    """*decode* must return or raise EncodingError — nothing else."""
+    try:
+        decode(data)
+    except EncodingError:
+        pass
+    # Any other exception propagates and fails the test with its real
+    # type, which is exactly the diagnostic we want.
+
+
+def _mutations(data: bytes, rng: random.Random, trials: int):
+    """Seeded single/multi-byte corruptions of *data*."""
+    for _ in range(trials):
+        corrupted = bytearray(data)
+        for _ in range(rng.randint(1, 4)):
+            pos = rng.randrange(len(corrupted))
+            corrupted[pos] = rng.randrange(256)
+        yield bytes(corrupted)
+
+
+class TestQueryResponseFuzz:
+    def test_round_trip_is_identity(self, response_bytes):
+        decoded = QueryResponse.decode(response_bytes)
+        assert decoded.encode() == response_bytes
+
+    def test_every_truncation_raises_typed(self, response_bytes):
+        for cut in range(len(response_bytes)):
+            with pytest.raises(EncodingError):
+                QueryResponse.decode(response_bytes[:cut])
+
+    def test_trailing_garbage_raises_typed(self, response_bytes):
+        with pytest.raises(EncodingError):
+            QueryResponse.decode(response_bytes + b"\x00")
+
+    def test_bit_flips_never_escape_the_taxonomy(self, response_bytes):
+        rng = random.Random(SEED)
+        for corrupted in _mutations(response_bytes, rng, FLIP_TRIALS):
+            _assert_typed_decode(QueryResponse.decode, corrupted)
+
+    def test_pure_noise_never_escapes_the_taxonomy(self):
+        rng = random.Random(SEED + 1)
+        for _ in range(NOISE_TRIALS):
+            noise = rng.randbytes(rng.randint(0, 400))
+            _assert_typed_decode(QueryResponse.decode, noise)
+
+    def test_oversized_counts_fail_fast(self):
+        # method "A", source/target, then a huge path-node count with no
+        # nodes behind it: must reject on the count, not loop or allocate.
+        data = b"\x01A" + b"\x01\x02" + b"\xff\xff\xff\xff\x7f"
+        with pytest.raises(EncodingError):
+            QueryResponse.decode(data)
+
+
+class TestSignedDescriptorFuzz:
+    @pytest.fixture(scope="class")
+    def descriptor_bytes(self, dij):
+        return dij.descriptor.encode()
+
+    def test_round_trip_is_identity(self, descriptor_bytes):
+        assert SignedDescriptor.decode(descriptor_bytes).encode() == descriptor_bytes
+
+    def test_every_truncation_raises_typed(self, descriptor_bytes):
+        for cut in range(len(descriptor_bytes)):
+            with pytest.raises(EncodingError):
+                SignedDescriptor.decode(descriptor_bytes[:cut])
+
+    def test_bit_flips_never_escape_the_taxonomy(self, descriptor_bytes):
+        rng = random.Random(SEED + 2)
+        for corrupted in _mutations(descriptor_bytes, rng, FLIP_TRIALS):
+            _assert_typed_decode(SignedDescriptor.decode, corrupted)
+
+    def test_huge_tree_count_fails_fast(self):
+        # Outer message claims a million trees in a four-byte body.
+        from repro.encoding import Encoder
+
+        inner = Encoder()
+        inner.write_str("DIJ").write_str("sha1")
+        inner.write_uint(0).write_bytes(b"")
+        inner.write_uint(1_000_000)
+        outer = Encoder()
+        outer.write_bytes(inner.getvalue())
+        outer.write_bytes(b"sig")
+        with pytest.raises(EncodingError):
+            SignedDescriptor.decode(outer.getvalue())
+
+
+class TestFrameFuzz:
+    def test_frame_mutations_never_escape(self, response_bytes):
+        frame = E.QueryReply(response_bytes, cached=False).to_frame()
+        rng = random.Random(SEED + 3)
+
+        def decode_both(data):
+            E.decode_message(E.decode_frame(data))
+
+        for corrupted in _mutations(frame, rng, FLIP_TRIALS):
+            _assert_typed_decode(decode_both, corrupted)
+
+    def test_frame_noise_never_escapes(self):
+        rng = random.Random(SEED + 4)
+
+        def decode_both(data):
+            E.decode_message(E.decode_frame(data))
+
+        for _ in range(NOISE_TRIALS):
+            _assert_typed_decode(decode_both, rng.randbytes(rng.randint(0, 200)))
+
+
+class TestDispatcherNeverRaises:
+    def test_garbage_in_error_frame_out(self, dispatcher):
+        rng = random.Random(SEED + 5)
+        probes = [b"", b"RSPV", b"RSPV\x01", rng.randbytes(64)]
+        probes += [E.encode_frame(0x55, b"x"),           # unknown type
+                   E.encode_frame(E.MSG_QUERY, b""),      # truncated payload
+                   E.encode_frame(E.MSG_QUERY, b"\x01\x02\x03"),  # trailing
+                   E.encode_frame(E.MSG_QUERY, b"\x01\x02", version=9)]
+        for probe in probes:
+            reply = dispatcher.dispatch(probe)
+            message = E.decode_message(E.decode_frame(reply))
+            assert isinstance(message, E.ErrorMessage)
+
+    def test_mutated_valid_requests_yield_frames(self, dispatcher, workload):
+        rng = random.Random(SEED + 6)
+        frame = E.QueryRequest(*workload[0]).to_frame()
+        for corrupted in _mutations(frame, rng, 100):
+            reply = dispatcher.dispatch(corrupted)
+            # Whatever arrived, the reply is a decodable frame.
+            E.decode_message(E.decode_frame(reply))
+
+
+class TestMerkleEntriesGuard:
+    def test_entry_count_guard(self):
+        from repro.encoding import Decoder
+        from repro.merkle.proof import decode_proof_entries
+
+        with pytest.raises(EncodingError):
+            decode_proof_entries(Decoder(b"\xff\xff\x7f"))
+
+    def test_entries_round_trip(self):
+        from repro.encoding import Decoder, Encoder
+        from repro.merkle.proof import encode_proof_entries, decode_proof_entries
+
+        entries = [MerkleProofEntry(0, 4, b"\xaa" * 20),
+                   MerkleProofEntry(2, 1, b"\xbb" * 20)]
+        enc = Encoder()
+        encode_proof_entries(entries, enc)
+        assert decode_proof_entries(Decoder(enc.getvalue())) == entries

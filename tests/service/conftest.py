@@ -6,6 +6,8 @@ import pytest
 
 from repro.core.dij import DijMethod
 from repro.core.full import FullMethod
+from repro.core.hyp import HypMethod
+from repro.core.ldm import LdmMethod
 from repro.crypto.signer import NullSigner
 from repro.workload.queries import generate_workload
 
@@ -30,3 +32,13 @@ def dij(road300, signer):
 @pytest.fixture(scope="package")
 def full(road300, signer):
     return FullMethod.build(road300, signer)
+
+
+@pytest.fixture(scope="package")
+def ldm(road300, signer):
+    return LdmMethod.build(road300, signer, c=20)
+
+
+@pytest.fixture(scope="package")
+def hyp(road300, signer):
+    return HypMethod.build(road300, signer, num_cells=16)

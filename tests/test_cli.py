@@ -133,6 +133,218 @@ class TestLoadtest:
         assert "error:" in capsys.readouterr().err
 
 
+class TestHttpLoadtest:
+    def test_wire_level_replay_verifies(self, graph_file, capsys):
+        code = main(["loadtest", str(graph_file), "--method", "DIJ",
+                     "--range", "1000", "--count", "4", "--passes", "2",
+                     "--insecure", "--http"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "wire QPS" in out and "overhead" in out
+        assert "bytes-on-wire / proof bytes" in out
+
+    def test_wire_replay_with_updates(self, graph_file, capsys):
+        code = main(["loadtest", str(graph_file), "--method", "DIJ",
+                     "--range", "1000", "--count", "4", "--passes", "2",
+                     "--insecure", "--http", "--updates", "1"])
+        assert code == 0, capsys.readouterr().out
+
+
+class TestServeHttp:
+    def test_prints_url_and_shuts_down(self, graph_file, capsys, monkeypatch):
+        from repro.service.http import ProofHttpServer
+
+        def immediate_interrupt(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ProofHttpServer, "serve_forever",
+                            immediate_interrupt)
+        code = main(["serve", str(graph_file), "--method", "DIJ",
+                     "--insecure", "--http", "0"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "http://127.0.0.1:" in out
+        assert "serving metrics" in out
+
+    def test_update_pushes_disabled_by_default(self, graph_file, capsys,
+                                               monkeypatch):
+        from repro.service.http import ProofHttpServer
+
+        captured = {}
+
+        def grab_dispatcher(self):
+            captured["signer"] = self.dispatcher.update_signer
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ProofHttpServer, "serve_forever", grab_dispatcher)
+        code = main(["serve", str(graph_file), "--method", "DIJ",
+                     "--insecure", "--http", "0"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "update pushes disabled" in out
+        assert captured["signer"] is None
+
+        code = main(["serve", str(graph_file), "--method", "DIJ",
+                     "--insecure", "--http", "0", "--allow-updates"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "trusted networks only" in out
+        assert captured["signer"] is not None
+
+    def test_save_key_writes_public_key(self, graph_file, tmp_path, capsys,
+                                        monkeypatch):
+        from repro.crypto.signer import NullSigner, load_public_key
+        from repro.service.http import ProofHttpServer
+
+        monkeypatch.setattr(ProofHttpServer, "serve_forever",
+                            lambda self: (_ for _ in ()).throw(KeyboardInterrupt))
+        key_path = tmp_path / "owner.pub"
+        code = main(["serve", str(graph_file), "--method", "DIJ",
+                     "--insecure", "--http", "0",
+                     "--save-key", str(key_path)])
+        assert code == 0, capsys.readouterr().out
+        loaded = load_public_key(str(key_path))
+        probe = NullSigner()  # --insecure uses the default stub key
+        assert loaded.verify(b"msg", probe.sign(b"msg"))
+
+
+class TestVerifyArtifacts:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        """Response, descriptor and key files from an in-process build."""
+        from repro.core.dij import DijMethod
+        from repro.crypto.signer import NullSigner, save_public_key
+        from repro.graph.synthetic import road_network
+        from repro.workload.datasets import normalize_weights
+        from repro.workload.queries import generate_workload
+
+        graph = normalize_weights(road_network(120, seed=5), 4000.0)
+        signer = NullSigner()
+        method = DijMethod.build(graph, signer)
+        vs, vt = list(generate_workload(graph, 1200.0, count=1, seed=2))[0]
+        response = tmp_path / "response.bin"
+        response.write_bytes(method.answer(vs, vt).encode())
+        descriptor = tmp_path / "descriptor.bin"
+        descriptor.write_bytes(method.descriptor.encode())
+        key = tmp_path / "owner.pub"
+        save_public_key(signer, str(key))
+        return dict(response=response, descriptor=descriptor, key=key,
+                    source=vs, target=vt,
+                    version=method.descriptor.version)
+
+    def test_accepts_honest_artifact(self, artifacts, capsys):
+        code = main(["verify", str(artifacts["response"]),
+                     "--key", str(artifacts["key"]),
+                     "--descriptor", str(artifacts["descriptor"])])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert out.startswith("ok:")
+
+    def test_explicit_query_pins(self, artifacts, capsys):
+        code = main(["verify", str(artifacts["response"]),
+                     "--key", str(artifacts["key"]),
+                     "--source", str(artifacts["source"]),
+                     "--target", str(artifacts["target"])])
+        assert code == 0, capsys.readouterr().out
+
+    def test_wrong_query_is_rejected(self, artifacts, capsys):
+        code = main(["verify", str(artifacts["response"]),
+                     "--key", str(artifacts["key"]),
+                     "--source", str(artifacts["source"] + 1)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "reject:" in out
+
+    def test_min_version_gates_freshness(self, artifacts, capsys):
+        code = main(["verify", str(artifacts["response"]),
+                     "--key", str(artifacts["key"]),
+                     "--min-version", str(artifacts["version"] + 1)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stale-descriptor" in out
+
+    def test_truncated_artifact_is_malformed(self, artifacts, tmp_path,
+                                             capsys):
+        broken = tmp_path / "broken.bin"
+        broken.write_bytes(artifacts["response"].read_bytes()[:50])
+        code = main(["verify", str(broken), "--key", str(artifacts["key"])])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "malformed-response" in out
+
+    def test_descriptor_mismatch(self, artifacts, tmp_path, capsys):
+        other = tmp_path / "other.bin"
+        other.write_bytes(b"not the descriptor")
+        code = main(["verify", str(artifacts["response"]),
+                     "--key", str(artifacts["key"]),
+                     "--descriptor", str(other)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "descriptor-mismatch" in out
+
+    def test_wrong_key_is_bad_signature(self, artifacts, tmp_path, capsys):
+        from repro.crypto.signer import NullSigner, save_public_key
+
+        wrong = tmp_path / "wrong.pub"
+        save_public_key(NullSigner(key=b"different"), str(wrong))
+        code = main(["verify", str(artifacts["response"]),
+                     "--key", str(wrong)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bad-signature" in out
+
+
+class TestFetch:
+    def test_fetch_then_verify_offline(self, graph_file, tmp_path, capsys):
+        from repro.core.dij import DijMethod
+        from repro.crypto.signer import NullSigner, save_public_key
+        from repro.graph.io import read_graph
+        from repro.service.http import ProofHttpServer
+        from repro.service.server import ProofServer
+        from repro.workload.queries import generate_workload
+
+        graph = read_graph(str(graph_file))
+        signer = NullSigner()
+        method = DijMethod.build(graph, signer)
+        vs, vt = list(generate_workload(graph, 1000.0, count=1, seed=4))[0]
+        key = tmp_path / "owner.pub"
+        save_public_key(signer, str(key))
+        server = ProofServer(method)
+        with ProofHttpServer(server.dispatcher()) as http_server:
+            code = main(["fetch", http_server.url, str(vs), str(vt),
+                         "--out", str(tmp_path / "r.bin"),
+                         "--descriptor-out", str(tmp_path / "d.bin"),
+                         "--key", str(key)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verdict: ok" in out
+        code = main(["verify", str(tmp_path / "r.bin"),
+                     "--key", str(key),
+                     "--descriptor", str(tmp_path / "d.bin")])
+        assert code == 0, capsys.readouterr().out
+
+    def test_fetch_without_key_defers_verification(self, graph_file, tmp_path,
+                                                   capsys):
+        from repro.core.dij import DijMethod
+        from repro.crypto.signer import NullSigner
+        from repro.graph.io import read_graph
+        from repro.service.http import ProofHttpServer
+        from repro.service.server import ProofServer
+        from repro.workload.queries import generate_workload
+
+        graph = read_graph(str(graph_file))
+        method = DijMethod.build(graph, NullSigner())
+        vs, vt = list(generate_workload(graph, 1000.0, count=1, seed=4))[0]
+        server = ProofServer(method)
+        with ProofHttpServer(server.dispatcher()) as http_server:
+            code = main(["fetch", http_server.url, str(vs), str(vt),
+                         "--out", str(tmp_path / "r.bin")])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "not checked" in out
+        assert (tmp_path / "r.bin").exists()
+
+
 class TestErrors:
     def test_missing_file_is_clean_error(self, capsys):
         assert main(["info", "/nonexistent/net.txt"]) == 2

@@ -30,6 +30,7 @@ ALL_EXAMPLES = [
     "dynamic_network",
     "proof_server",
     "live_updates",
+    "remote_client",
 ]
 
 

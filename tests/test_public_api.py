@@ -19,6 +19,12 @@ class TestTopLevel:
         assert set(repro.METHODS) == {"DIJ", "FULL", "LDM", "HYP"}
 
     @pytest.mark.parametrize("module", [
+        "repro.api",
+        "repro.api.codes",
+        "repro.api.envelope",
+        "repro.api.dispatcher",
+        "repro.api.transport",
+        "repro.api.client",
         "repro.encoding",
         "repro.errors",
         "repro.cli",
@@ -47,6 +53,7 @@ class TestTopLevel:
         "repro.service.cache",
         "repro.service.metrics",
         "repro.service.server",
+        "repro.service.http",
     ])
     def test_submodules_import(self, module):
         assert importlib.import_module(module) is not None
@@ -55,7 +62,8 @@ class TestTopLevel:
         for module_name in ("repro.graph", "repro.order", "repro.merkle",
                             "repro.shortestpath", "repro.landmarks",
                             "repro.hiti", "repro.core", "repro.workload",
-                            "repro.crypto", "repro.bench", "repro.service"):
+                            "repro.crypto", "repro.bench", "repro.service",
+                            "repro.api"):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
                 assert hasattr(module, name), f"{module_name}.{name}"
