@@ -1,0 +1,94 @@
+"""Multi-process serving: wire QPS of 1 vs N SO_REUSEPORT workers.
+
+CPython's GIL caps one process at roughly a core of proof computation;
+the pre-forked worker pool (``serve --artifact --http --workers N``)
+is the escape hatch.  This benchmark packs the DE DIJ method, then
+replays the default workload concurrently against a 1-worker and a
+2-worker pool on the same machine, reporting client-observed wire QPS
+and how the kernel spread requests across the workers.
+
+The scaling *gate* (2 workers beat 1 worker's warm QPS) only runs on
+multi-core machines: on a single core two processes time-slice one
+CPU, so there is nothing to scale into — the run still reports both
+configurations and asserts correctness (all frames well-formed, the
+sampled response verifies, every worker reports its final metrics).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_DATASET, DEFAULT_SCALE, emit
+from repro.bench.serving import run_worker_loadtest
+from repro.store import save_method
+
+WORKER_COUNTS = (1, 2)
+
+#: Required warm-QPS advantage of 2 workers over 1 (multi-core only;
+#: conservative — perfect scaling would be ~2x).
+MIN_SCALING = 1.15
+
+
+@pytest.fixture(scope="module")
+def dij_artifact(ctx, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("pool") / "dij.rspv")
+    save_method(ctx.method("DIJ"), path)
+    return path
+
+
+def test_worker_scaling(ctx, results, dij_artifact):
+    import socket
+
+    if not hasattr(socket, "SO_REUSEPORT"):
+        pytest.skip("platform has no SO_REUSEPORT")
+    graph = ctx.dataset()
+    queries = list(ctx.workload())
+    reports = {}
+    rows = []
+    for workers in WORKER_COUNTS:
+        report = run_worker_loadtest(
+            dij_artifact, queries, workers=workers, passes=3,
+            client_threads=4, verify_signature=ctx.signer.verify,
+        )
+        assert report.all_verified, report.warm.failures
+        # Every worker must report in; how evenly SO_REUSEPORT spread
+        # the handful of connections is recorded, not asserted — the
+        # kernel balances by connection hash, so a small run can land
+        # lopsided without anything being wrong.
+        assert len(report.worker_requests) == workers
+        assert sum(report.worker_requests) >= len(queries)
+        reports[workers] = report
+        for p in report.passes:
+            rows.append([workers, p.label, p.requests, p.qps,
+                         p.wire_bytes / 1024.0])
+        results.add(
+            "worker_scaling", dataset=DEFAULT_DATASET, scale=DEFAULT_SCALE,
+            nodes=graph.num_nodes, workers=workers,
+            cold_qps=report.cold.qps, warm_qps=report.warm.qps,
+            worker_requests=list(report.worker_requests),
+            server_requests=report.aggregate_metrics.get("requests"),
+            cpu_count=os.cpu_count(),
+        )
+    scaling = reports[2].warm.qps / reports[1].warm.qps \
+        if reports[1].warm.qps else 0.0
+    results.add(
+        "worker_scaling_summary", dataset=DEFAULT_DATASET,
+        scale=DEFAULT_SCALE, scaling=scaling, min_scaling=MIN_SCALING,
+        cpu_count=os.cpu_count(),
+        gated=(os.cpu_count() or 1) >= 2,
+    )
+    emit(
+        f"Worker-pool wire QPS ({DEFAULT_DATASET}-like, "
+        f"|V|={graph.num_nodes}, 4 client threads, "
+        f"2-worker/1-worker warm scaling {scaling:.2f}x, "
+        f"{os.cpu_count()} CPUs)",
+        ["workers", "pass", "requests", "wire QPS", "wire KB"],
+        rows,
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert scaling >= MIN_SCALING, (
+            f"2 workers scaled wire QPS only {scaling:.2f}x over 1 worker "
+            f"(required {MIN_SCALING:g}x on a {os.cpu_count()}-core machine)"
+        )

@@ -1,0 +1,87 @@
+"""Cold start: build once on the signer box, serve anywhere from a file.
+
+The paper's owner constructs and signs the authenticated structures
+**once, offline**.  This example makes that lifecycle literal with the
+``.rspv`` artifact format:
+
+1. the *signer box* builds an LDM method and packs it with
+   :func:`repro.store.save_method` — the only step that ever touches
+   the private key;
+2. a *serving box* cold-starts with :func:`repro.store.load_method`:
+   no graph file, no signer, the big numeric sections mapped
+   copy-on-write straight off the artifact — and answers
+   byte-identically to the box that built it;
+3. a client verifies responses against nothing but the owner's public
+   key, exactly as it would against the original;
+4. when the owner re-weights an edge, the serving box absorbs the
+   pushed update incrementally and the owner re-packs the next
+   artifact version.
+
+Run:  python examples/cold_start.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro import Client, DataOwner, ProofServer, load_method, save_method
+from repro.graph import road_network
+from repro.store import artifact_info
+from repro.workload import generate_workload
+from repro.workload.datasets import normalize_weights
+
+
+def main() -> None:
+    print("Signer box: building and signing an LDM method ...")
+    graph = normalize_weights(road_network(800, seed=11), 9000.0)
+    owner = DataOwner(graph)
+    start = time.perf_counter()
+    method = owner.publish("LDM", c=32)
+    build_seconds = time.perf_counter() - start
+
+    artifact = os.path.join(tempfile.mkdtemp(prefix="repro-"), "net.ldm.rspv")
+    save_method(method, artifact)
+    info = artifact_info(artifact, verify=False)
+    print(f"  packed {info.method} into {artifact}")
+    print(f"  {len(info.sections)} sections, {info.total_bytes / 1024:.0f} KB, "
+          f"descriptor version {info.descriptor_version}")
+    print(f"  content digest {info.content_digest.hex()[:32]}…")
+
+    print("\nServing box: cold-starting from the artifact "
+          "(no graph file, no signer) ...")
+    start = time.perf_counter()
+    served_method = load_method(artifact)
+    load_seconds = time.perf_counter() - start
+    print(f"  build took {build_seconds * 1000:.0f} ms, "
+          f"cold start {load_seconds * 1000:.0f} ms "
+          f"({build_seconds / load_seconds:.0f}x faster)")
+
+    server = ProofServer(served_method)
+    client = Client(owner.signer.verifier_for_public_key().verify)
+    queries = list(generate_workload(graph, 2000.0, count=5, seed=3))
+    for vs, vt in queries:
+        served = server.answer(vs, vt)
+        assert served.ok
+        # Byte-identical to the builder's answer — same proof, same bytes.
+        assert served.response.encode() == method.answer(vs, vt).encode()
+        assert client.verify(vs, vt, served.response).ok
+    print(f"  {len(queries)} queries answered byte-identically and verified")
+
+    print("\nOwner pushes a re-weight; the serving box absorbs it "
+          "incrementally ...")
+    u, v, w = next(iter(served_method.graph.edges()))
+    report = server.update_edge_weight(u, v, w * 1.5, owner.signer)
+    print(f"  {report.mode}: {report.leaves_patched} leaves patched, "
+          f"descriptor now version {report.version}")
+    vs, vt = queries[0]
+    assert client.verify(vs, vt, server.answer(vs, vt).response).ok
+
+    next_artifact = artifact.replace(".rspv", f".v{report.version}.rspv")
+    save_method(served_method, next_artifact)
+    print(f"  re-packed as {os.path.basename(next_artifact)} — the next "
+          f"version to fan out to the other serving boxes")
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

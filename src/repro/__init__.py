@@ -54,6 +54,7 @@ from repro.service import (
     UpdateRequest,
 )
 from repro.shortestpath import Path, dijkstra, shortest_path
+from repro.store import load_method, save_method
 from repro.workload import generate_workload, load_dataset
 
 __version__ = "1.0.0"
@@ -94,5 +95,7 @@ __all__ = [
     "shortest_path",
     "generate_workload",
     "load_dataset",
+    "save_method",
+    "load_method",
     "__version__",
 ]

@@ -167,7 +167,20 @@ class Dispatcher:
             p95_ms=snapshot.p95_ms,
             updates=snapshot.updates,
             update_seconds=snapshot.update_seconds,
+            cache_evictions=snapshot.cache_evictions,
+            cache_invalidations=snapshot.cache_invalidations,
+            cache_entries=snapshot.cache_entries,
+            cache_capacity=snapshot.cache_capacity,
         )
+
+    def metrics_json(self) -> dict:
+        """The current metrics window as a JSON-ready dict.
+
+        This is what ``GET /metrics`` on the HTTP frontend serves; the
+        keys match :meth:`MetricsSnapshot.as_dict`, so dashboards read
+        the same record whether they scrape HTTP or the wire frame.
+        """
+        return self.server.snapshot().as_dict()
 
     _HANDLERS = {
         HelloRequest: _handle_hello,

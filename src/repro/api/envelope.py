@@ -482,7 +482,14 @@ class MetricsRequest(Message):
 
 @dataclass(frozen=True)
 class MetricsReply(Message):
-    """A frozen metrics window (mirrors ``MetricsSnapshot``)."""
+    """A frozen metrics window (mirrors ``MetricsSnapshot``).
+
+    The four ``cache_*`` counters are an additive extension: they ride
+    at the end of the payload, and the decoder accepts the pre-counter
+    layout (defaulting them to zero) so frames from older builds still
+    parse.  Additions must stay append-only — anything else is a
+    breaking layout change and bumps the protocol version.
+    """
 
     requests: int
     elapsed_seconds: float
@@ -493,6 +500,10 @@ class MetricsReply(Message):
     p95_ms: float
     updates: int = 0
     update_seconds: float = 0.0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    cache_entries: int = 0
+    cache_capacity: int = 0
     MSG_TYPE: ClassVar[int] = MSG_METRICS_OK
 
     def encode(self) -> bytes:
@@ -502,6 +513,10 @@ class MetricsReply(Message):
         enc.write_uint(self.proof_bytes)
         enc.write_f64(self.p50_ms).write_f64(self.p95_ms)
         enc.write_uint(self.updates).write_f64(self.update_seconds)
+        enc.write_uint(self.cache_evictions)
+        enc.write_uint(self.cache_invalidations)
+        enc.write_uint(self.cache_entries)
+        enc.write_uint(self.cache_capacity)
         return enc.getvalue()
 
     @classmethod
@@ -518,6 +533,10 @@ class MetricsReply(Message):
             _strict(cls.__name__, dec.read_uint),
             _strict(cls.__name__, dec.read_f64),
         ]
+        if dec.remaining:
+            fields.extend(
+                _strict(cls.__name__, dec.read_uint) for _ in range(4)
+            )
         cls._finish(dec)
         return cls(*fields)
 

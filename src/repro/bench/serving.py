@@ -227,12 +227,19 @@ class HttpLoadtestPass:
 
 @dataclass(frozen=True)
 class HttpLoadtestReport:
-    """Cold-versus-warm wire serving comparison."""
+    """Cold-versus-warm wire serving comparison.
+
+    ``server_metrics`` is the service's own ``GET /metrics`` JSON
+    snapshot, scraped after the last pass — the server-side view
+    (hit rate, cache evictions/occupancy) next to the client-observed
+    wire numbers.
+    """
 
     method: str
     num_queries: int
     url: str
     passes: tuple[HttpLoadtestPass, ...]
+    server_metrics: "dict | None" = None
 
     @property
     def cold(self) -> HttpLoadtestPass:
@@ -286,6 +293,7 @@ class HttpLoadtestReport:
             "proof_bytes": sum(p.proof_bytes for p in self.passes),
             "wire_overhead_ratio": self.wire_overhead_ratio,
             "all_verified": self.all_verified,
+            "server_metrics": self.server_metrics,
         }
 
 
@@ -376,9 +384,174 @@ def run_http_loadtest(
                 failures=tuple(failures),
             ))
         url = http_server.url
+        server_metrics = fetch_http_metrics(url)
     return HttpLoadtestReport(
         method=method.name,
         num_queries=len(queries),
         url=url,
         passes=tuple(results),
+        server_metrics=server_metrics,
+    )
+
+
+def fetch_http_metrics(url: str, *, timeout: float = 5.0) -> "dict | None":
+    """Scrape ``GET {url}/metrics``; ``None`` when unavailable."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(f"{url.rstrip('/')}/metrics",
+                                    timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Multi-process (worker pool) load testing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerLoadtestReport:
+    """Concurrent wire replay against an ``SO_REUSEPORT`` worker pool.
+
+    ``passes`` reuse :class:`HttpLoadtestPass` (the wire-side view is
+    identical — what changes is how many processes answer).
+    ``aggregate_metrics`` is the pool's merged final snapshot as a
+    dict, including how the requests actually spread across workers
+    (``worker_requests``).
+    """
+
+    method: str
+    num_queries: int
+    workers: int
+    client_threads: int
+    url: str
+    passes: tuple[HttpLoadtestPass, ...]
+    aggregate_metrics: dict
+    worker_requests: tuple[int, ...]
+
+    @property
+    def cold(self) -> HttpLoadtestPass:
+        """The first (cold-cache) pass."""
+        return self.passes[0]
+
+    @property
+    def warm(self) -> HttpLoadtestPass:
+        """The last (fully warm) pass."""
+        return self.passes[-1]
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether every verified sample passed."""
+        return all(p.all_verified for p in self.passes)
+
+    def table_rows(self) -> "list[list[object]]":
+        """Rows for :func:`repro.bench.reporting.format_table`."""
+        return [
+            [p.label, p.requests, p.qps, p.wire_bytes / 1024.0,
+             "ok" if p.all_verified else f"{len(p.failures)} FAILED"]
+            for p in self.passes
+        ]
+
+    #: Header matching :meth:`table_rows`.
+    TABLE_HEADERS = ("pass", "requests", "wire QPS", "wire KB", "verified")
+
+
+def run_worker_loadtest(
+    artifact_path: str,
+    queries: "list[tuple[int, int]]",
+    *,
+    workers: int,
+    passes: int = 2,
+    client_threads: int = 4,
+    cache_size: int = DEFAULT_CAPACITY,
+    verify_signature: "SignatureVerifier | None" = None,
+) -> WorkerLoadtestReport:
+    """Replay *queries* concurrently against a pre-forked worker pool.
+
+    Client threads split the workload and fire raw query frames over
+    their own HTTP connections — decode on the client side is kept to
+    the frame envelope so the measured ceiling is the *server's* proof
+    throughput, not the load generator's Python.  One response per pass
+    is fully verified through :class:`~repro.api.client.RemoteClient`
+    when *verify_signature* is given, preserving the harness invariant
+    that a passing load test is also an end-to-end soundness check.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api.client import RemoteClient
+    from repro.api.envelope import MSG_QUERY_OK, QueryRequest, decode_frame
+    from repro.api.transport import HttpTransport
+    from repro.service.workers import WorkerPool
+
+    if passes < 2:
+        raise ServiceError(f"need a cold and a warm pass; got passes={passes}")
+    if not queries:
+        raise ServiceError("empty load-test workload")
+    if client_threads < 1:
+        raise ServiceError(f"client_threads must be >= 1, got {client_threads}")
+
+    from repro.store.pack import ArtifactReader
+
+    header = ArtifactReader(artifact_path, verify=False)
+    method_name = header.method
+    header.close()
+
+    frames = [QueryRequest(vs, vt).to_frame() for vs, vt in queries]
+    chunks = [frames[i::client_threads] for i in range(client_threads)]
+
+    def drive(chunk: "list[bytes]", transport: HttpTransport) -> tuple[int, int]:
+        wire = 0
+        bad = 0
+        for frame in chunk:
+            reply = transport.roundtrip(frame)
+            wire += len(reply)
+            if decode_frame(reply).msg_type != MSG_QUERY_OK:
+                bad += 1
+        return wire, bad
+
+    results: list[HttpLoadtestPass] = []
+    with WorkerPool(artifact_path, workers=workers,
+                    cache_size=cache_size) as pool:
+        url = pool.url
+        transports = [HttpTransport(url) for _ in range(client_threads)]
+        with ThreadPoolExecutor(max_workers=client_threads) as executor:
+            for index in range(passes):
+                label = "cold" if index == 0 else f"warm{index}"
+                failures: list[str] = []
+                start = time.perf_counter()
+                outcomes = list(executor.map(drive, chunks, transports))
+                seconds = time.perf_counter() - start
+                wire_bytes = sum(wire for wire, _ in outcomes)
+                errors = sum(bad for _, bad in outcomes)
+                if errors:
+                    failures.append(f"{errors} wire-level error replies")
+                if verify_signature is not None:
+                    vs, vt = queries[0]
+                    sample = RemoteClient(HttpTransport(url),
+                                          verify_signature).query(vs, vt)
+                    if not sample.ok:
+                        failures.append(
+                            f"sample ({vs},{vt}): {sample.verdict.reason} "
+                            f"{sample.verdict.detail}")
+                results.append(HttpLoadtestPass(
+                    label=label,
+                    requests=len(queries),
+                    seconds=seconds,
+                    wire_bytes=wire_bytes,
+                    proof_bytes=wire_bytes,  # raw drive: framing included
+                    verified=len(queries) - errors,
+                    failures=tuple(failures),
+                ))
+    aggregate = pool.aggregate
+    return WorkerLoadtestReport(
+        method=method_name,
+        num_queries=len(queries),
+        workers=workers,
+        client_threads=client_threads,
+        url=url,
+        passes=tuple(results),
+        aggregate_metrics=aggregate.as_dict() if aggregate else {},
+        worker_requests=tuple(s.requests for s in pool.worker_snapshots),
     )

@@ -3,26 +3,35 @@
 Subcommands::
 
     repro-spv generate  --nodes 800 --seed 7 --out net.txt
-    repro-spv info      net.txt
+    repro-spv info      net.txt            # also accepts .rspv artifacts
     repro-spv workload  net.txt --range 2000 --count 10 --out queries.txt
     repro-spv demo      net.txt --method HYP --queries 3
     repro-spv estimate  net.txt --range 2000
+    repro-spv pack      net.txt --method LDM --out de.ldm.rspv --save-key owner.pub
     repro-spv serve     net.txt --method DIJ --workload queries.txt
     repro-spv serve     net.txt --method DIJ --http 8350 --save-key owner.pub
+    repro-spv serve     --artifact de.ldm.rspv --http 8350 --workers 4
     repro-spv fetch     http://host:8350 3 9 --out r.bin --descriptor-out d.bin
     repro-spv verify    r.bin --key owner.pub --descriptor d.bin
     repro-spv loadtest  net.txt --method DIJ --range 2000 --passes 3
     repro-spv loadtest  net.txt --method DIJ --http
+    repro-spv loadtest  --artifact de.ldm.rspv --http --workers 2 --key owner.pub
     repro-spv bench     net.txt --method DIJ --out BENCH_DIJ.json
 
 ``demo`` runs the full three-party protocol (build, answer, verify) and
 prints per-query proof sizes; ``estimate`` prints the predictive sizing
-model's ranking without building anything.  ``serve`` answers a request
-stream (workload file, or interactive ``source target`` lines on stdin)
-through a cached :class:`~repro.service.server.ProofServer` — or, with
-``--http PORT``, boots the wire-protocol HTTP frontend and serves until
-interrupted (``--save-key`` writes the owner's public key file clients
-verify against); ``fetch`` retrieves one response (and optionally the
+model's ranking without building anything.  ``pack`` builds a method
+once and freezes it into a ``.rspv`` artifact — the owner's offline
+step; ``serve --artifact`` (and ``loadtest --artifact``) then boot from
+that file without the graph or the signer, and with ``--http`` plus
+``--workers N`` pre-fork N ``SO_REUSEPORT`` worker processes that share
+the port (and the page-cached artifact), printing aggregated metrics on
+shutdown.  ``serve`` answers a request stream (workload file, or
+interactive ``source target`` lines on stdin) through a cached
+:class:`~repro.service.server.ProofServer` — or, with ``--http PORT``,
+boots the wire-protocol HTTP frontend and serves until interrupted
+(``--save-key`` writes the owner's public key file clients verify
+against); ``fetch`` retrieves one response (and optionally the
 descriptor) from a running HTTP service as artifact files; ``verify``
 checks a serialized response file offline against a public key file —
 the exit code is the verdict, so scripts can gate on it;
@@ -65,7 +74,7 @@ from repro.core.estimate import ProofSizeModel
 from repro.core.framework import Client, DataOwner, ServiceProvider
 from repro.core.proofs import QueryResponse
 from repro.crypto.signer import NullSigner, RsaSigner, load_public_key, save_public_key
-from repro.errors import EncodingError, ReproError
+from repro.errors import EncodingError, ReproError, ServiceError
 from repro.graph.io import read_graph, read_workload, write_graph, write_workload
 from repro.graph.synthetic import road_network
 from repro.service.server import ProofServer
@@ -82,6 +91,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.store import is_artifact
+
+    if is_artifact(args.graph):
+        return _cmd_info_artifact(args.graph)
     graph = read_graph(args.graph)
     degrees = [graph.degree(n) for n in graph.node_ids()]
     min_x, min_y, max_x, max_y = graph.bounding_box()
@@ -94,6 +107,56 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ["canvas", f"[{min_x:.0f},{max_x:.0f}] x [{min_y:.0f},{max_y:.0f}]"],
     ]
     print(format_table(["property", "value"], rows, title=args.graph))
+    return 0
+
+
+def _cmd_info_artifact(path: str) -> int:
+    """``info`` on a ``.rspv`` artifact: header, roots, section sizes."""
+    from repro.store import artifact_info
+
+    info = artifact_info(path)
+    rows = [
+        ["method", info.method],
+        ["descriptor version", info.descriptor_version],
+        ["graph version", info.graph_version],
+        ["hash", info.hash_name],
+        ["provider algorithm", info.algo_sp],
+        ["sections", len(info.sections)],
+        ["section bytes", f"{info.total_bytes / 1024:.1f} KB"],
+        ["content digest", info.content_digest.hex()],
+    ]
+    for name, root in info.tree_roots:
+        rows.append([f"root[{name}]", root.hex()])
+    print(format_table(["property", "value"], rows,
+                       title=f"{path} (.rspv artifact, sections verified)"))
+    section_rows = [
+        [s.name, s.kind, "x".join(map(str, s.shape)) or "-",
+         f"{s.length / 1024:.1f}"]
+        for s in info.sections
+    ]
+    print()
+    print(format_table(["section", "kind", "shape", "KB"], section_rows))
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    """``pack``: build once (owner side) and freeze the serve state."""
+    from repro.store import artifact_info, save_method
+
+    owner, method, build_seconds = _published_method(args)
+    if args.save_key:
+        save_public_key(owner.signer, args.save_key)
+        print(f"wrote owner public key to {args.save_key}")
+    start = time.perf_counter()
+    save_method(method, args.out)
+    pack_seconds = time.perf_counter() - start
+    info = artifact_info(args.out, verify=False)
+    print(f"packed {args.method} (build {build_seconds:.2f}s, "
+          f"pack {pack_seconds:.2f}s) into {args.out}: "
+          f"{len(info.sections)} sections, "
+          f"{info.total_bytes / 1024:.1f} KB, "
+          f"descriptor version {info.descriptor_version}")
+    print(f"content digest {info.content_digest.hex()}")
     return 0
 
 
@@ -113,6 +176,10 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 def _published_method(args: argparse.Namespace):
     """Build the requested method; returns ``(owner, method, seconds)``."""
+    if not args.graph:
+        raise ServiceError(
+            f"{args.command} needs a graph file (or --artifact where supported)"
+        )
     graph = read_graph(args.graph)
     signer = NullSigner() if args.insecure else RsaSigner(bits=1024)
     owner = DataOwner(graph, signer=signer)
@@ -124,6 +191,33 @@ def _published_method(args: argparse.Namespace):
     start = time.perf_counter()
     method = owner.publish(args.method, **params)
     return owner, method, time.perf_counter() - start
+
+
+def _serving_method(args: argparse.Namespace):
+    """Build from a graph file or cold-start from an artifact.
+
+    Returns ``(owner | None, method, seconds)`` — the owner is ``None``
+    for artifact-backed serving, which is the point: a serving box
+    holds no signer.
+    """
+    if getattr(args, "artifact", None):
+        from repro.store import load_method
+
+        if args.graph:
+            raise ServiceError("pass a graph file or --artifact, not both")
+        start = time.perf_counter()
+        method = load_method(args.artifact)
+        return None, method, time.perf_counter() - start
+    return _published_method(args)
+
+
+def _verifier_for(owner, args: argparse.Namespace):
+    """The client-side signature check: the owner's key, or --key."""
+    if owner is not None:
+        return owner.signer.verify
+    if getattr(args, "key", None):
+        return load_public_key(args.key).verify
+    return None
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -167,12 +261,64 @@ def _read_requests(args: argparse.Namespace) -> "list[tuple[int, int]]":
     return read_workload(sys.stdin)
 
 
+def _metrics_table(s, title: str = "serving metrics") -> str:
+    return format_table(
+        ["requests", "QPS", "p50 ms", "p95 ms", "hit %", "proof KB",
+         "evictions", "cache"],
+        [[s.requests, s.qps, s.p50_ms, s.p95_ms,
+          100.0 * s.hit_rate, s.proof_kbytes,
+          s.cache_evictions, f"{s.cache_entries}/{s.cache_capacity}"]],
+        title=title,
+    )
+
+
+def _cmd_serve_workers(args: argparse.Namespace) -> int:
+    """``serve --artifact --http --workers N``: the pre-forked pool."""
+    from repro.service.workers import WorkerPool
+
+    pool = WorkerPool(args.artifact, workers=args.workers, host=args.host,
+                      port=args.http, cache_size=args.cache_size)
+    pool.start()
+    print(f"{args.workers} workers serving {args.artifact} on {pool.url} "
+          f"(SO_REUSEPORT, cache {args.cache_size} per worker); "
+          f"POST frames to {pool.url}/rpc, Ctrl-C to stop", flush=True)
+    try:
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("\nshutting down workers")
+    finally:
+        aggregate = pool.stop()
+    print(_metrics_table(aggregate, title="aggregated serving metrics"))
+    per_worker = ", ".join(str(s.requests) for s in pool.worker_snapshots)
+    print(f"requests per worker: [{per_worker}]")
+    return 0
+
+
 def _cmd_serve_http(args: argparse.Namespace) -> int:
     """``serve --http``: the wire-protocol frontend, until interrupted."""
     from repro.service.http import ProofHttpServer
 
-    owner, method, build_seconds = _published_method(args)
+    if args.workers > 1:
+        if not args.artifact:
+            raise ServiceError(
+                "serve --http --workers N pre-forks worker processes, which "
+                "boot from a shared artifact; pack one first "
+                "(repro-spv pack) and pass --artifact"
+            )
+        if args.allow_updates:
+            raise ServiceError(
+                "worker processes hold no signing key; updates flow through "
+                "a new artifact from the owner, not wire pushes"
+            )
+        return _cmd_serve_workers(args)
+    owner, method, build_seconds = _serving_method(args)
     if args.save_key:
+        if owner is None:
+            raise ServiceError(
+                "--save-key needs the building side; artifact-backed "
+                "serving holds no key material"
+            )
         save_public_key(owner.signer, args.save_key)
         print(f"wrote owner public key to {args.save_key}")
     server = ProofServer(method, cache_size=args.cache_size,
@@ -183,14 +329,21 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     # only acceptable as an explicit opt-in for trusted-network demos;
     # the default endpoint serves proofs and refuses pushes
     # (updates-not-supported), exactly like a provider that holds no
-    # signing key.
+    # signing key.  Artifact-backed serving has no key to begin with.
+    if args.allow_updates and owner is None:
+        raise ServiceError(
+            "an artifact-backed service holds no signing key; it cannot "
+            "honour wire update pushes"
+        )
     update_signer = owner.signer if args.allow_updates else None
     dispatcher = server.dispatcher(update_signer=update_signer)
     http_server = ProofHttpServer(dispatcher, host=args.host, port=args.http)
     pushes = ("enabled — trusted networks only" if args.allow_updates
               else "disabled")
-    print(f"{args.method} proof service on {http_server.url} "
-          f"(build {build_seconds:.2f}s, cache {args.cache_size}, "
+    source = f"artifact {args.artifact}" if owner is None else \
+        f"build {build_seconds:.2f}s"
+    print(f"{method.name} proof service on {http_server.url} "
+          f"({source}, cache {args.cache_size}, "
           f"update pushes {pushes}); "
           f"POST frames to {http_server.url}/rpc, Ctrl-C to stop",
           flush=True)
@@ -200,24 +353,24 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         http_server.close()
-    s = server.snapshot()
-    print(format_table(
-        ["requests", "QPS", "p50 ms", "p95 ms", "hit %", "proof KB"],
-        [[s.requests, s.qps, s.p50_ms, s.p95_ms,
-          100.0 * s.hit_rate, s.proof_kbytes]],
-        title="serving metrics",
-    ))
+    print(_metrics_table(server.snapshot()))
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.http is not None:
         return _cmd_serve_http(args)
-    owner, method, build_seconds = _published_method(args)
+    owner, method, build_seconds = _serving_method(args)
     if args.save_key:
+        if owner is None:
+            raise ServiceError(
+                "--save-key needs the building side; artifact-backed "
+                "serving holds no key material"
+            )
         save_public_key(owner.signer, args.save_key)
         print(f"wrote owner public key to {args.save_key}")
-    client = Client(owner.signer.verify)
+    verify_signature = _verifier_for(owner, args)
+    client = Client(verify_signature) if verify_signature else None
     server = ProofServer(method, cache_size=args.cache_size,
                          max_workers=args.workers)
     queries = _read_requests(args)
@@ -238,20 +391,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             rows.append([f"{vs}->{vt}", "-", "-", "-",
                          item.serve_seconds * 1000, f"error: {item.error}"])
             continue
-        verdict = client.verify(vs, vt, item.response)
-        if not verdict.ok:
-            failures += 1
+        if client is None:
+            verdict_cell = "unchecked (no --key)"
+        else:
+            verdict = client.verify(vs, vt, item.response)
+            if not verdict.ok:
+                failures += 1
+            verdict_cell = "ok" if verdict.ok else verdict.reason
         rows.append([
             f"{vs}->{vt}", item.response.path_cost,
             item.proof_bytes / 1024, "hit" if item.cached else "miss",
             item.serve_seconds * 1000,
-            "ok" if verdict.ok else verdict.reason,
+            verdict_cell,
         ])
+    source = (f"artifact {args.artifact} (cold start {build_seconds:.2f}s)"
+              if owner is None else
+              f"{args.graph} (build {build_seconds:.2f}s)")
     print(format_table(
         ["query", "distance", "proof KB", "cache", "serve ms", "verdict"],
         rows,
-        title=(f"{args.method} proof server on {args.graph} "
-               f"(build {build_seconds:.2f}s, cache {args.cache_size})"),
+        title=(f"{method.name} proof server on {source}, "
+               f"cache {args.cache_size}"),
     ))
     if combined is not None:
         standalone = sum(item.proof_bytes for item in served
@@ -259,18 +419,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"\nburst shipped as one combined cover: "
               f"{combined.total_bytes / 1024:.1f} KB "
               f"(standalone responses would total {standalone / 1024:.1f} KB)")
-    s = snapshot
     print()
-    print(format_table(
-        ["requests", "QPS", "p50 ms", "p95 ms", "hit %", "proof KB"],
-        [[s.requests, s.qps, s.p50_ms, s.p95_ms,
-          100.0 * s.hit_rate, s.proof_kbytes]],
-        title="serving metrics",
-    ))
+    print(_metrics_table(snapshot))
     return 1 if failures else 0
 
 
+def _cmd_loadtest_workers(args: argparse.Namespace) -> int:
+    """``loadtest --artifact --http``: concurrent replay against a pool."""
+    from repro.bench.serving import WorkerLoadtestReport, run_worker_loadtest
+
+    if args.updates:
+        raise ServiceError(
+            "worker processes hold no signing key, so --updates cannot run "
+            "against a pool; use the single-server loadtest for update-aware "
+            "replays"
+        )
+    if args.save_key:
+        raise ServiceError(
+            "--save-key needs the building side; an artifact-backed loadtest "
+            "holds no key material"
+        )
+    if args.workload:
+        queries = _read_workload_file(args.workload)
+    else:
+        # The artifact supplies the workload substrate: its graph is
+        # exactly the one the service answers about.  Loaded only for
+        # generation — the pool's workers each load their own copy.
+        from repro.store import load_method
+
+        queries = list(generate_workload(load_method(args.artifact).graph,
+                                         args.range, count=args.count,
+                                         seed=args.seed, tolerance=1.0))
+    report = run_worker_loadtest(
+        args.artifact, queries, workers=args.workers, passes=args.passes,
+        cache_size=args.cache_size,
+        verify_signature=_verifier_for(None, args),
+    )
+    print(format_table(
+        list(WorkerLoadtestReport.TABLE_HEADERS), report.table_rows(),
+        title=(f"{report.method} worker-pool load test: {len(queries)} "
+               f"queries x {args.passes} passes, {args.workers} workers "
+               f"({report.client_threads} client threads) via {report.url}"),
+    ))
+    aggregate = report.aggregate_metrics
+    print(f"\nserver aggregate: {aggregate.get('requests', 0)} requests, "
+          f"hit rate {100.0 * aggregate.get('hit_rate', 0.0):.0f}%, "
+          f"evictions {aggregate.get('cache_evictions', 0)}; "
+          f"requests per worker {list(report.worker_requests)}")
+    if not report.all_verified:
+        print("error: some wire responses failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
+    if args.artifact:
+        if not args.http:
+            raise ServiceError(
+                "loadtest --artifact drives the multi-process wire path; "
+                "add --http"
+            )
+        return _cmd_loadtest_workers(args)
     owner, method, build_seconds = _published_method(args)
     if args.save_key:
         save_public_key(owner.signer, args.save_key)
@@ -300,6 +509,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         ))
         print(f"\nwarm/cold wire speedup: {report.speedup:.1f}x, "
               f"bytes-on-wire / proof bytes: {report.wire_overhead_ratio:.4f}x")
+        if report.server_metrics:
+            sm = report.server_metrics
+            print(f"server /metrics: {sm['requests']} requests, "
+                  f"hit rate {100.0 * sm['hit_rate']:.0f}%, "
+                  f"evictions {sm['cache_evictions']}, "
+                  f"invalidations {sm['cache_invalidations']}, "
+                  f"cache {sm['cache_entries']}/{sm['cache_capacity']}")
         if not report.all_verified:
             print("error: some wire responses failed client verification",
                   file=sys.stderr)
@@ -518,9 +734,30 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--range", type=float, default=2000.0)
     est.set_defaults(fn=_cmd_estimate)
 
+    pack = sub.add_parser(
+        "pack", help="build a method and freeze it into a .rspv artifact")
+    pack.add_argument("graph")
+    pack.add_argument("--method", choices=["DIJ", "FULL", "LDM", "HYP"],
+                      default="LDM")
+    pack.add_argument("--landmarks", type=int, default=50)
+    pack.add_argument("--cells", type=int, default=49)
+    pack.add_argument("--insecure", action="store_true",
+                      help="use the keyed-hash stub signer (fast, no RSA)")
+    pack.add_argument("--out", required=True,
+                      help="artifact path (conventionally *.rspv)")
+    pack.add_argument("--save-key",
+                      help="also write the owner's public key file — "
+                           "distribute it with the artifact so serving "
+                           "boxes never see the private key")
+    pack.set_defaults(fn=_cmd_pack)
+
     def add_server_args(p: argparse.ArgumentParser,
                         default_method: str) -> None:
-        p.add_argument("graph")
+        p.add_argument("graph", nargs="?",
+                       help="network file (omit when using --artifact)")
+        p.add_argument("--artifact",
+                       help="cold-start from a packed .rspv artifact "
+                            "instead of building (no graph, no signer)")
         p.add_argument("--method", choices=["DIJ", "FULL", "LDM", "HYP"],
                        default=default_method)
         p.add_argument("--landmarks", type=int, default=50)
@@ -530,12 +767,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-size", type=int, default=1024,
                        help="LRU proof cache capacity")
         p.add_argument("--workers", type=int, default=1,
-                       help="thread-pool size (>1 disables coalescing)")
+                       help="without --http: thread-pool size (>1 disables "
+                            "coalescing); with --http + --artifact: number "
+                            "of pre-forked SO_REUSEPORT worker processes")
         p.add_argument("--no-coalesce", action="store_true",
                        help="answer bursts per query instead of batching")
         p.add_argument("--save-key",
                        help="write the owner's public key file (for "
                             "`repro-spv verify` / RemoteClient users)")
+        p.add_argument("--key",
+                       help="owner public key file, to verify served "
+                            "responses when running from an artifact")
 
     serve = sub.add_parser(
         "serve", help="answer a request stream through a cached proof server")

@@ -211,6 +211,46 @@ class NetworkTreeBundle:
         )
         self.build_seconds = time.perf_counter() - start
 
+    @classmethod
+    def from_state(
+        cls,
+        graph: SpatialGraph,
+        tuple_factory: Callable[[int], BaseTuple],
+        *,
+        ordering: str,
+        order: "list[int]",
+        payloads: "list[bytes]",
+        tree: MerkleTree,
+    ) -> "NetworkTreeBundle":
+        """Rehydrate a bundle from persisted serve state.
+
+        Installs the leaf order, the encoded Φ payloads and the Merkle
+        tree verbatim — nothing is re-encoded or re-hashed, which is
+        what makes artifact cold-start cheap.  The *tuple_factory* is
+        only exercised by later live updates; serving never calls it.
+        Raises :class:`~repro.errors.ArtifactError` when order,
+        payloads and tree disagree about the leaf count.
+        """
+        from repro.errors import ArtifactError
+
+        if not (len(order) == len(payloads) == tree.num_leaves):
+            raise ArtifactError(
+                f"bundle state disagrees on its leaf count: {len(order)} "
+                f"order entries, {len(payloads)} payloads, "
+                f"{tree.num_leaves} tree leaves"
+            )
+        bundle = cls.__new__(cls)
+        bundle._tuple_factory = tuple_factory
+        bundle.ordering = ordering
+        graph.to_index()  # warm the compiled layout before serving starts
+        bundle.order = list(order)
+        bundle.payload_at = list(payloads)
+        bundle.payload_of = dict(zip(bundle.order, bundle.payload_at))
+        bundle.position_of = {node_id: i for i, node_id in enumerate(bundle.order)}
+        bundle.tree = tree
+        bundle.build_seconds = 0.0
+        return bundle
+
     def section_for(self, node_ids) -> TreeSection:
         """ΓS + ΓT section disclosing Φ for *node_ids*."""
         position_of = self.position_of

@@ -23,6 +23,7 @@ from repro.core.checks import (
 from repro.core.framework import REL_TOL, VerificationResult, distances_close
 from repro.core.incremental import edge_endpoints, needs_layout_rebuild
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
+from repro.core.state import dump_bundle, load_bundle
 from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeConfig
 from repro.crypto.signer import Signer
 from repro.errors import EncodingError, NoPathError
@@ -75,6 +76,19 @@ class DijMethod(VerificationMethod):
                                     hash_name=hash_name, algo_sp=algo_sp)
         method._publish_params = method._build_params
         return method
+
+    # ------------------------------------------------------------------
+    # serve-state persistence
+    # ------------------------------------------------------------------
+    def _dump_sections(self, state) -> None:
+        dump_bundle(state, self._bundle)
+
+    @classmethod
+    def _load_sections(cls, state) -> "DijMethod":
+        graph = state.graph
+        bundle = load_bundle(
+            state, lambda v: BaseTuple.from_graph(graph, v))
+        return cls(graph, bundle, state.descriptor)
 
     # ------------------------------------------------------------------
     def _apply_mutations(self, mutations: "list[GraphMutation]",

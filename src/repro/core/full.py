@@ -36,6 +36,7 @@ from repro.core.incremental import (
     needs_layout_rebuild,
 )
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
+from repro.core.state import dump_bundle, load_bundle, load_descriptor_tree
 from repro.core.proofs import (
     DISTANCE_TREE,
     NETWORK_TREE,
@@ -45,7 +46,13 @@ from repro.core.proofs import (
     TreeSection,
 )
 from repro.crypto.signer import Signer
-from repro.errors import EncodingError, GraphError, MethodError, NoPathError
+from repro.errors import (
+    ArtifactError,
+    EncodingError,
+    GraphError,
+    MethodError,
+    NoPathError,
+)
 from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.graph.tuples import BaseTuple, DistanceTuple, triangle_leaf_digests
 from repro.hiti.hyperedges import triangle_index
@@ -122,6 +129,33 @@ class FullMethod(VerificationMethod):
                                     algo_sp=algo_sp)
         method._publish_params = method._build_params
         return method
+
+    # ------------------------------------------------------------------
+    # serve-state persistence
+    # ------------------------------------------------------------------
+    def _dump_sections(self, state) -> None:
+        dump_bundle(state, self._bundle)
+        state.arrays["full/matrix"] = self._matrix
+        state.blobs["distance/tree"] = self._distance_tree.dump_state()
+
+    @classmethod
+    def _load_sections(cls, state) -> "FullMethod":
+        graph = state.graph
+        n = graph.num_nodes
+        # The matrix section is the serve-state jackpot: the O(|V|^2)
+        # all-pairs result maps straight off the artifact (zero-copy,
+        # copy-on-write — a later apply_update patches rows privately).
+        matrix = state.array("full/matrix", dtype=np.float64, shape=(n, n))
+        distance_tree = load_descriptor_tree(state, "distance/tree",
+                                             DISTANCE_TREE)
+        if distance_tree.num_leaves != n * (n - 1) // 2:
+            raise ArtifactError(
+                f"distance tree has {distance_tree.num_leaves} leaves; a "
+                f"{n}-node FULL method needs {n * (n - 1) // 2}"
+            )
+        bundle = load_bundle(
+            state, lambda v: BaseTuple.from_graph(graph, v))
+        return cls(graph, bundle, distance_tree, matrix, state.descriptor)
 
     # ------------------------------------------------------------------
     def _apply_mutations(self, mutations: "list[GraphMutation]",

@@ -44,6 +44,7 @@ from repro.core.incremental import (
     needs_layout_rebuild,
 )
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
+from repro.core.state import dump_bundle, load_bundle, load_descriptor_tree
 from repro.core.proofs import (
     DIRECTORY_TREE,
     DISTANCE_TREE,
@@ -54,7 +55,7 @@ from repro.core.proofs import (
     TreeSection,
 )
 from repro.crypto.signer import Signer
-from repro.errors import EncodingError, GraphError
+from repro.errors import ArtifactError, EncodingError, GraphError, MethodError
 from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.graph.tuples import (
     CellDirectoryTuple,
@@ -169,6 +170,69 @@ class HypMethod(VerificationMethod):
                                     algo_sp=algo_sp)
         method._publish_params = method._build_params
         return method
+
+    # ------------------------------------------------------------------
+    # serve-state persistence
+    # ------------------------------------------------------------------
+    def _dump_sections(self, state) -> None:
+        if self._hyper.source_rows is None:
+            raise MethodError(
+                "HYP method with an externally built hyper layer has no "
+                "source rows to persist; rebuild from the graph first"
+            )
+        dump_bundle(state, self._bundle)
+        # The grid partition and the cell directory are deterministic
+        # functions of the graph; only the border multi-source rows —
+        # the dominant construction cost — need to travel.  The (B, B)
+        # hyper-edge matrix is re-sliced from them on load with the
+        # exact symmetrization the build uses, so it stays bit-identical
+        # without its own section.
+        state.arrays["hyp/source_rows"] = self._hyper.source_rows
+        state.blobs["distance/tree"] = self._distance_tree.dump_state()
+        state.blobs["directory/tree"] = self._directory_tree.dump_state()
+
+    @classmethod
+    def _load_sections(cls, state) -> "HypMethod":
+        graph = state.graph
+        num_cells = state.build_params.get("num_cells")
+        if not isinstance(num_cells, int):
+            raise ArtifactError("build params carry no cell count")
+        try:
+            partition = GridPartition(graph, num_cells)
+        except GraphError as exc:
+            raise ArtifactError(f"cannot re-partition the graph: {exc}") from exc
+        borders = partition.all_borders()
+        if not borders:
+            raise ArtifactError("rehydrated partition has no border nodes")
+        source_rows = state.array("hyp/source_rows", dtype=np.float64,
+                                  shape=(len(borders), graph.num_nodes))
+        col_of = graph.to_index().index_of
+        sliced = source_rows[:, [col_of[b] for b in borders]]
+        hyper = HyperEdgeSet(borders, np.minimum(sliced, sliced.T),
+                             source_rows=source_rows)
+        distance_tree = load_descriptor_tree(state, "distance/tree",
+                                             DISTANCE_TREE)
+        if distance_tree.num_leaves != hyper.num_pairs:
+            raise ArtifactError(
+                f"distance tree has {distance_tree.num_leaves} leaves for "
+                f"{hyper.num_pairs} hyper-edge pairs"
+            )
+        directory_payloads: dict[int, tuple[int, bytes]] = {}
+        for position, cell in enumerate(partition.occupied_cells):
+            payload = CellDirectoryTuple(
+                cell, tuple(partition.members_of(cell))
+            ).encode()
+            directory_payloads[cell] = (position, payload)
+        directory_tree = load_descriptor_tree(state, "directory/tree",
+                                              DIRECTORY_TREE)
+        if directory_tree.num_leaves != len(directory_payloads):
+            raise ArtifactError(
+                f"directory tree has {directory_tree.num_leaves} leaves for "
+                f"{len(directory_payloads)} occupied cells"
+            )
+        bundle = load_bundle(state, _make_tuple_factory(graph, partition))
+        return cls(graph, bundle, partition, hyper, distance_tree,
+                   directory_tree, directory_payloads, state.descriptor)
 
     # ------------------------------------------------------------------
     def _border_flags_moved(self, mutations: "list[GraphMutation]") -> bool:

@@ -46,9 +46,10 @@ from repro.core.incremental import (
 )
 from repro.core.method import SignatureVerifier, VerificationMethod, register_method
 from repro.core.proofs import NETWORK_TREE, QueryResponse, SignedDescriptor, TreeConfig
+from repro.core.state import dump_bundle, load_bundle
 from repro.crypto.signer import Signer
 from repro.encoding import Decoder, Encoder, encode_uvarint, pack_codes_rows
-from repro.errors import EncodingError, GraphError
+from repro.errors import ArtifactError, EncodingError, GraphError
 from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.graph.tuples import LdmTuple
 from repro.landmarks.compression import (
@@ -215,7 +216,9 @@ class LdmMethod(VerificationMethod):
 
     def __init__(self, graph: SpatialGraph, bundle: NetworkTreeBundle,
                  compressed: CompressedVectors, params: LdmParams,
-                 descriptor: SignedDescriptor) -> None:
+                 descriptor: SignedDescriptor, *,
+                 effective: "tuple[np.ndarray, np.ndarray] | None" = None,
+                 ) -> None:
         super().__init__()
         self._graph = graph
         self._bundle = bundle
@@ -226,10 +229,13 @@ class LdmMethod(VerificationMethod):
         # (ascending id order), for vectorized cone selection in
         # :meth:`answer`.  The node set is fixed for the method's life
         # (node additions force a full rebuild), so the alignment is
-        # stable; weight updates refresh the arrays in place.
-        self._eff_codes, self._eff_eps = compressed.effective_arrays(
-            graph.node_ids()
-        )
+        # stable; weight updates refresh the arrays in place.  Callers
+        # that already hold the arrays (the artifact loader, via
+        # ``apply_compression_plan``) pass them in instead of paying
+        # the per-node resolution again.
+        if effective is None:
+            effective = compressed.effective_arrays(graph.node_ids())
+        self._eff_codes, self._eff_eps = effective
 
     # ------------------------------------------------------------------
     @classmethod
@@ -326,6 +332,56 @@ class LdmMethod(VerificationMethod):
         method._codes = codes
         method._spec = spec
         method._plan = plan
+        return method
+
+    # ------------------------------------------------------------------
+    # serve-state persistence
+    # ------------------------------------------------------------------
+    def _dump_sections(self, state) -> None:
+        dump_bundle(state, self._bundle)
+        # The exact vectors and quantized codes are the update-path
+        # state: a loaded method re-derives the compression from the
+        # pinned plan (cheap, vectorized), but absorbing future weight
+        # changes needs the true landmark distances to diff against.
+        state.arrays["ldm/vectors"] = self._vectors
+        state.arrays["ldm/codes"] = self._codes
+
+    @classmethod
+    def _load_sections(cls, state) -> "LdmMethod":
+        graph = state.graph
+        try:
+            params = LdmParams.decode(state.descriptor.params)
+        except EncodingError as exc:
+            raise ArtifactError(
+                f"descriptor carries malformed LDM parameters: {exc}"
+            ) from exc
+        spec = QuantizationSpec(bits=params.bits, d_max=params.d_max,
+                                lam=params.lam)
+        plan = state.build_params.get("compression_plan_pin")
+        if not isinstance(plan, dict):
+            raise ArtifactError("build params carry no pinned compression plan")
+        ids = graph.node_ids()
+        known = set(ids)
+        if not (set(plan) | set(plan.values())) <= known:
+            raise ArtifactError(
+                "pinned compression plan references unknown node ids"
+            )
+        c, n = len(params.landmarks), len(ids)
+        vectors = state.array("ldm/vectors", dtype=np.float64, shape=(c, n))
+        codes = state.array("ldm/codes", dtype=np.int32, shape=(c, n))
+        # The compression is a pure function of (codes, spec, ξ, plan),
+        # so re-deriving it here reproduces the dumped state exactly —
+        # including the effective arrays, which come out for free.
+        compressed, eff_codes, eff_eps = apply_compression_plan(
+            ids, codes, spec, params.xi, plan)
+        bundle = load_bundle(
+            state, _make_tuple_factory(graph, compressed, params.bits))
+        method = cls(graph, bundle, compressed, params, state.descriptor,
+                     effective=(eff_codes, eff_eps))
+        method._vectors = vectors
+        method._codes = codes
+        method._spec = spec
+        method._plan = dict(plan)
         return method
 
     # ------------------------------------------------------------------

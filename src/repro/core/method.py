@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Sequence, Type
+from typing import TYPE_CHECKING, Callable, Sequence, Type
 
 from repro.crypto.signer import Signer
 from repro.errors import MethodError
@@ -24,6 +24,9 @@ from repro.core.framework import VerificationResult
 from repro.core.proofs import QueryResponse, SignedDescriptor
 from repro.graph.graph import GraphMutation, SpatialGraph
 from repro.shortestpath.path import Path
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.state import MethodState
 
 #: ``verify(message, signature) -> bool`` — the client's view of the owner key.
 SignatureVerifier = Callable[[bytes, bytes], bool]
@@ -184,6 +187,74 @@ class VerificationMethod(ABC):
         """How many ADSs the method's descriptor covers."""
         descriptor = self._descriptor
         return len(descriptor.trees) if descriptor is not None else 0
+
+    # ------------------------------------------------------------------
+    # build-state vs. serve-state
+    # ------------------------------------------------------------------
+    def dump_state(self) -> "MethodState":
+        """Freeze the serve state for persistence.
+
+        Returns a :class:`~repro.core.state.MethodState` holding the
+        signed descriptor, the (pinned) rebuild parameters, the graph
+        and the method's section arrays/blobs — everything
+        :meth:`load_state` needs to reconstruct a serving-capable
+        method on another machine, and nothing it does not (no signer,
+        no transient timings).  The :mod:`repro.store` pack writes this
+        to the ``.rspv`` artifact format.
+        """
+        from repro.core.state import MethodState
+
+        state = MethodState(
+            method=self.name,
+            graph=self.graph,
+            graph_version=self.graph.version,
+            descriptor=self.descriptor,
+            build_params=dict(self._build_params),
+            publish_params=dict(self._publish_params),
+            algo_sp=self.algo_sp,
+        )
+        self._dump_sections(state)
+        return state
+
+    @classmethod
+    def load_state(cls, state: "MethodState") -> "VerificationMethod":
+        """Reconstruct a serving-capable method from persisted state.
+
+        The inverse of :meth:`dump_state`: the result answers queries
+        (and absorbs :meth:`apply_update` batches) exactly like the
+        method that was dumped — byte-identical descriptor and
+        responses — without ever holding the signer.  Validation is
+        strict and typed (:class:`~repro.errors.ArtifactError`): state
+        from disk is untrusted input.
+        """
+        from repro.errors import ArtifactError
+
+        if state.method != cls.name or state.descriptor.method != cls.name:
+            raise ArtifactError(
+                f"state is for method {state.method!r} (descriptor "
+                f"{state.descriptor.method!r}), loader is {cls.name}"
+            )
+        if state.graph.version != state.graph_version:
+            raise ArtifactError(
+                f"graph version {state.graph.version} does not match the "
+                f"recorded version {state.graph_version}"
+            )
+        method = cls._load_sections(state)
+        method.algo_sp = state.algo_sp
+        method._synced_version = state.graph_version
+        method._build_params = dict(state.build_params)
+        method._publish_params = dict(state.publish_params)
+        return method
+
+    def _dump_sections(self, state: "MethodState") -> None:
+        """Method-specific serve-state sections (arrays and blobs)."""
+        raise MethodError(f"{self.name} does not implement dump_state")
+
+    @classmethod
+    def _load_sections(cls, state: "MethodState") -> "VerificationMethod":
+        """Construct the instance from the sections; inverse of
+        :meth:`_dump_sections`."""
+        raise MethodError(f"{cls.name} does not implement load_state")
 
     # ------------------------------------------------------------------
     @classmethod

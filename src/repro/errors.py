@@ -70,3 +70,16 @@ class MethodError(ReproError):
 
 class ServiceError(ReproError):
     """Proof-serving misuse (bad server configuration or request)."""
+
+
+class ArtifactError(ReproError):
+    """Invalid, corrupted or incompatible persisted artifact.
+
+    Raised by the :mod:`repro.store` pack reader/writer and by the
+    methods' ``load_state`` validation.  Artifacts cross machine
+    boundaries (built on the signer box, served elsewhere), so loading
+    is strict: truncation, bit flips, wrong format versions and
+    inconsistent section shapes all surface as this one typed error —
+    never as a raw ``struct.error`` / ``ValueError`` from the guts of
+    the decoder.
+    """

@@ -281,6 +281,68 @@ class SpatialGraph:
         del self._changelog[: before_version - self._changelog_base]
         self._changelog_base = before_version
 
+    @classmethod
+    def from_parts(
+        cls,
+        nodes: "Iterable[tuple[int, float, float]]",
+        edges: "Iterable[tuple[int, int, float]]",
+        *,
+        version: int = 0,
+    ) -> "SpatialGraph":
+        """Bulk-construct from pre-validated parts (the rehydration path).
+
+        Installs nodes and undirected edges directly into the adjacency
+        maps — no per-operation validation, no changelog entries — and
+        starts the mutation counter at *version* with an empty retained
+        history, exactly as :meth:`advance_version_to` would leave it.
+
+        **Trusted callers only**: the caller guarantees unique node
+        ids, edges between existing distinct nodes, no duplicates, and
+        finite non-negative weights (the artifact loader checks all of
+        this vectorized before calling).  Feeding unchecked data here
+        bypasses the invariants :meth:`add_edge` enforces.
+        """
+        graph = cls()
+        nodes_map = graph._nodes
+        adjacency = graph._adj
+        for node_id, x, y in nodes:
+            nodes_map[node_id] = Node(node_id, x, y)
+            adjacency[node_id] = {}
+        count = 0
+        for u, v, w in edges:
+            adjacency[u][v] = w
+            adjacency[v][u] = w
+            count += 1
+        graph._num_edges = count
+        graph._version = version
+        graph._changelog_base = version
+        return graph
+
+    def advance_version_to(self, version: int) -> None:
+        """Fast-forward the mutation counter to *version* and seal history.
+
+        Used when rehydrating a graph whose authenticated structures
+        were signed at *version* on another machine (the
+        :mod:`repro.store` artifact path): the reconstruction's own
+        add-node/add-edge mutations are construction noise, not owner
+        edits, so the changelog is cleared and the counter jumps to the
+        signed version.  From there the graph behaves exactly like the
+        original — new mutations append past *version* and
+        :meth:`mutations_since` replays only genuine owner edits.
+        Derived caches are dropped (they were keyed to the construction
+        counter).  Rewinding is refused: version numbers are the
+        freshness ordering clients rely on.
+        """
+        if version < self._version:
+            raise GraphError(
+                f"cannot rewind version from {self._version} to {version}"
+            )
+        self._version = version
+        self._changelog.clear()
+        self._changelog_base = version
+        self._csr_cache = None
+        self._index_cache = None
+
     def rollback_to(self, version: int) -> None:
         """Inverse-apply retained mutations back to the state at *version*.
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.encoding import Decoder, Encoder
 from repro.errors import GraphError
 from repro.graph.graph import SpatialGraph
@@ -87,20 +89,51 @@ class GridPartition:
             nx=side,
             ny=side,
         )
-        self.cell_of_node: dict[int, int] = {}
+        # Vectorized assignment over the compiled index (ascending id
+        # order): same float divisions, truncation and clamping as
+        # ``GridSpec.cell_of`` element-wise, so the cells are identical
+        # to the per-node path — this is a hot step of both HYP
+        # construction and artifact cold-start.
+        index = graph.to_index()
+        ids = index.ids
+        xs = np.fromiter((graph.node(i).x for i in ids), dtype=np.float64,
+                         count=len(ids))
+        ys = np.fromiter((graph.node(i).y for i in ids), dtype=np.float64,
+                         count=len(ids))
+        spec = self.spec
+        if spec.cell_w > 0:
+            cols = ((xs - spec.min_x) / spec.cell_w).astype(np.int64)
+        else:
+            cols = np.zeros(len(ids), dtype=np.int64)
+        if spec.cell_h > 0:
+            rows = ((ys - spec.min_y) / spec.cell_h).astype(np.int64)
+        else:
+            rows = np.zeros(len(ids), dtype=np.int64)
+        np.clip(cols, 0, spec.nx - 1, out=cols)
+        np.clip(rows, 0, spec.ny - 1, out=rows)
+        cells = rows * spec.nx + cols
+
+        self.cell_of_node: dict[int, int] = dict(zip(ids, cells.tolist()))
         self.members: dict[int, list[int]] = {}
-        for node in graph.nodes():
-            cell = self.spec.cell_of(node.x, node.y)
-            self.cell_of_node[node.id] = cell
-            self.members.setdefault(cell, []).append(node.id)
+        for node_id, cell in self.cell_of_node.items():
+            self.members.setdefault(cell, []).append(node_id)
         for member_list in self.members.values():
             member_list.sort()
 
-        self.border_flags: dict[int, bool] = {}
-        for node_id, cell in self.cell_of_node.items():
-            self.border_flags[node_id] = any(
-                self.cell_of_node[nbr] != cell for nbr in graph.neighbors(node_id)
-            )
+        # A node is a border node iff some neighbor's cell differs.
+        # ``diff`` flags the crossing arcs; mapping each one back to
+        # its source node through the CSR row pointers replaces the
+        # per-node neighbor scan.
+        indptr = np.asarray(index.indptr, dtype=np.int64)
+        neighbors = np.asarray(index.neighbors, dtype=np.int64)
+        degrees = np.diff(indptr)
+        diff = cells[neighbors] != np.repeat(cells, degrees)
+        flags = np.zeros(len(ids), dtype=bool)
+        crossing = np.flatnonzero(diff)
+        if crossing.size:
+            owners = np.searchsorted(indptr, crossing, side="right") - 1
+            flags[owners] = True
+        self.border_flags: dict[int, bool] = dict(zip(ids, flags.tolist()))
 
     def cell(self, node_id: int) -> int:
         """Cell id of a node."""

@@ -73,6 +73,40 @@ class MerkleBTree:
             )
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def dump_state(self) -> "tuple[np.ndarray, bytes]":
+        """``(key array, level blob)`` — see :meth:`load_state`."""
+        return self._keys, self._tree.dump_state()
+
+    @classmethod
+    def load_state(
+        cls,
+        keys: "Sequence[int] | np.ndarray",
+        tree_state: bytes,
+        *,
+        fanout: int = 2,
+        hash_fn: "str | HashFunction" = "sha1",
+    ) -> "MerkleBTree":
+        """Rehydrate from :meth:`dump_state` output.
+
+        Digests are installed verbatim (``prove`` stays byte-identical);
+        key monotonicity and the key/leaf count match are re-validated,
+        raising :class:`MerkleError` on any inconsistency.
+        """
+        key_array = np.asarray(keys, dtype=np.int64)
+        if key_array.ndim != 1 or key_array.size == 0:
+            raise MerkleError("keys must be a non-empty 1-D sequence")
+        if key_array.size > 1 and not np.all(np.diff(key_array) > 0):
+            raise MerkleError("keys must be strictly increasing")
+        tree = MerkleTree.load_state(tree_state, num_leaves=int(key_array.size),
+                                     fanout=fanout, hash_fn=hash_fn)
+        btree = cls.__new__(cls)
+        btree._keys = key_array
+        btree._tree = tree
+        return btree
+
+    # ------------------------------------------------------------------
     @property
     def tree(self) -> MerkleTree:
         """The underlying Merkle tree (root, digests)."""

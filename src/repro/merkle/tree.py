@@ -148,6 +148,69 @@ class MerkleTree:
         return self._levels[level][index * d : (index + 1) * d]
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def dump_state(self) -> bytes:
+        """Flat level-order digest array: every level, leaves first.
+
+        The blob plus ``(num_leaves, fanout, hash_fn)`` reproduces the
+        tree exactly (see :meth:`load_state`); no per-node structure is
+        written because the level sizes are arithmetic consequences of
+        the leaf count and the fanout.
+        """
+        return b"".join(self._levels)
+
+    @classmethod
+    def level_sizes(cls, num_leaves: int, fanout: int) -> list[int]:
+        """Entries per level (leaves first) for a tree of this shape."""
+        if num_leaves <= 0:
+            raise MerkleError("cannot build a Merkle tree over zero leaves")
+        if fanout < 2:
+            raise MerkleError(f"fanout must be >= 2, got {fanout}")
+        sizes = [num_leaves]
+        while sizes[-1] > 1:
+            sizes.append((sizes[-1] + fanout - 1) // fanout)
+        return sizes
+
+    @classmethod
+    def load_state(
+        cls,
+        data: bytes,
+        *,
+        num_leaves: int,
+        fanout: int,
+        hash_fn: "str | HashFunction" = "sha1",
+    ) -> "MerkleTree":
+        """Rehydrate a tree from :meth:`dump_state` output.
+
+        The digests are installed verbatim (no re-hashing), so
+        :meth:`prove` output is byte-identical to the tree that was
+        dumped; the caller is expected to cross-check :attr:`root`
+        against a trusted (signed) copy.  Raises :class:`MerkleError`
+        when the blob length does not match the declared shape.
+        """
+        hash_fn = get_hash(hash_fn)
+        d = hash_fn.digest_size
+        sizes = cls.level_sizes(num_leaves, fanout)
+        if len(data) != sum(sizes) * d:
+            raise MerkleError(
+                f"level blob is {len(data)} bytes; a {num_leaves}-leaf "
+                f"fanout-{fanout} tree needs {sum(sizes) * d}"
+            )
+        data = bytes(data)
+        levels: list[bytes] = []
+        pos = 0
+        for size in sizes:
+            levels.append(data[pos:pos + size * d])
+            pos += size * d
+        tree = cls.__new__(cls)
+        tree.hash_fn = hash_fn
+        tree.fanout = fanout
+        tree._num_leaves = num_leaves
+        tree._levels = levels
+        return tree
+
+    # ------------------------------------------------------------------
     def update_leaf(self, index: int, payload: bytes) -> None:
         """Replace one leaf payload and refresh digests up to the root.
 

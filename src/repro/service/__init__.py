@@ -20,7 +20,12 @@ Typical use::
 
 from repro.service.cache import CacheEntry, CacheStats, ProofCache
 from repro.service.http import ProofHttpServer
-from repro.service.metrics import MetricsSnapshot, ServerMetrics, percentile
+from repro.service.metrics import (
+    MetricsSnapshot,
+    ServerMetrics,
+    merge_snapshots,
+    percentile,
+)
 from repro.service.server import (
     BurstResult,
     ProofRequest,
@@ -29,6 +34,7 @@ from repro.service.server import (
     UpdateRequest,
 )
 from repro.service.sync import ReadWriteLock
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "ProofServer",
@@ -43,5 +49,7 @@ __all__ = [
     "CacheStats",
     "ServerMetrics",
     "MetricsSnapshot",
+    "WorkerPool",
+    "merge_snapshots",
     "percentile",
 ]

@@ -7,7 +7,10 @@ implement it:
   reply frame (``application/octet-stream``, status 200 even for
   protocol-level errors: those ride *inside* the frame, typed by
   :mod:`repro.api.codes`);
-* ``GET /healthz`` — liveness probe, returns ``ok``.
+* ``GET /healthz`` — liveness probe, returns ``ok``;
+* ``GET /metrics`` — the current metrics window as a JSON object
+  (served when the dispatcher offers ``metrics_json()``; same keys as
+  the METRICS wire frame, for scrapers that speak HTTP but not RSPV).
 
 Concurrency comes from ``ThreadingHTTPServer`` (a thread per request)
 over the dispatcher's :class:`~repro.service.server.ProofServer`, whose
@@ -23,6 +26,8 @@ transport.
 
 from __future__ import annotations
 
+import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -51,6 +56,13 @@ class _FrameHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         if self.path == "/healthz":
             self._send(200, b"ok", "text/plain")
+        elif self.path == "/metrics":
+            metrics_json = getattr(self.server.dispatcher, "metrics_json", None)
+            if metrics_json is None:
+                self._send(404, b"not found", "text/plain")
+                return
+            body = json.dumps(metrics_json(), sort_keys=True).encode("utf-8")
+            self._send(200, body, "application/json")
         else:
             self._send(404, b"not found", "text/plain")
 
@@ -78,6 +90,24 @@ class _FrameHandler(BaseHTTPRequestHandler):
         """Per-request stderr logging off by default (serving hot path)."""
 
 
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that joins an ``SO_REUSEPORT`` listener group.
+
+    Several processes binding the same port this way have the kernel
+    load-balance incoming connections across them — the pre-forked
+    multi-worker serving mode (:mod:`repro.service.workers`).
+    """
+
+    def server_bind(self) -> None:
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise ServiceError(
+                "this platform has no SO_REUSEPORT; multi-worker serving "
+                "needs one listening socket per process on a shared port"
+            )
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
 class ProofHttpServer:
     """A threaded HTTP frontend around a frame dispatcher.
 
@@ -89,17 +119,20 @@ class ProofHttpServer:
     ``start()`` serves from a daemon thread (the embedded mode used by
     tests and the load tester); :meth:`serve_forever` blocks (the CLI
     mode).  Either way :meth:`close` shuts the listener down.
+    ``reuse_port=True`` joins an ``SO_REUSEPORT`` group so sibling
+    worker processes can share the port.
     """
 
     def __init__(self, dispatcher, *, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, reuse_port: bool = False) -> None:
         if not hasattr(dispatcher, "dispatch"):
             raise ServiceError(
                 f"dispatcher must offer dispatch(bytes) -> bytes, "
                 f"got {type(dispatcher).__name__}"
             )
         self.dispatcher = dispatcher
-        self._httpd = ThreadingHTTPServer((host, port), _FrameHandler)
+        server_cls = _ReusePortHTTPServer if reuse_port else ThreadingHTTPServer
+        self._httpd = server_cls((host, port), _FrameHandler)
         self._httpd.dispatcher = dispatcher
         self._httpd.daemon_threads = True
         self._thread: "threading.Thread | None" = None

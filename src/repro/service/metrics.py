@@ -31,7 +31,15 @@ def percentile(values: "list[float]", q: float) -> float:
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
-    """One measurement window, frozen at :meth:`ServerMetrics.snapshot`."""
+    """One measurement window, frozen at :meth:`ServerMetrics.snapshot`.
+
+    The ``cache_*`` counters mirror the proof cache's lifetime
+    :class:`~repro.service.cache.CacheStats` (evictions under memory
+    pressure, whole-cache invalidations after updates) plus its current
+    occupancy — the capacity-tuning signals, surfaced here so the CLI,
+    the METRICS wire frame and ``GET /metrics`` all report them without
+    reaching into the cache object.
+    """
 
     requests: int
     elapsed_seconds: float
@@ -42,6 +50,10 @@ class MetricsSnapshot:
     p95_ms: float
     updates: int = 0
     update_seconds: float = 0.0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    cache_entries: int = 0
+    cache_capacity: int = 0
 
     @property
     def qps(self) -> float:
@@ -74,6 +86,10 @@ class MetricsSnapshot:
             "p95_ms": self.p95_ms,
             "updates": self.updates,
             "update_seconds": self.update_seconds,
+            "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
+            "cache_entries": self.cache_entries,
+            "cache_capacity": self.cache_capacity,
         }
 
     @property
@@ -119,11 +135,17 @@ class ServerMetrics:
             self._updates += 1
             self._update_seconds += seconds
 
-    def snapshot(self) -> MetricsSnapshot:
-        """Freeze the current window (the window keeps accumulating)."""
+    def snapshot(self, *, cache=None) -> MetricsSnapshot:
+        """Freeze the current window (the window keeps accumulating).
+
+        Pass the server's :class:`~repro.service.cache.ProofCache` to
+        fold its lifetime eviction/invalidation counters and current
+        occupancy into the snapshot (what
+        :meth:`~repro.service.server.ProofServer.snapshot` does).
+        """
         with self._lock:
             latencies = list(self._latencies)
-            return MetricsSnapshot(
+            snapshot = MetricsSnapshot(
                 requests=len(latencies),
                 elapsed_seconds=time.perf_counter() - self._started,
                 cache_hits=self._hits,
@@ -134,3 +156,50 @@ class ServerMetrics:
                 updates=self._updates,
                 update_seconds=self._update_seconds,
             )
+        if cache is not None:
+            from dataclasses import replace
+
+            snapshot = replace(
+                snapshot,
+                cache_evictions=cache.stats.evictions,
+                cache_invalidations=cache.stats.invalidations,
+                cache_entries=len(cache),
+                cache_capacity=cache.capacity,
+            )
+        return snapshot
+
+
+def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
+    """Aggregate per-worker windows into one fleet view.
+
+    Counters and byte totals sum; ``elapsed_seconds`` is the longest
+    window (the workers ran concurrently, not back to back); latency
+    percentiles are request-weighted means of the per-worker
+    percentiles — an approximation (true fleet percentiles need the
+    raw samples), good enough for the operator table it feeds.
+    """
+    if not snapshots:
+        return MetricsSnapshot(0, 0.0, 0, 0, 0, 0.0, 0.0)
+    requests = sum(s.requests for s in snapshots)
+
+    def weighted(attribute: str) -> float:
+        if not requests:
+            return 0.0
+        return sum(getattr(s, attribute) * s.requests
+                   for s in snapshots) / requests
+
+    return MetricsSnapshot(
+        requests=requests,
+        elapsed_seconds=max(s.elapsed_seconds for s in snapshots),
+        cache_hits=sum(s.cache_hits for s in snapshots),
+        cache_misses=sum(s.cache_misses for s in snapshots),
+        proof_bytes=sum(s.proof_bytes for s in snapshots),
+        p50_ms=weighted("p50_ms"),
+        p95_ms=weighted("p95_ms"),
+        updates=sum(s.updates for s in snapshots),
+        update_seconds=sum(s.update_seconds for s in snapshots),
+        cache_evictions=sum(s.cache_evictions for s in snapshots),
+        cache_invalidations=sum(s.cache_invalidations for s in snapshots),
+        cache_entries=sum(s.cache_entries for s in snapshots),
+        cache_capacity=sum(s.cache_capacity for s in snapshots),
+    )

@@ -380,9 +380,22 @@ class ProofServer:
             [UpdateRequest("update-weight", u, v, weight)], signer)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, path: str, **kwargs) -> "ProofServer":
+        """Boot a server straight from a persisted ``.rspv`` artifact.
+
+        The build/serve split made operational: the artifact was built
+        (and signed) elsewhere, this process only serves it.  Keyword
+        arguments are the regular constructor options.
+        """
+        from repro.store import load_method
+
+        return cls(load_method(path), **kwargs)
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
-        """Freeze the current metrics window."""
-        return self.metrics.snapshot()
+        """Freeze the current metrics window (cache counters included)."""
+        return self.metrics.snapshot(cache=self.cache)
 
     def reset_metrics(self) -> None:
         """Start a fresh metrics window (the cache is left warm)."""

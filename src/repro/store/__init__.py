@@ -1,0 +1,58 @@
+"""Persistent authenticated artifacts: build once, serve anywhere.
+
+The paper's owner constructs and signs the ADS **once, offline**; this
+package makes that lifecycle literal.  :func:`save_method` freezes a
+built :class:`~repro.core.method.VerificationMethod` into a versioned
+binary artifact (the ``.rspv`` pack: header + section table + signed
+descriptor + build params + per-ADS sections), and :func:`load_method`
+reconstructs a serving-capable method from it — without the graph file,
+without the signer, and with the big numeric sections (distance
+matrices, landmark vectors) mapped copy-on-write straight off the file
+so N serving processes share one page-cached copy.
+
+Typical deployment::
+
+    # signer box, once
+    method = DataOwner(graph).publish("LDM", c=100)
+    save_method(method, "de.ldm.rspv")
+
+    # each serving box, at boot
+    server = ProofServer(load_method("de.ldm.rspv"))
+
+Loading is strict: truncation, bit flips (every section is
+checksummed), format-version mismatches and internally inconsistent
+state all raise :class:`~repro.errors.ArtifactError` — never anything
+untyped.
+"""
+
+from repro.store.artifact import (
+    ArtifactInfo,
+    artifact_info,
+    is_artifact,
+    load_method,
+    save_method,
+)
+from repro.store.pack import (
+    ARTIFACT_MAGIC,
+    ARTIFACT_VERSION,
+    ArtifactReader,
+    ArtifactWriter,
+    SectionInfo,
+    decode_params,
+    encode_params,
+)
+
+__all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_VERSION",
+    "ArtifactInfo",
+    "ArtifactReader",
+    "ArtifactWriter",
+    "SectionInfo",
+    "artifact_info",
+    "decode_params",
+    "encode_params",
+    "is_artifact",
+    "load_method",
+    "save_method",
+]

@@ -30,6 +30,9 @@ ROUND_TRIP_MESSAGES = [
     E.UpdateReply("incremental", 2, 5, 0, 0.0125, 31),
     E.MetricsRequest(),
     E.MetricsReply(10, 1.5, 6, 4, 12345, 0.8, 2.5, 1, 0.02),
+    E.MetricsReply(10, 1.5, 6, 4, 12345, 0.8, 2.5, 1, 0.02,
+                   cache_evictions=3, cache_invalidations=1,
+                   cache_entries=40, cache_capacity=64),
     E.ErrorMessage("malformed-frame", "bad magic"),
 ]
 
@@ -82,6 +85,28 @@ class TestMessageRoundTrips:
     def test_round_trip_via_frame(self, message):
         decoded = E.decode_message(E.decode_frame(message.to_frame()))
         assert decoded == message
+
+    def test_metrics_reply_accepts_pre_cache_counter_layout(self):
+        """Additive evolution: frames from builds without the cache
+        counters still decode, with the counters defaulting to zero."""
+        from repro.encoding import Encoder
+
+        enc = Encoder()
+        enc.write_uint(10).write_f64(1.5)
+        enc.write_uint(6).write_uint(4).write_uint(12345)
+        enc.write_f64(0.8).write_f64(2.5)
+        enc.write_uint(1).write_f64(0.02)
+        decoded = E.MetricsReply.decode(enc.getvalue())
+        assert decoded.requests == 10
+        assert decoded.cache_evictions == 0
+        assert decoded.cache_capacity == 0
+
+    def test_metrics_reply_partial_extension_rejected(self):
+        """A frame cut inside the extension block is corrupt, not old."""
+        full = E.MetricsReply(1, 1.0, 1, 0, 10, 0.1, 0.2, 0, 0.0,
+                              cache_evictions=2).encode()
+        with pytest.raises(ProtocolError):
+            E.MetricsReply.decode(full[:-2])
 
     def test_unknown_message_type(self):
         frame = E.Frame(E.PROTOCOL_VERSION, 0x55, b"")

@@ -75,6 +75,39 @@ class TestHttpEndpoints:
                 urllib.request.urlopen(f"{http_server.url}/nope")
             assert excinfo.value.code == 404
 
+    def test_metrics_endpoint_serves_json(self, dij, signer, http_workload):
+        import json
+
+        with serve(dij) as http_server:
+            client = RemoteClient(HttpTransport(http_server.url),
+                                  signer.verify)
+            for vs, vt in http_workload[:2]:
+                assert client.query(vs, vt).ok
+            assert client.query(*http_workload[0]).cached
+            with urllib.request.urlopen(f"{http_server.url}/metrics") as reply:
+                assert reply.status == 200
+                assert reply.headers["Content-Type"] == "application/json"
+                record = json.loads(reply.read())
+        assert record["requests"] == 3
+        assert record["cache_hits"] == 1
+        assert record["cache_entries"] == 2
+        assert record["cache_capacity"] > 0
+        # The HTTP snapshot and the wire METRICS frame are the same view.
+        assert set(record) >= {"cache_evictions", "cache_invalidations",
+                               "qps", "hit_rate"}
+
+    def test_metrics_wire_frame_carries_cache_counters(self, dij, signer,
+                                                       http_workload):
+        with serve(dij) as http_server:
+            client = RemoteClient(HttpTransport(http_server.url),
+                                  signer.verify)
+            assert client.query(*http_workload[0]).ok
+            reply = client.metrics()
+        assert reply.requests == 1
+        assert reply.cache_entries == 1
+        assert reply.cache_capacity > 0
+        assert reply.cache_evictions == 0
+
     def test_post_to_wrong_path_is_404(self, dij):
         with serve(dij) as http_server:
             request = urllib.request.Request(

@@ -61,6 +61,43 @@ class TestServerMetrics:
         metrics.record(0.001, 10, cached=False)
         record = metrics.snapshot().as_dict()
         for field in ("requests", "qps", "hit_rate", "p50_ms", "p95_ms",
-                      "proof_bytes", "elapsed_seconds"):
+                      "proof_bytes", "elapsed_seconds", "cache_evictions",
+                      "cache_invalidations", "cache_entries",
+                      "cache_capacity"):
             assert field in record
         assert record["requests"] == 1
+
+
+class TestCacheCounters:
+    def test_snapshot_folds_in_cache_stats(self):
+        from repro.core.proofs import QueryResponse
+        from repro.service.cache import ProofCache
+
+        cache = ProofCache(capacity=2)
+        response = QueryResponse.__new__(QueryResponse)  # opaque payload
+        cache.put(("DIJ", 1, 2), 0, response, 10)
+        cache.put(("DIJ", 1, 3), 0, response, 10)
+        cache.put(("DIJ", 1, 4), 0, response, 10)  # evicts the oldest
+        cache.get(("DIJ", 9, 9), 1)                # version move invalidates
+        snap = ServerMetrics().snapshot(cache=cache)
+        assert snap.cache_evictions == 1
+        assert snap.cache_invalidations == 1
+        assert snap.cache_entries == 0
+        assert snap.cache_capacity == 2
+
+    def test_server_snapshot_reports_evictions(self):
+        from repro.core.dij import DijMethod
+        from repro.crypto.signer import NullSigner
+        from repro.graph.synthetic import grid_network
+        from repro.service.server import ProofServer
+
+        graph = grid_network(4, 4)
+        server = ProofServer(DijMethod.build(graph, NullSigner()),
+                             cache_size=1)
+        ids = graph.node_ids()
+        server.answer(ids[0], ids[5])
+        server.answer(ids[0], ids[6])  # second distinct key evicts the first
+        snap = server.snapshot()
+        assert snap.cache_evictions == 1
+        assert snap.cache_entries == 1
+        assert snap.cache_capacity == 1

@@ -1,0 +1,102 @@
+"""Multi-process serving: the SO_REUSEPORT worker pool."""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.request
+
+import pytest
+
+from repro.api.client import RemoteClient
+from repro.api.transport import HttpTransport
+from repro.errors import ServiceError
+from repro.service.metrics import MetricsSnapshot, merge_snapshots
+from repro.service.workers import WorkerPool
+from repro.store import save_method
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="platform has no SO_REUSEPORT",
+)
+
+
+@pytest.fixture(scope="module")
+def dij_artifact(road300, tmp_path_factory):
+    from repro.core.dij import DijMethod
+    from repro.crypto.signer import NullSigner
+
+    signer = NullSigner()
+    method = DijMethod.build(road300, signer)
+    path = str(tmp_path_factory.mktemp("pool") / "dij.rspv")
+    save_method(method, path)
+    return path, signer
+
+
+class TestWorkerPool:
+    def test_two_workers_serve_and_aggregate(self, dij_artifact, road300,
+                                             workload):
+        path, signer = dij_artifact
+        with WorkerPool(path, workers=2, start_timeout=120.0) as pool:
+            client = RemoteClient(HttpTransport(pool.url), signer.verify)
+            hello = client.hello()
+            assert hello.method == "DIJ"
+            for vs, vt in workload:
+                result = client.query(vs, vt)
+                assert result.ok, (result.verdict.reason,
+                                   result.verdict.detail)
+            with urllib.request.urlopen(pool.url + "/metrics",
+                                        timeout=5.0) as reply:
+                scraped = json.loads(reply.read())
+            assert "cache_capacity" in scraped
+        assert len(pool.worker_snapshots) == 2
+        assert pool.aggregate.requests >= len(workload)
+        # Capacity sums across workers — the aggregate is a fleet view.
+        assert pool.aggregate.cache_capacity == 2 * 1024
+
+    def test_update_pushes_refused_without_key(self, dij_artifact, workload):
+        from repro.errors import ProtocolError
+        from repro.workload.updates import GraphUpdate
+
+        path, signer = dij_artifact
+        with WorkerPool(path, workers=1, start_timeout=120.0) as pool:
+            client = RemoteClient(HttpTransport(pool.url), signer.verify)
+            u, v = workload[0]
+            with pytest.raises(ProtocolError) as excinfo:
+                client.push_updates(
+                    [GraphUpdate("update-weight", u, v, 1.0)])
+            assert "updates" in str(excinfo.value).lower()
+
+    def test_rejects_non_artifact(self, tmp_path):
+        bogus = tmp_path / "not.rspv"
+        bogus.write_bytes(b"nope")
+        with pytest.raises(ServiceError):
+            WorkerPool(str(bogus), workers=1)
+
+    def test_rejects_zero_workers(self, dij_artifact):
+        with pytest.raises(ServiceError):
+            WorkerPool(dij_artifact[0], workers=0)
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_and_percentiles_weight(self):
+        a = MetricsSnapshot(requests=3, elapsed_seconds=2.0, cache_hits=1,
+                            cache_misses=2, proof_bytes=300, p50_ms=1.0,
+                            p95_ms=2.0, cache_evictions=1, cache_entries=2,
+                            cache_capacity=10)
+        b = MetricsSnapshot(requests=1, elapsed_seconds=5.0, cache_hits=0,
+                            cache_misses=1, proof_bytes=100, p50_ms=5.0,
+                            p95_ms=6.0, cache_invalidations=2,
+                            cache_entries=1, cache_capacity=10)
+        merged = merge_snapshots([a, b])
+        assert merged.requests == 4
+        assert merged.elapsed_seconds == 5.0
+        assert merged.proof_bytes == 400
+        assert merged.cache_evictions == 1
+        assert merged.cache_invalidations == 2
+        assert merged.cache_entries == 3
+        assert merged.cache_capacity == 20
+        assert merged.p50_ms == pytest.approx((3 * 1.0 + 1 * 5.0) / 4)
+
+    def test_empty_merge(self):
+        assert merge_snapshots([]).requests == 0

@@ -1,0 +1,55 @@
+"""Store-test fixtures: built methods and their packed artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dij import DijMethod
+from repro.core.full import FullMethod
+from repro.core.hyp import HypMethod
+from repro.core.ldm import LdmMethod
+from repro.crypto.signer import NullSigner
+from repro.store import save_method
+from repro.workload.queries import generate_workload
+
+QUERY_RANGE = 1500.0
+
+BUILDERS = {
+    "DIJ": lambda graph, signer: DijMethod.build(graph, signer),
+    "FULL": lambda graph, signer: FullMethod.build(graph, signer),
+    "LDM": lambda graph, signer: LdmMethod.build(graph, signer, c=16),
+    "HYP": lambda graph, signer: HypMethod.build(graph, signer, num_cells=16),
+}
+
+
+@pytest.fixture(scope="package")
+def signer():
+    return NullSigner()
+
+
+@pytest.fixture(scope="package")
+def workload(road300):
+    return list(generate_workload(road300, QUERY_RANGE, count=6, seed=77))
+
+
+@pytest.fixture(scope="package")
+def built_methods(road300, signer):
+    """One built method per name, each on its own graph copy.
+
+    Copies keep the roundtrip tests free to mutate (live updates)
+    without invalidating the session-scoped graph other tests share.
+    """
+    return {name: build(road300.copy(), signer)
+            for name, build in BUILDERS.items()}
+
+
+@pytest.fixture(scope="package")
+def artifact_paths(built_methods, tmp_path_factory):
+    """Packed artifact files, one per method."""
+    root = tmp_path_factory.mktemp("artifacts")
+    paths = {}
+    for name, method in built_methods.items():
+        path = root / f"{name.lower()}.rspv"
+        save_method(method, str(path))
+        paths[name] = str(path)
+    return paths

@@ -345,6 +345,105 @@ class TestFetch:
         assert (tmp_path / "r.bin").exists()
 
 
+class TestPackAndArtifactServe:
+    @pytest.fixture()
+    def packed(self, graph_file, tmp_path):
+        artifact = tmp_path / "net.ldm.rspv"
+        key = tmp_path / "owner.pub"
+        code = main(["pack", str(graph_file), "--method", "LDM",
+                     "--landmarks", "8", "--insecure",
+                     "--out", str(artifact), "--save-key", str(key)])
+        assert code == 0
+        return artifact, key
+
+    @pytest.fixture()
+    def workload_file(self, graph_file, tmp_path):
+        path = tmp_path / "q.txt"
+        assert main(["workload", str(graph_file), "--range", "1000",
+                     "--count", "4", "--out", str(path)]) == 0
+        return path
+
+    def test_pack_reports_digest(self, graph_file, tmp_path, capsys):
+        code = main(["pack", str(graph_file), "--method", "DIJ", "--insecure",
+                     "--out", str(tmp_path / "d.rspv")])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "content digest" in out
+        assert "sections" in out
+
+    def test_pack_is_deterministic(self, graph_file, tmp_path, capsys):
+        from repro.store.pack import file_digest
+
+        a = tmp_path / "a.rspv"
+        b = tmp_path / "b.rspv"
+        for path in (a, b):
+            assert main(["pack", str(graph_file), "--method", "DIJ",
+                         "--insecure", "--out", str(path)]) == 0
+        assert file_digest(str(a)) == file_digest(str(b))
+
+    def test_info_recognizes_artifact(self, packed, capsys):
+        artifact, _ = packed
+        capsys.readouterr()
+        assert main(["info", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert ".rspv artifact" in out
+        assert "descriptor version" in out
+        assert "content digest" in out
+        assert "root[network]" in out
+        assert "ldm/vectors" in out  # the section table, with sizes
+
+    def test_info_rejects_tampered_artifact(self, packed, tmp_path, capsys):
+        artifact, _ = packed
+        data = bytearray(artifact.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        bad = tmp_path / "bad.rspv"
+        bad.write_bytes(bytes(data))
+        assert main(["info", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_from_artifact_verifies_with_key(self, packed,
+                                                   workload_file, capsys):
+        artifact, key = packed
+        code = main(["serve", "--artifact", str(artifact),
+                     "--workload", str(workload_file), "--key", str(key)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "artifact" in out
+        assert out.count(" ok") >= 4
+
+    def test_serve_from_artifact_without_key_is_unchecked(self, packed,
+                                                          workload_file,
+                                                          capsys):
+        artifact, _ = packed
+        code = main(["serve", "--artifact", str(artifact),
+                     "--workload", str(workload_file)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "unchecked" in out
+
+    def test_serve_needs_graph_or_artifact(self, capsys):
+        assert main(["serve", "--method", "DIJ"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_graph_plus_artifact(self, graph_file, packed,
+                                               capsys):
+        artifact, _ = packed
+        assert main(["serve", str(graph_file), "--artifact",
+                     str(artifact)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_http_workers_require_artifact(self, graph_file, capsys):
+        code = main(["serve", str(graph_file), "--insecure",
+                     "--http", "0", "--workers", "2"])
+        assert code == 2
+        assert "artifact" in capsys.readouterr().err
+
+    def test_loadtest_artifact_requires_http(self, packed, capsys):
+        artifact, _ = packed
+        assert main(["loadtest", "--artifact", str(artifact)]) == 2
+        assert "--http" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file_is_clean_error(self, capsys):
         assert main(["info", "/nonexistent/net.txt"]) == 2

@@ -31,6 +31,7 @@ ALL_EXAMPLES = [
     "proof_server",
     "live_updates",
     "remote_client",
+    "cold_start",
 ]
 
 

@@ -54,6 +54,11 @@ class TestTopLevel:
         "repro.service.metrics",
         "repro.service.server",
         "repro.service.http",
+        "repro.service.workers",
+        "repro.store",
+        "repro.store.pack",
+        "repro.store.artifact",
+        "repro.core.state",
     ])
     def test_submodules_import(self, module):
         assert importlib.import_module(module) is not None
