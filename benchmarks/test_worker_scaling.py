@@ -7,16 +7,21 @@ replays the default workload concurrently against a 1-worker and a
 2-worker pool on the same machine, reporting client-observed wire QPS
 and how the kernel spread requests across the workers.
 
-The scaling *gate* (2 workers beat 1 worker's warm QPS) only runs on
-multi-core machines: on a single core two processes time-slice one
-CPU, so there is nothing to scale into — the run still reports both
-configurations and asserts correctness (all frames well-formed, the
-sampled response verifies, every worker reports its final metrics).
+The scaling *gate* (2 workers beat 1 worker's warm QPS) needs real
+parallel hardware: on a single core two processes time-slice one CPU,
+so there is nothing to scale into.  On such machines the wire test
+records both configurations, asserts correctness (all frames
+well-formed, the sampled response verifies, every worker reports its
+final metrics) and then **skips** — a skip is visible in CI where a
+silent pass at 0.80x "scaling" was not.  ``test_process_scaling``
+additionally pins the ≥1.15x floor at the process level (raw proof
+computation, no HTTP in the way) whenever two cores exist.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -87,8 +92,96 @@ def test_worker_scaling(ctx, results, dij_artifact):
         ["workers", "pass", "requests", "wire QPS", "wire KB"],
         rows,
     )
-    if (os.cpu_count() or 1) >= 2:
-        assert scaling >= MIN_SCALING, (
-            f"2 workers scaled wire QPS only {scaling:.2f}x over 1 worker "
-            f"(required {MIN_SCALING:g}x on a {os.cpu_count()}-core machine)"
+    if (os.cpu_count() or 1) < 2:
+        # The run above still recorded and asserted correctness; only
+        # the *scaling* claim is meaningless here.  Skip loudly instead
+        # of passing silently at whatever time-slicing produced.
+        pytest.skip(
+            f"scaling gate needs >= 2 cores (this runner has "
+            f"{os.cpu_count()}; measured {scaling:.2f}x is time-slicing, "
+            f"not scaling)"
         )
+    assert scaling >= MIN_SCALING, (
+        f"2 workers scaled wire QPS only {scaling:.2f}x over 1 worker "
+        f"(required {MIN_SCALING:g}x on a {os.cpu_count()}-core machine)"
+    )
+
+
+def _scaling_worker(artifact_path, queries, rounds, ready, go, done):
+    """Child of ``test_process_scaling``: pure proof computation."""
+    from repro.service.server import ProofServer
+    from repro.store import load_method
+
+    # cache_size=1 with a multi-query workload: every answer is a real
+    # proof computation, not an LRU hit — the CPU-bound work scaling is
+    # supposed to parallelize.
+    server = ProofServer(load_method(artifact_path), cache_size=1)
+    ready.put(None)
+    go.wait()
+    ok = True
+    for _ in range(rounds):
+        for vs, vt in queries:
+            ok = ok and server.answer(vs, vt).ok
+    done.put(ok)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="process-level scaling needs >= 2 cores")
+def test_process_scaling(ctx, results, dij_artifact):
+    """Two proof processes must beat one by >= 1.15x on >= 2 cores.
+
+    Strips HTTP, sockets and SO_REUSEPORT out of the picture: the same
+    total proof workload runs in one process (2N rounds) and split
+    across two (N rounds each), timed from a shared start signal after
+    both children finish loading the artifact.  What remains is the
+    claim the worker pool exists for — proof computation scales across
+    processes.
+    """
+    import multiprocessing as mp
+
+    queries = list(ctx.workload())
+    rounds = 3  # per process in the dual config; single runs 2x rounds
+
+    def run(processes: int, rounds_each: int) -> float:
+        spawn = mp.get_context("spawn")
+        ready, done = spawn.Queue(), spawn.Queue()
+        go = spawn.Event()
+        children = [
+            spawn.Process(target=_scaling_worker,
+                          args=(dij_artifact, queries, rounds_each,
+                                ready, go, done),
+                          daemon=True)
+            for _ in range(processes)
+        ]
+        for child in children:
+            child.start()
+        for _ in children:
+            ready.get(timeout=300)
+        start = time.perf_counter()
+        go.set()
+        outcomes = [done.get(timeout=600) for _ in children]
+        elapsed = time.perf_counter() - start
+        for child in children:
+            child.join(timeout=30)
+        assert all(outcomes), "a scaling child saw a failed answer"
+        return elapsed
+
+    single = run(1, 2 * rounds)
+    dual = run(2, rounds)
+    scaling = single / dual if dual else 0.0
+    results.add(
+        "process_scaling", dataset=DEFAULT_DATASET, scale=DEFAULT_SCALE,
+        single_seconds=single, dual_seconds=dual, scaling=scaling,
+        min_scaling=MIN_SCALING, cpu_count=os.cpu_count(),
+    )
+    emit(
+        f"Process-level proof scaling ({os.cpu_count()} CPUs)",
+        ["config", "seconds"],
+        [["1 process x %d rounds" % (2 * rounds), single],
+         ["2 processes x %d rounds" % rounds, dual],
+         ["scaling", scaling]],
+    )
+    assert scaling >= MIN_SCALING, (
+        f"two proof processes ran only {scaling:.2f}x faster than one "
+        f"(required {MIN_SCALING:g}x on a {os.cpu_count()}-core machine)"
+    )

@@ -171,6 +171,7 @@ class Dispatcher:
             cache_invalidations=snapshot.cache_invalidations,
             cache_entries=snapshot.cache_entries,
             cache_capacity=snapshot.cache_capacity,
+            p99_ms=snapshot.p99_ms,
         )
 
     def metrics_json(self) -> dict:
@@ -178,9 +179,15 @@ class Dispatcher:
 
         This is what ``GET /metrics`` on the HTTP frontend serves; the
         keys match :meth:`MetricsSnapshot.as_dict`, so dashboards read
-        the same record whether they scrape HTTP or the wire frame.
+        the same record whether they scrape HTTP or the wire frame —
+        plus a ``"phases"`` list (closed soak-phase windows, oldest
+        first) that only the JSON surface carries.
         """
-        return self.server.snapshot().as_dict()
+        record = self.server.snapshot().as_dict()
+        record["phases"] = [
+            phase.as_dict() for phase in self.server.metrics.phases
+        ]
+        return record
 
     _HANDLERS = {
         HelloRequest: _handle_hello,

@@ -484,11 +484,12 @@ class MetricsRequest(Message):
 class MetricsReply(Message):
     """A frozen metrics window (mirrors ``MetricsSnapshot``).
 
-    The four ``cache_*`` counters are an additive extension: they ride
-    at the end of the payload, and the decoder accepts the pre-counter
-    layout (defaulting them to zero) so frames from older builds still
-    parse.  Additions must stay append-only — anything else is a
-    breaking layout change and bumps the protocol version.
+    The four ``cache_*`` counters and the trailing ``p99_ms`` are
+    additive extensions: they ride at the end of the payload, and the
+    decoder accepts every older prefix layout (defaulting the missing
+    tail to zero) so frames from older builds still parse.  Additions
+    must stay append-only — anything else is a breaking layout change
+    and bumps the protocol version.
     """
 
     requests: int
@@ -504,6 +505,7 @@ class MetricsReply(Message):
     cache_invalidations: int = 0
     cache_entries: int = 0
     cache_capacity: int = 0
+    p99_ms: float = 0.0
     MSG_TYPE: ClassVar[int] = MSG_METRICS_OK
 
     def encode(self) -> bytes:
@@ -517,6 +519,7 @@ class MetricsReply(Message):
         enc.write_uint(self.cache_invalidations)
         enc.write_uint(self.cache_entries)
         enc.write_uint(self.cache_capacity)
+        enc.write_f64(self.p99_ms)
         return enc.getvalue()
 
     @classmethod
@@ -537,6 +540,8 @@ class MetricsReply(Message):
             fields.extend(
                 _strict(cls.__name__, dec.read_uint) for _ in range(4)
             )
+        if dec.remaining:
+            fields.append(_strict(cls.__name__, dec.read_f64))
         cls._finish(dec)
         return cls(*fields)
 

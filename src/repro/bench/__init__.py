@@ -10,6 +10,14 @@ from repro.bench.profile import (
 )
 from repro.bench.reporting import ResultsLog, format_table
 from repro.bench.serving import LoadtestPass, LoadtestReport, run_loadtest
+from repro.bench.slo import (
+    PhaseReport,
+    SloPolicy,
+    SloReport,
+    check_slo,
+    load_slo_policy,
+    run_slo_soak,
+)
 
 __all__ = [
     "MethodRun",
@@ -25,4 +33,10 @@ __all__ = [
     "LoadtestPass",
     "LoadtestReport",
     "run_loadtest",
+    "PhaseReport",
+    "SloPolicy",
+    "SloReport",
+    "check_slo",
+    "load_slo_policy",
+    "run_slo_soak",
 ]

@@ -16,6 +16,7 @@ Subcommands::
     repro-spv loadtest  net.txt --method DIJ --range 2000 --passes 3
     repro-spv loadtest  net.txt --method DIJ --http
     repro-spv loadtest  --artifact de.ldm.rspv --http --workers 2 --key owner.pub
+    repro-spv loadtest  --scenario steady-burst --http --workers 2 --insecure
     repro-spv bench     net.txt --method DIJ --out BENCH_DIJ.json
 
 ``demo`` runs the full three-party protocol (build, answer, verify) and
@@ -472,7 +473,123 @@ def _cmd_loadtest_workers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
+    """``loadtest --scenario``: a phased SLO soak with scenario traffic.
+
+    Without a graph or ``--artifact`` the soak self-provisions the
+    standard synthetic road network, so
+    ``repro-spv loadtest --scenario steady-burst --http --workers 2``
+    is a complete command.  In that inline mode ``--workers`` sets the
+    *client* pool size (one HTTP server answers); with ``--artifact``
+    it sizes the ``SO_REUSEPORT`` worker pool and ``--clients`` sizes
+    the client pool.  Exit codes: 1 on any verification failure or
+    untyped garbage exception, 3 on an ``--slo`` policy violation.
+    """
+    import json
+    import os
+    import tempfile
+
+    from repro.bench.slo import (
+        SloReport,
+        check_slo,
+        load_slo_policy,
+        run_slo_soak,
+    )
+    from repro.workload.traffic import get_scenario
+
+    if not args.http:
+        raise ServiceError("loadtest --scenario drives the wire path; add --http")
+    scenario = get_scenario(args.scenario)
+    if args.events_scale != 1.0:
+        scenario = scenario.scaled(args.events_scale)
+
+    if args.artifact:
+        from repro.store import load_method
+
+        if not args.key:
+            raise ServiceError(
+                "an artifact-backed soak needs --key (the owner's public "
+                "key file) for the client processes to verify against"
+            )
+        method = load_method(args.artifact)  # trace substrate only
+        key_path = args.key
+        clients = args.clients or 2
+        report = run_slo_soak(
+            method, scenario, key_path=key_path,
+            clients=clients, client_mode=args.client_mode, seed=args.seed,
+            time_scale=args.time_scale, cache_size=args.cache_size,
+            artifact_path=args.artifact, workers=args.workers,
+        )
+        source = f"artifact {args.artifact}, {args.workers} workers"
+    else:
+        if args.graph:
+            owner, method, _ = _published_method(args)
+            source = args.graph
+        else:
+            # Self-provisioned substrate: the standard synthetic network.
+            graph = normalize_weights(road_network(300, seed=42), 4500.0)
+            signer = NullSigner() if args.insecure else RsaSigner(bits=1024)
+            owner = DataOwner(graph, signer=signer)
+            method = owner.publish(args.method)
+            source = "synthetic road network (300 nodes)"
+        if args.save_key:
+            key_path = args.save_key
+        else:
+            handle, key_path = tempfile.mkstemp(suffix=".pub",
+                                                prefix="repro-slo-")
+            os.close(handle)
+        save_public_key(owner.signer, key_path)
+        clients = args.clients or max(1, args.workers)
+        report = run_slo_soak(
+            method, scenario, key_path=key_path,
+            update_signer=owner.signer, clients=clients,
+            client_mode=args.client_mode, seed=args.seed,
+            time_scale=args.time_scale, cache_size=args.cache_size,
+        )
+        if not args.save_key:
+            os.unlink(key_path)
+
+    print(format_table(
+        list(SloReport.TABLE_HEADERS), report.table_rows(),
+        title=(f"{report.method} SLO soak '{scenario.name}' on {source}: "
+               f"{clients} {args.client_mode} clients, seed {args.seed}, "
+               f"trace {report.trace_digest}"),
+    ))
+    print(f"\nsaturation {report.saturation_qps:.1f} QPS, "
+          f"{report.total_queries} queries verified end-to-end, "
+          f"{report.updates_pushed} update pushes "
+          f"(final version {report.final_version}), "
+          f"{report.verification_failures} verification failures, "
+          f"{report.untyped_garbage} untyped garbage exceptions")
+    if report.worker_requests:
+        print(f"requests per worker: {list(report.worker_requests)}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as out:
+            json.dump(report.as_dict(), out, indent=2, sort_keys=True)
+        print(f"wrote soak report to {args.out}")
+    if not report.all_verified or report.untyped_garbage:
+        for phase in report.phases:
+            for failure in phase.failures:
+                print(f"  {phase.name}: {failure}", file=sys.stderr)
+        for failure in report.freshness_failures:
+            print(f"  freshness: {failure}", file=sys.stderr)
+        print("error: the soak is unsound (see failures above)",
+              file=sys.stderr)
+        return 1
+    if args.slo:
+        violations = check_slo(report, load_slo_policy(args.slo))
+        if violations:
+            print(f"\nSLO violations vs {args.slo}:", file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 3
+        print(f"\nwithin SLO policy {args.slo}")
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
+    if args.scenario:
+        return _cmd_loadtest_scenario(args)
     if args.artifact:
         if not args.http:
             raise ServiceError(
@@ -841,6 +958,28 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--updates", type=int, default=0,
                     help="owner re-weights interleaved through every pass "
                          "(exercises incremental re-auth + cache invalidation)")
+    lt.add_argument("--scenario",
+                    help="run a phased SLO soak with this registered traffic "
+                         "scenario (e.g. steady-burst) instead of a plain "
+                         "replay; requires --http, self-provisions a "
+                         "synthetic network when no graph is given")
+    lt.add_argument("--clients", type=int, default=0,
+                    help="scenario client pool size (default: --workers "
+                         "inline, 2 against an artifact pool)")
+    lt.add_argument("--client-mode", choices=["process", "thread"],
+                    default="process",
+                    help="scenario clients as real processes (default) or "
+                         "in-process threads (faster startup)")
+    lt.add_argument("--time-scale", type=float, default=1.0,
+                    help="stretch (>1) or compress (<1) scenario arrival "
+                         "timestamps")
+    lt.add_argument("--events-scale", type=float, default=1.0,
+                    help="scale every scenario phase's event count")
+    lt.add_argument("--slo",
+                    help="SLO policy JSON to gate the soak against "
+                         "(exit code 3 on violation)")
+    lt.add_argument("--out",
+                    help="write the scenario soak report as a JSON file")
     lt.set_defaults(fn=_cmd_loadtest)
 
     bench = sub.add_parser(

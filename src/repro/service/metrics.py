@@ -54,6 +54,9 @@ class MetricsSnapshot:
     cache_invalidations: int = 0
     cache_entries: int = 0
     cache_capacity: int = 0
+    p99_ms: float = 0.0
+    #: Label of the phase window this snapshot froze ("" = unlabeled).
+    phase: str = ""
 
     @property
     def qps(self) -> float:
@@ -90,6 +93,8 @@ class MetricsSnapshot:
             "cache_invalidations": self.cache_invalidations,
             "cache_entries": self.cache_entries,
             "cache_capacity": self.cache_capacity,
+            "p99_ms": self.p99_ms,
+            "phase": self.phase,
         }
 
     @property
@@ -101,14 +106,30 @@ class MetricsSnapshot:
 
 
 class ServerMetrics:
-    """Thread-safe accumulator of per-request serving measurements."""
+    """Thread-safe accumulator of per-request serving measurements.
+
+    Besides the running window, the accumulator supports *phase
+    windowing* for soak runs: :meth:`begin_phase` freezes the current
+    window into the phase history and starts a fresh labeled one, so a
+    warmup → steady → burst soak gets per-phase percentiles from one
+    server without losing any earlier phase's numbers.  The history is
+    read via :attr:`phases` and survives ``reset()`` unless the reset
+    asks for ``phases=True``.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self._phase = ""
+        self._phases: list[MetricsSnapshot] = []
         self.reset()
 
-    def reset(self) -> None:
-        """Start a new measurement window."""
+    def reset(self, *, phases: bool = False) -> None:
+        """Start a new measurement window.
+
+        The current window's label is kept (a reset inside a phase
+        restarts that phase's window); pass ``phases=True`` to also drop
+        the recorded phase history and the label.
+        """
         with self._lock:
             self._started = time.perf_counter()
             self._latencies: list[float] = []
@@ -117,6 +138,43 @@ class ServerMetrics:
             self._bytes = 0
             self._updates = 0
             self._update_seconds = 0.0
+            if phases:
+                self._phase = ""
+                self._phases = []
+
+    # -- phase windowing ------------------------------------------------
+    def begin_phase(self, name: str) -> None:
+        """Close the current window into the history; open *name*.
+
+        The closing window is recorded only if it saw any traffic (the
+        idle gap between server start and the first phase is noise, not
+        a phase).
+        """
+        self._cut_window(new_label=name)
+
+    def end_phase(self) -> None:
+        """Close the current phase back to an unlabeled window."""
+        self._cut_window(new_label="")
+
+    def _cut_window(self, *, new_label: str) -> None:
+        with self._lock:
+            closing = self._freeze_locked()
+            if closing.requests or closing.updates:
+                self._phases.append(closing)
+            self._phase = new_label
+            self._started = time.perf_counter()
+            self._latencies = []
+            self._hits = 0
+            self._misses = 0
+            self._bytes = 0
+            self._updates = 0
+            self._update_seconds = 0.0
+
+    @property
+    def phases(self) -> "tuple[MetricsSnapshot, ...]":
+        """Closed phase windows, oldest first."""
+        with self._lock:
+            return tuple(self._phases)
 
     def record(self, latency_seconds: float, proof_bytes: int,
                *, cached: bool) -> None:
@@ -135,6 +193,26 @@ class ServerMetrics:
             self._updates += 1
             self._update_seconds += seconds
 
+    def _freeze_locked(self) -> MetricsSnapshot:
+        latencies = list(self._latencies)
+        return MetricsSnapshot(
+            requests=len(latencies),
+            elapsed_seconds=time.perf_counter() - self._started,
+            cache_hits=self._hits,
+            cache_misses=self._misses,
+            proof_bytes=self._bytes,
+            p50_ms=percentile(latencies, 0.50) * 1000.0,
+            p95_ms=percentile(latencies, 0.95) * 1000.0,
+            updates=self._updates,
+            update_seconds=self._update_seconds,
+            p99_ms=percentile(latencies, 0.99) * 1000.0,
+            phase=self._phase,
+        )
+
+    def _freeze(self) -> MetricsSnapshot:
+        with self._lock:
+            return self._freeze_locked()
+
     def snapshot(self, *, cache=None) -> MetricsSnapshot:
         """Freeze the current window (the window keeps accumulating).
 
@@ -143,19 +221,7 @@ class ServerMetrics:
         occupancy into the snapshot (what
         :meth:`~repro.service.server.ProofServer.snapshot` does).
         """
-        with self._lock:
-            latencies = list(self._latencies)
-            snapshot = MetricsSnapshot(
-                requests=len(latencies),
-                elapsed_seconds=time.perf_counter() - self._started,
-                cache_hits=self._hits,
-                cache_misses=self._misses,
-                proof_bytes=self._bytes,
-                p50_ms=percentile(latencies, 0.50) * 1000.0,
-                p95_ms=percentile(latencies, 0.95) * 1000.0,
-                updates=self._updates,
-                update_seconds=self._update_seconds,
-            )
+        snapshot = self._freeze()
         if cache is not None:
             from dataclasses import replace
 
@@ -169,7 +235,9 @@ class ServerMetrics:
         return snapshot
 
 
-def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
+def merge_snapshots(
+    snapshots: "list[MetricsSnapshot | None]",
+) -> MetricsSnapshot:
     """Aggregate per-worker windows into one fleet view.
 
     Counters and byte totals sum; ``elapsed_seconds`` is the longest
@@ -177,7 +245,14 @@ def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
     percentiles are request-weighted means of the per-worker
     percentiles — an approximation (true fleet percentiles need the
     raw samples), good enough for the operator table it feeds.
+
+    ``None`` entries are skipped: a worker that crashed mid-soak never
+    reported a final window, and the survivors' aggregate is still the
+    honest fleet view (the pool reports the crash separately).  The
+    merged ``phase`` label is kept only when every surviving window
+    agrees on it — mixed-phase merges are unlabeled.
     """
+    snapshots = [s for s in snapshots if s is not None]
     if not snapshots:
         return MetricsSnapshot(0, 0.0, 0, 0, 0, 0.0, 0.0)
     requests = sum(s.requests for s in snapshots)
@@ -188,6 +263,7 @@ def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
         return sum(getattr(s, attribute) * s.requests
                    for s in snapshots) / requests
 
+    labels = {s.phase for s in snapshots}
     return MetricsSnapshot(
         requests=requests,
         elapsed_seconds=max(s.elapsed_seconds for s in snapshots),
@@ -202,4 +278,6 @@ def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
         cache_invalidations=sum(s.cache_invalidations for s in snapshots),
         cache_entries=sum(s.cache_entries for s in snapshots),
         cache_capacity=sum(s.cache_capacity for s in snapshots),
+        p99_ms=weighted("p99_ms"),
+        phase=labels.pop() if len(labels) == 1 else "",
     )

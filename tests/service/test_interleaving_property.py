@@ -1,0 +1,120 @@
+"""Property test: serving under updates is byte-equal to rebuilding.
+
+The live-update pipeline's whole promise is that an incrementally
+re-authenticated server is *indistinguishable* from one rebuilt from
+scratch: for any interleaving of owner mutations and client queries,
+the bytes a :class:`~repro.service.server.ProofServer` ships at graph
+version ``v`` must be identical to what a freshly built method on an
+identical graph at version ``v`` would ship.  Equality of bytes — not
+just of verdicts — pins the Merkle roots, the signed descriptor, the
+proof ordering and the codec in one assertion.
+
+Hypothesis drives the interleavings (``derandomize=True`` keeps CI
+deterministic); a fixed LDM case covers the second batchable method
+without paying the rebuild cost per example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import Client, DataOwner
+from repro.core.method import get_method
+from repro.crypto.signer import NullSigner
+from repro.graph.synthetic import road_network
+from repro.service.server import ProofServer
+from repro.workload.datasets import normalize_weights
+from repro.workload.updates import generate_update_workload
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+#: Small network: each hypothesis example rebuilds a method per distinct
+#: graph version it visits, so the substrate must be cheap to build.
+_GRAPH = normalize_weights(road_network(60, seed=7), 2_000.0)
+#: Seeded owner write stream, all three mutation kinds, consumed as a
+#: prefix: an interleaving that applies k updates has replayed exactly
+#: ``_UPDATES[:k]``, so the fresh rebuild replays the same prefix.
+_UPDATES = list(generate_update_workload(_GRAPH, 10, seed=3))
+_IDS = sorted(_GRAPH.node_ids())
+_PAIRS = [(_IDS[i], _IDS[-1 - i]) for i in range(8)]
+
+_SIGNER = NullSigner()
+
+
+def _fresh_bytes(method_name: str, build_params: dict, prefix: int,
+                 pairs: "set[tuple[int, int]]") -> "dict[tuple[int, int], bytes]":
+    """Encoded responses from a from-scratch build after ``prefix`` updates.
+
+    ``build_params`` are the live method's *pinned* rebuild parameters
+    (landmark placement, quantization grid, follower plan) as recorded
+    at that version — the graph-global choices an incremental update
+    preserves, which a byte-level comparison rebuild must replay too.
+    """
+    graph = _GRAPH.copy()
+    for update in _UPDATES[:prefix]:
+        update.apply(graph)
+    method = get_method(method_name).build(graph, NullSigner(), **build_params)
+    return {pair: method.answer(*pair).encode() for pair in pairs}
+
+
+def _run_interleaving(method_name: str, events, **params) -> None:
+    """Serve *events*, then replay every visited version from scratch."""
+    graph = _GRAPH.copy()
+    base_version = graph.version
+    server = ProofServer(
+        DataOwner(graph, signer=_SIGNER).publish(method_name, **params))
+    client = Client(_SIGNER.verify)
+
+    pins: "dict[int, dict]" = {
+        graph.version: dict(server.method.dump_state().build_params)}
+    observed: "dict[int, dict[tuple[int, int], bytes]]" = {}
+    applied = 0
+    for event in events:
+        if event == "update":
+            if applied >= len(_UPDATES):
+                continue
+            server.apply_updates([_UPDATES[applied]], _SIGNER)
+            applied += 1
+            client.require_version(server.descriptor_version)
+            pins[server.method.graph.version] = dict(
+                server.method.dump_state().build_params)
+        else:
+            pair = _PAIRS[event]
+            served = server.answer(*pair)
+            assert served.ok, served.error
+            data = served.response.encode()
+            verdict = client.verify_bytes(pair[0], pair[1], data)
+            assert verdict.ok, (verdict.reason, verdict.detail)
+            version = server.method.graph.version
+            previous = observed.setdefault(version, {}).setdefault(pair, data)
+            # A cache hit at the same version must replay identical bytes.
+            assert previous == data
+
+    for version, responses in observed.items():
+        fresh = _fresh_bytes(method_name, pins[version],
+                             version - base_version, set(responses))
+        for pair, data in responses.items():
+            assert fresh[pair] == data, (
+                f"{method_name} response for {pair} at version {version} "
+                f"diverged from a fresh rebuild"
+            )
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(st.lists(
+    st.one_of(st.integers(min_value=0, max_value=len(_PAIRS) - 1),
+              st.just("update")),
+    min_size=1, max_size=14,
+))
+def test_dij_interleavings_match_fresh_rebuild(events):
+    _run_interleaving("DIJ", events)
+
+
+def test_ldm_interleaving_matches_fresh_rebuild():
+    """One deterministic interleaving through the second batchable method."""
+    _run_interleaving(
+        "LDM",
+        [0, 1, "update", 0, 2, "update", "update", 3, 0, "update", 1],
+        c=8,
+    )

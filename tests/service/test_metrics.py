@@ -101,3 +101,150 @@ class TestCacheCounters:
         assert snap.cache_evictions == 1
         assert snap.cache_entries == 1
         assert snap.cache_capacity == 1
+
+
+class TestMergeSnapshots:
+    """Fleet aggregation across worker windows, crashes included."""
+
+    def _window(self, requests, *, p50=1.0, p95=2.0, p99=3.0, hits=0,
+                phase="", entries=0, capacity=8, elapsed=1.0):
+        from repro.service.metrics import MetricsSnapshot
+
+        return MetricsSnapshot(
+            requests=requests, elapsed_seconds=elapsed, cache_hits=hits,
+            cache_misses=requests - hits, proof_bytes=100 * requests,
+            p50_ms=p50, p95_ms=p95, p99_ms=p99, phase=phase,
+            cache_entries=entries, cache_capacity=capacity,
+        )
+
+    def test_empty_pool_merges_to_zero(self):
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots([])
+        assert merged.requests == 0
+        assert merged.qps == 0.0
+        assert merged.p99_ms == 0.0
+        assert merged.phase == ""
+
+    def test_crashed_workers_are_skipped(self):
+        """A worker that died mid-soak reports ``None``; survivors still
+        produce the honest fleet view, and an all-dead pool is empty."""
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots([self._window(10, hits=4), None,
+                                  self._window(30, hits=6), None])
+        assert merged.requests == 40
+        assert merged.cache_hits == 10
+        assert merged.cache_misses == 30
+        assert merged.proof_bytes == 4000
+        assert merge_snapshots([None, None]).requests == 0
+
+    def test_percentiles_are_request_weighted(self):
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots([
+            self._window(10, p99=10.0), self._window(30, p99=2.0)])
+        assert merged.p99_ms == pytest.approx((10 * 10.0 + 30 * 2.0) / 40)
+        assert merged.p50_ms == pytest.approx(1.0)
+
+    def test_zero_request_merge_has_zero_percentiles(self):
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots([self._window(0), self._window(0)])
+        assert merged.requests == 0
+        assert merged.p50_ms == 0.0 and merged.p99_ms == 0.0
+
+    def test_cache_stats_sum_across_workers(self):
+        """Each worker owns a private LRU, so entries and capacity sum."""
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots([
+            self._window(5, entries=3, capacity=8),
+            self._window(5, entries=8, capacity=8)])
+        assert merged.cache_entries == 11
+        assert merged.cache_capacity == 16
+
+    def test_elapsed_is_concurrent_not_serial(self):
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots([
+            self._window(5, elapsed=2.0), self._window(5, elapsed=3.5)])
+        assert merged.elapsed_seconds == 3.5
+
+    def test_phase_label_requires_consensus(self):
+        from repro.service.metrics import merge_snapshots
+
+        agree = merge_snapshots([self._window(1, phase="burst"),
+                                 self._window(1, phase="burst")])
+        assert agree.phase == "burst"
+        mixed = merge_snapshots([self._window(1, phase="burst"),
+                                 self._window(1, phase="steady")])
+        assert mixed.phase == ""
+
+
+class TestPhaseWindows:
+    """``begin_phase`` / ``end_phase`` windowing on a live metrics object."""
+
+    def test_begin_phase_labels_and_closes_windows(self):
+        metrics = ServerMetrics()
+        metrics.record(0.010, 100, cached=False)
+        metrics.begin_phase("warmup")
+        metrics.record(0.020, 200, cached=True)
+        metrics.record(0.040, 200, cached=True)
+        metrics.begin_phase("steady")
+        metrics.record(0.030, 300, cached=False)
+        metrics.end_phase()
+        closed = metrics.phases
+        assert [w.phase for w in closed] == ["", "warmup", "steady"]
+        assert [w.requests for w in closed] == [1, 2, 1]
+        warmup = closed[1]
+        assert warmup.cache_hits == 2
+        assert warmup.proof_bytes == 400
+        assert warmup.p50_ms == pytest.approx(20.0)  # rank-based percentile
+
+    def test_idle_windows_are_dropped(self):
+        """Phase cuts with no traffic leave no empty history entries."""
+        metrics = ServerMetrics()
+        metrics.begin_phase("warmup")
+        metrics.begin_phase("steady")
+        metrics.record(0.001, 10, cached=False)
+        metrics.end_phase()
+        metrics.end_phase()
+        assert [w.phase for w in metrics.phases] == ["steady"]
+
+    def test_update_only_window_is_kept(self):
+        metrics = ServerMetrics()
+        metrics.begin_phase("storm")
+        metrics.record_update(0.2)
+        metrics.end_phase()
+        (storm,) = metrics.phases
+        assert storm.phase == "storm"
+        assert storm.updates == 1
+
+    def test_current_window_carries_the_open_label(self):
+        metrics = ServerMetrics()
+        metrics.begin_phase("burst")
+        metrics.record(0.005, 50, cached=False)
+        snap = metrics.snapshot()
+        assert snap.phase == "burst"
+        assert snap.requests == 1
+
+    def test_reset_keeps_history_unless_asked(self):
+        metrics = ServerMetrics()
+        metrics.begin_phase("warmup")
+        metrics.record(0.001, 10, cached=False)
+        metrics.end_phase()
+        metrics.reset()
+        assert [w.phase for w in metrics.phases] == ["warmup"]
+        metrics.reset(phases=True)
+        assert metrics.phases == ()
+
+    def test_p99_in_snapshot_and_dict(self):
+        metrics = ServerMetrics()
+        for ms in range(1, 101):
+            metrics.record(ms / 1000.0, 10, cached=False)
+        snap = metrics.snapshot()
+        assert snap.p99_ms == pytest.approx(99.0)
+        record = snap.as_dict()
+        assert record["p99_ms"] == pytest.approx(99.0)
+        assert "phase" in record

@@ -1,0 +1,163 @@
+"""SLO-harness tests: one real soak plus the gate logic around it.
+
+The module-scoped soak runs the full steady-burst shape (scaled down,
+thread clients, accelerated clock) through a live HTTP stack so one
+run backs every structural assertion: phased latency tables, the
+closed-loop saturation probe, cache locality, mid-soak update pushes
+with the freshness floor, and per-phase server-side windows.  The
+policy/gate tests below are pure logic on that report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.slo import (
+    PhaseReport,
+    SloPolicy,
+    SloReport,
+    check_slo,
+    load_slo_policy,
+    run_slo_soak,
+)
+from repro.core.framework import DataOwner
+from repro.crypto.signer import NullSigner
+from repro.errors import ServiceError
+from repro.workload.traffic import generate_traffic, get_scenario
+
+SEED = 17
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def signer():
+    return NullSigner()
+
+
+@pytest.fixture(scope="module")
+def soak(road300, signer):
+    graph = road300.copy()
+    method = DataOwner(graph, signer=signer).publish("DIJ")
+    return run_slo_soak(
+        method, get_scenario("steady-burst").scaled(SCALE),
+        verify_signature=signer.verify, update_signer=signer,
+        clients=2, client_mode="thread", seed=SEED, time_scale=0.05,
+    )
+
+
+class TestSoakReport:
+    def test_all_phases_reported_in_order(self, soak):
+        assert [p.name for p in soak.phases] == \
+            ["warmup", "steady", "burst", "update-storm"]
+        assert soak.scenario == "steady-burst"
+        assert soak.method == "DIJ"
+        assert soak.seed == SEED
+
+    def test_trace_digest_matches_regeneration(self, soak, road300):
+        scenario = get_scenario("steady-burst").scaled(SCALE)
+        assert soak.trace_digest == \
+            generate_traffic(road300, scenario, seed=SEED).digest()
+
+    def test_latency_percentiles_are_ordered(self, soak):
+        for phase in soak.phases:
+            assert phase.requests > 0
+            assert 0.0 < phase.p50_ms <= phase.p95_ms <= phase.p99_ms
+            assert phase.seconds > 0
+            assert phase.qps > 0
+
+    def test_saturation_comes_from_the_closed_loop_phase(self, soak):
+        (burst,) = [p for p in soak.phases if p.mode == "closed"]
+        assert burst.name == "burst"
+        assert soak.saturation_qps == pytest.approx(burst.qps)
+
+    def test_bytes_and_locality_are_measured(self, soak):
+        for phase in soak.phases:
+            assert phase.bytes_per_query > 0
+        best = max(p.hit_rate for p in soak.phases)
+        assert best > 0.2, "Zipf pool produced no cache locality"
+
+    def test_everything_verified_including_update_pushes(self, soak):
+        assert soak.all_verified, [p.failures for p in soak.phases]
+        assert soak.verification_failures == 0
+        assert soak.updates_pushed >= 1, "no mid-soak update push happened"
+        assert soak.final_version > 0
+        assert soak.freshness_failures == ()
+
+    def test_server_windows_ride_along(self, soak):
+        for phase in soak.phases:
+            assert phase.server_window is not None
+            assert phase.server_window["phase"] == phase.name
+        storm = next(p for p in soak.phases if p.name == "update-storm")
+        assert storm.server_window["updates"] == soak.updates_pushed
+
+    def test_report_is_json_serializable(self, soak):
+        record = json.loads(json.dumps(soak.as_dict()))
+        assert record["scenario"] == "steady-burst"
+        assert len(record["phases"]) == 4
+        assert record["saturation_qps"] == pytest.approx(soak.saturation_qps)
+
+
+class TestSloGate:
+    def test_sane_policy_passes(self, soak):
+        policy = SloPolicy(max_p99_ms=60_000.0, min_saturation_qps=0.1,
+                           min_hit_rate=0.05)
+        assert check_slo(soak, policy) == []
+
+    def test_each_objective_can_fail(self, soak):
+        assert any("p99" in v for v in check_slo(
+            soak, SloPolicy(max_p99_ms=0.000001)))
+        assert any("saturation" in v for v in check_slo(
+            soak, SloPolicy(min_saturation_qps=10_000_000.0)))
+        assert any("hit rate" in v for v in check_slo(
+            soak, SloPolicy(min_hit_rate=1.0)))
+
+    def test_warmup_p99_is_exempt(self):
+        warm = PhaseReport(name="warmup", mode="open", requests=1, queries=1,
+                           seconds=1.0, p50_ms=500.0, p95_ms=500.0,
+                           p99_ms=500.0, wire_bytes=10, proof_bytes=10,
+                           verified=1, cache_hits=0, failures=(),
+                           garbage_sent=0, garbage_unexpected=0,
+                           garbage_untyped=0, updates_pushed=0)
+        report = SloReport(scenario="s", method="DIJ", seed=1,
+                           trace_digest="x", clients=1, client_mode="thread",
+                           url="local", phases=(warm,), server_metrics=None,
+                           worker_requests=(), final_version=0,
+                           freshness_failures=())
+        assert check_slo(report, SloPolicy(max_p99_ms=1.0)) == []
+
+    def test_policy_file_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "max_p99_ms": 250.0, "min_saturation_qps": 40.0,
+            "min_hit_rate": 0.3, "future_knob_ignored": True,
+        }))
+        policy = load_slo_policy(str(path))
+        assert policy.max_p99_ms == 250.0
+        assert policy.min_saturation_qps == 40.0
+        assert policy.min_hit_rate == 0.3
+        assert policy.max_verification_failures == 0
+
+    def test_policy_file_must_be_an_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ServiceError):
+            load_slo_policy(str(path))
+
+
+def test_thread_soak_is_reproducible(road300, signer):
+    """Same seed ⇒ same trace digest and same query/update volumes
+    (latencies of course differ run to run)."""
+    scenario = get_scenario("steady").scaled(0.2)
+
+    def once():
+        method = DataOwner(road300.copy(), signer=signer).publish("DIJ")
+        return run_slo_soak(method, scenario, verify_signature=signer.verify,
+                            update_signer=signer, clients=2,
+                            client_mode="thread", seed=4, time_scale=0.05)
+
+    a, b = once(), once()
+    assert a.trace_digest == b.trace_digest
+    assert a.total_queries == b.total_queries
+    assert [p.requests for p in a.phases] == [p.requests for p in b.phases]

@@ -150,6 +150,61 @@ class TestHttpLoadtest:
         assert code == 0, capsys.readouterr().out
 
 
+class TestScenarioLoadtest:
+    ARGS = ["loadtest", "--scenario", "steady-burst", "--http",
+            "--insecure", "--clients", "2", "--client-mode", "thread",
+            "--events-scale", "0.1", "--time-scale", "0.05", "--seed", "7"]
+
+    def test_soak_reports_phases_and_slo_metrics(self, graph_file, tmp_path,
+                                                 capsys):
+        out_path = tmp_path / "soak.json"
+        code = main([*self.ARGS, str(graph_file), "--method", "DIJ",
+                     "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        for column in ("phase", "p50 ms", "p95 ms", "p99 ms", "B/query",
+                       "hit %", "updates", "verified"):
+            assert column in out
+        for phase in ("warmup", "steady", "burst", "update-storm"):
+            assert phase in out
+        assert "saturation" in out and "trace" in out
+        assert "0 verification failures" in out
+        import json as _json
+        record = _json.loads(out_path.read_text())
+        assert record["scenario"] == "steady-burst"
+        assert len(record["phases"]) == 4
+        assert record["verification_failures"] == 0
+
+    def test_same_seed_same_trace_digest(self, graph_file, capsys):
+        digests = []
+        for _ in range(2):
+            assert main([*self.ARGS, str(graph_file), "--method", "DIJ"]) == 0
+            out = capsys.readouterr().out
+            digests.append(out.split("trace ")[1].split()[0])
+        assert digests[0] == digests[1]
+
+    def test_slo_gate_failure_exits_3(self, graph_file, tmp_path, capsys):
+        policy = tmp_path / "slo.json"
+        policy.write_text('{"min_saturation_qps": 10000000.0}')
+        code = main([*self.ARGS, str(graph_file), "--method", "DIJ",
+                     "--slo", str(policy)])
+        capsys.readouterr()
+        assert code == 3
+
+    def test_scenario_requires_http(self, graph_file, capsys):
+        code = main(["loadtest", "--scenario", "steady-burst", "--insecure",
+                     str(graph_file), "--method", "DIJ"])
+        assert code == 2
+        assert "--http" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_a_typed_error(self, graph_file, capsys):
+        code = main(["loadtest", "--scenario", "nope", "--http", "--insecure",
+                     str(graph_file), "--method", "DIJ"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "steady-burst" in err
+
+
 class TestServeHttp:
     def test_prints_url_and_shuts_down(self, graph_file, capsys, monkeypatch):
         from repro.service.http import ProofHttpServer

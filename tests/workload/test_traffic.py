@@ -1,0 +1,204 @@
+"""Traffic-simulator unit tests: determinism, skew, mix and garbage.
+
+These tests introspect generated traces without executing them — the
+execution path is covered by the SLO-harness and adversarial-soak
+tests.  The load-bearing claims are (a) the determinism contract (same
+``(graph, scenario, seed)`` ⇒ byte-identical trace, witnessed by the
+digest), (b) Zipf locality (a small hot set dominates the draws — the
+property that makes cache hit rates meaningful), and (c) every garbage
+frame carrying a correct server-side expectation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api.envelope import QueryRequest, decode_frame
+from repro.errors import ProtocolError, WorkloadError
+from repro.workload.traffic import (
+    EVENT_BATCH,
+    EVENT_GARBAGE,
+    EVENT_QUERY,
+    EVENT_UPDATE,
+    GARBAGE_BAD_VERSION,
+    GARBAGE_EXPECTATION,
+    GARBAGE_KINDS,
+    GARBAGE_NOISE,
+    GARBAGE_REPLAY,
+    GARBAGE_TRUNCATED,
+    SCENARIOS,
+    PhaseSpec,
+    Scenario,
+    TrafficMix,
+    ZipfSampler,
+    generate_traffic,
+    get_scenario,
+)
+
+
+class TestScenarioRegistry:
+    def test_registered_names_resolve(self):
+        for name in ("steady-burst", "steady", "adversarial-soak"):
+            assert get_scenario(name).name == name
+            assert name in SCENARIOS
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(WorkloadError, match="steady-burst"):
+            get_scenario("no-such-scenario")
+
+    def test_scaled_shrinks_but_keeps_every_phase(self):
+        scenario = get_scenario("steady-burst")
+        small = scenario.scaled(0.1)
+        assert [p.name for p in small.phases] == \
+            [p.name for p in scenario.phases]
+        assert small.total_events < scenario.total_events
+        assert all(p.events >= 1 for p in small.phases)
+        tiny = scenario.scaled(0.0001)
+        assert all(p.events == 1 for p in tiny.phases)
+        with pytest.raises(WorkloadError):
+            scenario.scaled(0.0)
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(WorkloadError):
+            TrafficMix(query=0.0, batch=0.0, update=0.0, garbage=0.0)
+        with pytest.raises(WorkloadError):
+            TrafficMix(query=-1.0)
+        with pytest.raises(WorkloadError):
+            TrafficMix(batch_size=(0, 3))
+        with pytest.raises(WorkloadError):
+            PhaseSpec("p", events=0)
+        with pytest.raises(WorkloadError):
+            PhaseSpec("p", events=1, rate=0.0)
+        with pytest.raises(WorkloadError):
+            PhaseSpec("p", events=1, burst_factor=0.5)
+        with pytest.raises(WorkloadError):
+            Scenario(name="empty", phases=())
+        with pytest.raises(WorkloadError):
+            Scenario(name="dup", phases=(PhaseSpec("a", events=1),
+                                         PhaseSpec("a", events=1)))
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self, road300):
+        scenario = get_scenario("steady-burst").scaled(0.25)
+        a = generate_traffic(road300, scenario, seed=5)
+        b = generate_traffic(road300, scenario, seed=5)
+        assert a.digest() == b.digest()
+        # Digest equality is a real witness: the event tuples match too.
+        for (pa, ea), (pb, eb) in zip(a.phases, b.phases):
+            assert pa == pb
+            assert ea == eb
+
+    def test_different_seed_different_digest(self, road300):
+        scenario = get_scenario("steady").scaled(0.25)
+        assert generate_traffic(road300, scenario, seed=5).digest() != \
+            generate_traffic(road300, scenario, seed=6).digest()
+
+    def test_arrivals_are_monotonic(self, road300):
+        scenario = get_scenario("steady-burst").scaled(0.25)
+        trace = generate_traffic(road300, scenario, seed=5)
+        for _, events in trace.phases:
+            times = [e.at for e in events]
+            assert times == sorted(times)
+            assert all(t >= 0.0 for t in times)
+
+    def test_events_of_unknown_phase_raises(self, road300):
+        trace = generate_traffic(road300, get_scenario("steady").scaled(0.1),
+                                 seed=5)
+        assert trace.events_of("steady")
+        with pytest.raises(WorkloadError):
+            trace.events_of("no-such-phase")
+
+
+class TestZipfLocality:
+    def test_hot_ranks_dominate(self):
+        sampler = ZipfSampler(range(1000), s=1.1, seed=1)
+        rng = random.Random(0)
+        draws = [sampler.draw(rng) for _ in range(2000)]
+        # Far fewer distinct values than draws: the skew concentrates.
+        assert len(set(draws)) < len(draws) / 4
+        top = max(set(draws), key=draws.count)
+        assert draws.count(top) > len(draws) / 20
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler([], s=1.1, seed=1)
+
+    def test_query_pairs_come_from_a_bounded_pool(self, road300):
+        scenario = get_scenario("steady").scaled(0.5)
+        trace = generate_traffic(road300, scenario, seed=5)
+        pairs = [pair for _, events in trace.phases for e in events
+                 for pair in e.queries]
+        assert len(pairs) > 30
+        assert len(set(pairs)) <= scenario.pool_size
+        assert all(vs != vt for vs, vt in pairs)
+
+
+class TestMixComposition:
+    def test_phases_respect_their_mix(self, road300):
+        trace = generate_traffic(road300, get_scenario("steady-burst"),
+                                 seed=5)
+        warmup_kinds = {e.kind for e in trace.events_of("warmup")}
+        assert warmup_kinds == {EVENT_QUERY}
+        steady_kinds = {e.kind for e in trace.events_of("steady")}
+        assert EVENT_QUERY in steady_kinds
+        assert EVENT_UPDATE not in steady_kinds
+        storm = trace.events_of("update-storm")
+        assert any(e.kind == EVENT_UPDATE for e in storm)
+
+    def test_update_phase_always_carries_an_update(self, road300):
+        """The mid-soak version push is guaranteed, not weighted-draw
+        luck: every seed's update-storm phase has >= 1 update event."""
+        scenario = get_scenario("steady-burst").scaled(0.05)
+        for seed in range(8):
+            trace = generate_traffic(road300, scenario, seed=seed)
+            assert any(e.kind == EVENT_UPDATE
+                       for e in trace.events_of("update-storm")), seed
+
+    def test_batch_events_pack_multiple_queries(self, road300):
+        trace = generate_traffic(road300, get_scenario("steady-burst"),
+                                 seed=5)
+        batches = [e for _, events in trace.phases for e in events
+                   if e.kind == EVENT_BATCH]
+        assert batches
+        lo, hi = get_scenario("steady-burst").phases[1].mix.batch_size
+        assert all(lo <= len(e.queries) <= hi for e in batches)
+
+
+class TestGarbageFrames:
+    @pytest.fixture(scope="class")
+    def garbage(self, road300):
+        trace = generate_traffic(
+            road300, get_scenario("adversarial-soak"), seed=5)
+        return [e for _, events in trace.phases for e in events
+                if e.kind == EVENT_GARBAGE]
+
+    def test_every_kind_appears_with_its_expectation(self, garbage):
+        assert {e.garbage_kind for e in garbage} == set(GARBAGE_KINDS)
+        for e in garbage:
+            assert e.expect == GARBAGE_EXPECTATION[e.garbage_kind]
+            assert e.frame is not None
+
+    def test_malformed_kinds_do_not_decode(self, garbage):
+        for e in garbage:
+            if e.garbage_kind in (GARBAGE_NOISE, GARBAGE_TRUNCATED,
+                                  GARBAGE_BAD_VERSION):
+                with pytest.raises(ProtocolError):
+                    decode_frame(e.frame)
+
+    def test_replays_are_well_formed_and_answerable(self, garbage):
+        replays = [e for e in garbage if e.garbage_kind == GARBAGE_REPLAY]
+        assert replays
+        for e in replays:
+            request = QueryRequest.decode(decode_frame(e.frame).payload)
+            assert e.queries == ((request.source, request.target),)
+
+    def test_generation_needs_a_usable_graph(self):
+        from repro.graph.graph import SpatialGraph
+
+        lonely = SpatialGraph()
+        lonely.add_node(1, 0.0, 0.0)
+        with pytest.raises(WorkloadError):
+            generate_traffic(lonely, get_scenario("steady"), seed=1)
