@@ -5,7 +5,11 @@ the pre-forked worker pool (``serve --artifact --http --workers N``)
 is the escape hatch.  This benchmark packs the DE DIJ method, then
 replays the default workload concurrently against a 1-worker and a
 2-worker pool on the same machine, reporting client-observed wire QPS
-and how the kernel spread requests across the workers.
+and how the kernel spread requests across the workers.  The driver
+holds one **persistent** connection per client thread across all
+passes (``HttpTransport`` keep-alive); the old dial-per-frame client
+buried proof serving under TCP setup, which is exactly the artifact
+the recorded baselines used to carry.
 
 The scaling *gate* (2 workers beat 1 worker's warm QPS) needs real
 parallel hardware: on a single core two processes time-slice one CPU,

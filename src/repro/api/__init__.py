@@ -54,6 +54,7 @@ _LAZY = {
     "Transport": "repro.api.transport",
     "InProcessTransport": "repro.api.transport",
     "HttpTransport": "repro.api.transport",
+    "PooledHttpTransport": "repro.api.transport",
 }
 
 __all__ = [

@@ -38,9 +38,10 @@ from repro.api.envelope import (
     decode_frame,
     decode_message,
 )
+from repro.api import codes
 from repro.core.framework import Client, VerificationResult
 from repro.core.proofs import QueryResponse, SignedDescriptor
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError
 
 
 @dataclass(frozen=True)
@@ -172,9 +173,30 @@ class RemoteClient:
                             wire_bytes, cached=message.cached)
 
     def query_many(self, pairs) -> "list[RemoteResult]":
-        """A burst of queries in one frame, individually verified."""
+        """A burst of queries in one frame, individually verified.
+
+        Asks for the multiproof reply layout (the server falls back to
+        per-item responses when it cannot share one); pass
+        ``multiproof=False`` to :meth:`query_batch` to force the legacy
+        layout.
+        """
+        return self.query_batch(pairs)
+
+    def query_batch(self, pairs, *, multiproof: bool = True) -> "list[RemoteResult]":
+        """A burst of queries in one frame, individually verified.
+
+        With ``multiproof=True`` the server is asked to answer with one
+        shared Merkle multiproof: the ok slots arrive as one
+        deduplicated digest set which this client expands back into
+        per-query standalone responses
+        (:func:`~repro.core.batch.recover_responses`) — byte-identical
+        to independently served ones — and verifies each through the
+        unchanged bytes-first path.  Per-query trust is therefore
+        exactly what :meth:`query` provides; only the wire cost
+        changes.
+        """
         pairs = [(int(s), int(t)) for s, t in pairs]
-        request = BatchQueryRequest(tuple(pairs))
+        request = BatchQueryRequest(tuple(pairs), multiproof=multiproof)
         reply_frame = self._roundtrip(request.to_frame())
         message = decode_message(decode_frame(reply_frame))
         self._raise_on_error(message)
@@ -187,6 +209,8 @@ class RemoteClient:
                 f"batch reply has {len(message.items)} items for "
                 f"{len(pairs)} queries"
             )
+        if message.shared:
+            return self._verify_multiproof(pairs, message, len(reply_frame))
         # The frame's framing bytes are charged to the batch's first
         # item; per-item payload sizes dominate by orders of magnitude.
         overhead = len(reply_frame) - sum(
@@ -204,6 +228,69 @@ class RemoteClient:
             verdict = self.client.verify_bytes(source, target, item.response_bytes)
             results.append(RemoteResult(source, target, verdict,
                                         item.response_bytes, wire,
+                                        cached=item.cached))
+        return results
+
+    def _verify_multiproof(self, pairs, message: BatchQueryReply,
+                           frame_bytes: int) -> "list[RemoteResult]":
+        """Expand a shared-multiproof reply and verify every slot.
+
+        The shared blob is untrusted input: a decode failure or a
+        structurally broken multiproof (omitted digests, covers that
+        cannot be recovered) yields failure verdicts for the ok slots —
+        never an unhandled exception — while value tampering flows into
+        the recovered responses and fails signature/root checks inside
+        ``verify_bytes`` exactly as it would for independent replies.
+        """
+        from repro.core.batch import MultiProofBatch, recover_responses
+
+        ok_indices = [i for i, item in enumerate(message.items) if item.ok]
+        recovered: "dict[int, bytes]" = {}
+        failure: "VerificationResult | None" = None
+        try:
+            batch = MultiProofBatch.decode(message.shared)
+            if len(batch.queries) != len(ok_indices):
+                raise ProtocolError(
+                    f"shared multiproof covers {len(batch.queries)} queries "
+                    f"for {len(ok_indices)} ok slots"
+                )
+            for slot, (vs, vt) in zip(ok_indices, batch.queries):
+                if (vs, vt) != pairs[slot]:
+                    raise ProtocolError(
+                        f"shared multiproof answers ({vs}, {vt}) in the "
+                        f"slot of query {pairs[slot]}"
+                    )
+            responses = recover_responses(batch)
+            recovered = {
+                slot: response.encode()
+                for slot, response in zip(ok_indices, responses)
+            }
+        except ReproError as exc:
+            failure = VerificationResult.failure(
+                codes.MALFORMED_PROOF,
+                f"shared multiproof rejected: {exc}",
+            )
+        # The shared material serves the whole batch; amortize the frame
+        # evenly (the remainder rides on the first item).
+        count = len(pairs)
+        share = frame_bytes // count if count else 0
+        results = []
+        for index, ((source, target), item) in enumerate(zip(pairs, message.items)):
+            wire = share + (frame_bytes - share * count if index == 0 else 0)
+            if not item.ok:
+                results.append(RemoteResult(
+                    source, target,
+                    VerificationResult.failure(item.error_code, item.error_detail),
+                    None, wire,
+                ))
+                continue
+            if failure is not None:
+                results.append(RemoteResult(source, target, failure, None, wire))
+                continue
+            response_bytes = recovered[index]
+            verdict = self.client.verify_bytes(source, target, response_bytes)
+            results.append(RemoteResult(source, target, verdict,
+                                        response_bytes, wire,
                                         cached=item.cached))
         return results
 

@@ -127,12 +127,15 @@ E_UPDATES_DISABLED = "updates-not-supported"
 E_UPDATE_FAILED = "update-failed"
 #: The server hit an unexpected internal failure.
 E_INTERNAL = "internal-error"
+#: The request body never arrived in full within the handler timeout
+#: (a short body or a slow-loris client); the connection is closed.
+E_REQUEST_TIMEOUT = "request-timeout"
 
 #: Every code a wire-level :class:`ErrorMessage` may carry.
 WIRE_ERRORS = frozenset({
     E_MALFORMED_FRAME, E_UNSUPPORTED_VERSION, E_UNKNOWN_MESSAGE,
     E_BAD_REQUEST, E_QUERY_FAILED, E_UPDATES_DISABLED, E_UPDATE_FAILED,
-    E_INTERNAL,
+    E_INTERNAL, E_REQUEST_TIMEOUT,
 })
 
 #: The complete taxonomy (wire + verification), for documentation tools

@@ -123,12 +123,43 @@ class Dispatcher:
 
     def _handle_batch(self, message: BatchQueryRequest):
         served = self.server.answer_many(list(message.pairs))
+        if message.multiproof:
+            reply = self._multiproof_reply(message, served)
+            if reply is not None:
+                return reply
         items = tuple(
             BatchItem(item.response.encode(), item.cached) if item.ok
             else BatchItem(None, False, codes.E_QUERY_FAILED, item.error)
             for item in served
         )
         return BatchQueryReply(items)
+
+    def _multiproof_reply(self, message: BatchQueryRequest, served):
+        """One shared multiproof for the batch's ok slots, or ``None``.
+
+        ``None`` means "answer in the legacy per-item layout instead":
+        nothing succeeded, or the ok responses cannot share one
+        multiproof (e.g. an update landed mid-batch and they span
+        descriptor versions).  Falling back is always sound — the
+        client asked for an optimisation, not a different contract.
+        """
+        from repro.core.batch import combine_multiproof
+
+        ok_pairs = [pair for pair, item in zip(message.pairs, served)
+                    if item.ok]
+        if not ok_pairs:
+            return None
+        responses = [item.response for item in served if item.ok]
+        try:
+            shared = combine_multiproof(ok_pairs, responses).encode()
+        except ReproError:
+            return None
+        items = tuple(
+            BatchItem(b"", item.cached) if item.ok
+            else BatchItem(None, False, codes.E_QUERY_FAILED, item.error)
+            for item in served
+        )
+        return BatchQueryReply(items, shared=shared)
 
     def _handle_descriptor(self, message: DescriptorRequest):
         return DescriptorReply(self.server.method.descriptor.encode())

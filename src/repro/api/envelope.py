@@ -262,9 +262,18 @@ class QueryReply(Message):
 
 @dataclass(frozen=True)
 class BatchQueryRequest(Message):
-    """A burst of queries from one client, answered in order."""
+    """A burst of queries from one client, answered in order.
+
+    ``multiproof`` asks the server to answer with one shared Merkle
+    multiproof instead of per-item response bytes (see
+    :class:`BatchQueryReply`).  The flag is an append-only extension: it
+    is written only when set, so legacy-request bytes are unchanged, and
+    the decoder defaults a missing tail to ``False`` — frames from
+    older builds still parse.
+    """
 
     pairs: tuple
+    multiproof: bool = False
     MSG_TYPE: ClassVar[int] = MSG_BATCH_QUERY
 
     def encode(self) -> bytes:
@@ -272,6 +281,8 @@ class BatchQueryRequest(Message):
         enc.write_uint(len(self.pairs))
         for source, target in self.pairs:
             enc.write_uint(source).write_uint(target)
+        if self.multiproof:
+            enc.write_bool(True)
         return enc.getvalue()
 
     @classmethod
@@ -283,8 +294,11 @@ class BatchQueryRequest(Message):
              _strict(cls.__name__, dec.read_uint))
             for _ in range(count)
         )
+        multiproof = False
+        if dec.remaining:
+            multiproof = _strict(cls.__name__, dec.read_bool)
         cls._finish(dec)
-        return cls(pairs)
+        return cls(pairs, multiproof)
 
 
 @dataclass(frozen=True)
@@ -309,9 +323,19 @@ class BatchQueryReply(Message):
     Individual failures (an unknown node in one query) do not fail the
     batch: each slot is independently a response or an error code from
     :data:`repro.api.codes.WIRE_ERRORS`.
+
+    ``shared`` is the append-only multiproof extension: when non-empty
+    it holds one encoded
+    :class:`~repro.core.batch.MultiProofBatch` covering every ok slot
+    (whose ``response_bytes`` are then empty placeholders — the client
+    expands the shared material back into per-query responses).  It is
+    written only when present, so legacy replies are byte-identical to
+    before, and the decoder defaults a missing tail to ``b""`` —
+    replies from older builds still parse.
     """
 
     items: tuple
+    shared: bytes = b""
     MSG_TYPE: ClassVar[int] = MSG_BATCH_OK
 
     def encode(self) -> bytes:
@@ -325,6 +349,8 @@ class BatchQueryReply(Message):
             else:
                 enc.write_str(item.error_code)
                 enc.write_str(item.error_detail)
+        if self.shared:
+            enc.write_bytes(self.shared)
         return enc.getvalue()
 
     @classmethod
@@ -341,8 +367,11 @@ class BatchQueryReply(Message):
                 code = _strict(cls.__name__, dec.read_str)
                 detail = _strict(cls.__name__, dec.read_str)
                 items.append(BatchItem(None, False, code, detail))
+        shared = b""
+        if dec.remaining:
+            shared = _strict(cls.__name__, dec.read_bytes)
         cls._finish(dec)
-        return cls(tuple(items))
+        return cls(tuple(items), shared)
 
 
 @dataclass(frozen=True)

@@ -11,12 +11,22 @@ protocol layer never looks inside one, so the same
 * :class:`HttpTransport` — POSTs frames to a
   :class:`~repro.service.http.ProofHttpServer` (or anything speaking
   the same one-endpoint contract) using only the standard library.
+  The connection is **persistent**: frames after the first reuse the
+  established HTTP/1.1 keep-alive connection, which is what the server
+  side has always advertised — reconnecting per frame buries proof
+  serving time under TCP setup and was precisely the defect behind the
+  sub-1x worker-scaling artifact.
+* :class:`PooledHttpTransport` — the thread-safe variant for
+  multi-threaded load drivers: one persistent connection per calling
+  thread, all released by a single ``close()``.
 """
 
 from __future__ import annotations
 
-import urllib.error
-import urllib.request
+import http.client
+import socket
+import threading
+from urllib.parse import urlsplit
 
 from repro.errors import ProtocolError
 
@@ -30,6 +40,12 @@ class Transport:
 
     def close(self) -> None:
         """Release any held connections (default: nothing to do)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class InProcessTransport(Transport):
@@ -53,42 +69,180 @@ class InProcessTransport(Transport):
 
 
 class HttpTransport(Transport):
-    """Frames over HTTP POST, stdlib-only.
+    """Frames over a persistent HTTP connection, stdlib-only.
 
     The contract is one endpoint: ``POST {base_url}/rpc`` with the
     request frame as an ``application/octet-stream`` body; the reply
     frame comes back as the response body with status 200 (protocol
     errors ride *inside* the frame, keeping HTTP itself boring).
+
+    Connection handling:
+
+    * the first ``roundtrip`` dials; later ones reuse the connection
+      (HTTP/1.1 keep-alive, matching the server's advertised
+      ``protocol_version``);
+    * a transport failure on a **reused** connection — the server
+      restarted, idled us out, or exhausted its keep-alive budget — is
+      retried exactly once on a fresh connection.  A failure on a
+      connection dialed for this very call is reported immediately:
+      retrying a dead endpoint only doubles the timeout;
+    * ``close()`` drops the held connection; the next call redials, so
+      a closed transport remains usable.
+    * ``keep_alive=False`` restores one-connection-per-frame behaviour
+      — the measurement baseline the persistent path is gated against,
+      not something production clients should choose.
+
+    Not thread-safe: one connection means one in-flight request.  Use
+    :class:`PooledHttpTransport` from multi-threaded drivers.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 keep_alive: bool = True) -> None:
         self.base_url = base_url.rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme != "http" or split.hostname is None:
+            raise ProtocolError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = split.hostname
+        self._port = split.port if split.port is not None else 80
+        self._path_prefix = split.path
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._conn: "http.client.HTTPConnection | None" = None
 
     @property
     def endpoint(self) -> str:
         """The rpc URL frames are POSTed to."""
         return f"{self.base_url}/rpc"
 
-    def roundtrip(self, frame: bytes) -> bytes:
-        request = urllib.request.Request(
-            self.endpoint,
-            data=bytes(frame),
-            method="POST",
+    # ------------------------------------------------------------------
+    def _connect(self) -> "http.client.HTTPConnection":
+        conn = http.client.HTTPConnection(self._host, self._port,
+                                          timeout=self.timeout)
+        try:
+            conn.connect()
+            # http.client writes headers and body as separate segments;
+            # without TCP_NODELAY, Nagle holds the second one until the
+            # first is ACKed, which on a long-lived connection (past the
+            # kernel's initial quickack window) costs a delayed-ACK
+            # round trip (~40ms) per request — slower than redialing.
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            conn.close()
+            raise ProtocolError(
+                f"cannot reach {self.endpoint}: {exc}"
+            ) from exc
+        return conn
+
+    def _request(self, conn: "http.client.HTTPConnection",
+                 frame: bytes) -> bytes:
+        conn.request(
+            "POST", f"{self._path_prefix}/rpc", body=frame,
             headers={"Content-Type": "application/octet-stream"},
         )
+        response = conn.getresponse()
+        body = response.read()
+        if response.will_close:
+            # The server announced this connection is done (keep-alive
+            # budget exhausted, shutdown): drop it now so the next call
+            # redials instead of tripping the stale-retry path.
+            conn.close()
+            if conn is self._conn:
+                self._conn = None
+        if response.status != 200:
+            raise ProtocolError(
+                f"HTTP {response.status} from {self.endpoint}"
+            )
+        return body
+
+    def roundtrip(self, frame: bytes) -> bytes:
+        frame = bytes(frame)
+        if not self.keep_alive:
+            conn = self._connect()
+            try:
+                return self._request(conn, frame)
+            except (http.client.HTTPException, OSError) as exc:
+                raise ProtocolError(
+                    f"transport failure against {self.endpoint}: {exc}"
+                ) from exc
+            finally:
+                conn.close()
+        fresh = self._conn is None
+        if fresh:
+            self._conn = self._connect()
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                if reply.status != 200:
-                    raise ProtocolError(
-                        f"HTTP {reply.status} from {self.endpoint}"
-                    )
-                return reply.read()
-        except urllib.error.HTTPError as exc:
+            return self._request(self._conn, frame)
+        except (http.client.HTTPException, OSError) as exc:
+            self.close()
+            if fresh:
+                raise ProtocolError(
+                    f"transport failure against {self.endpoint}: {exc}"
+                ) from exc
+        # Stale reused connection: one retry on a fresh dial.
+        self._conn = self._connect()
+        try:
+            return self._request(self._conn, frame)
+        except (http.client.HTTPException, OSError) as exc:
+            self.close()
             raise ProtocolError(
-                f"HTTP {exc.code} from {self.endpoint}: {exc.reason}"
+                f"transport failure against {self.endpoint} "
+                f"(after reconnect): {exc}"
             ) from exc
-        except urllib.error.URLError as exc:
-            raise ProtocolError(
-                f"cannot reach {self.endpoint}: {exc.reason}"
-            ) from exc
+
+    def close(self) -> None:
+        """Drop the held connection (the next call redials)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+class PooledHttpTransport(Transport):
+    """One persistent :class:`HttpTransport` per calling thread.
+
+    ``http.client`` connections carry one in-flight request, so a
+    multi-threaded load driver sharing a single :class:`HttpTransport`
+    would interleave requests on one socket.  This pool hands every
+    thread its own lazily-dialed persistent transport (thread-local
+    lookup, no locking on the hot path) and releases them all in
+    ``close()``.  From N driver threads it therefore holds exactly N
+    server-side connections — the pooled persistent-connection client
+    the worker-scaling benchmark drives.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 keep_alive: bool = True) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._transports: "list[HttpTransport]" = []
+
+    @property
+    def endpoint(self) -> str:
+        """The rpc URL frames are POSTed to."""
+        return f"{self.base_url}/rpc"
+
+    def _transport(self) -> HttpTransport:
+        transport = getattr(self._local, "transport", None)
+        if transport is None:
+            transport = HttpTransport(self.base_url, timeout=self.timeout,
+                                      keep_alive=self.keep_alive)
+            self._local.transport = transport
+            with self._lock:
+                self._transports.append(transport)
+        return transport
+
+    def roundtrip(self, frame: bytes) -> bytes:
+        return self._transport().roundtrip(frame)
+
+    def close(self) -> None:
+        """Drop every thread's connection (safe from any thread)."""
+        with self._lock:
+            transports, self._transports = self._transports, []
+        for transport in transports:
+            transport.close()
+        # Threads keep their HttpTransport objects (closing only drops
+        # sockets); re-track them so a later close() sees reused ones.
+        self._local = threading.local()

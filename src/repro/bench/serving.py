@@ -307,6 +307,8 @@ def run_http_loadtest(
     updates_per_pass: int = 0,
     update_signer: "Signer | None" = None,
     update_seed: int = 2010,
+    keep_alive: bool = True,
+    batch_size: int = 0,
 ) -> HttpLoadtestReport:
     """Replay *queries* over real HTTP, verifying every wire response.
 
@@ -320,6 +322,13 @@ def run_http_loadtest(
     per pass *over the wire* and raises the client's freshness floor
     from each push's reported version, so a stale replay would fail
     the run exactly as it would fail a real client.
+
+    ``keep_alive=False`` dials a fresh connection per frame — the
+    pre-persistent-transport behaviour, kept as the measurement
+    baseline the persistent path is gated against.  ``batch_size > 0``
+    replays the workload as multiproof BATCH frames of that many
+    queries instead of per-query QUERY frames (every recovered response
+    still individually verified).
     """
     from repro.api.client import RemoteClient
     from repro.api.transport import HttpTransport
@@ -333,17 +342,41 @@ def run_http_loadtest(
         raise ServiceError(f"updates_per_pass must be >= 0, got {updates_per_pass}")
     if updates_per_pass and update_signer is None:
         raise ServiceError("updates_per_pass needs an update_signer to re-sign")
+    if batch_size < 0:
+        raise ServiceError(f"batch_size must be >= 0, got {batch_size}")
 
     server = ProofServer(method, cache_size=cache_size)
     dispatcher = server.dispatcher(update_signer=update_signer)
     results: list[HttpLoadtestPass] = []
-    with ProofHttpServer(dispatcher) as http_server:
-        client = RemoteClient(HttpTransport(http_server.url), verify_signature)
+    with ProofHttpServer(dispatcher) as http_server, \
+            HttpTransport(http_server.url, keep_alive=keep_alive) as transport:
+        client = RemoteClient(transport, verify_signature)
         hello = client.hello()
         if hello.method != method.name:
             raise ServiceError(
                 f"handshake says method {hello.method!r}, expected {method.name!r}"
             )
+
+        def run_chunk(chunk) -> "tuple[int, int, list[str]]":
+            wire = 0
+            proof = 0
+            bad: list[str] = []
+            if batch_size:
+                groups = [chunk[i:i + batch_size]
+                          for i in range(0, len(chunk), batch_size)]
+                outcomes = [r for group in groups
+                            for r in client.query_batch(group)]
+            else:
+                outcomes = [client.query(vs, vt) for vs, vt in chunk]
+            for result in outcomes:
+                wire += result.wire_bytes
+                proof += len(result.response_bytes or b"")
+                if not result.ok:
+                    bad.append(
+                        f"({result.source},{result.target}): "
+                        f"{result.verdict.reason} {result.verdict.detail}")
+            return wire, proof, bad
+
         for index in range(passes):
             label = "cold" if index == 0 else f"warm{index}"
             failures: list[str] = []
@@ -360,14 +393,10 @@ def run_http_loadtest(
             chunks = [queries[i:i + step] for i in range(0, len(queries), step)]
             start = time.perf_counter()
             for ci, chunk in enumerate(chunks):
-                for vs, vt in chunk:
-                    result = client.query(vs, vt)
-                    wire_bytes += result.wire_bytes
-                    proof_bytes += len(result.response_bytes or b"")
-                    if not result.ok:
-                        failures.append(
-                            f"({vs},{vt}): {result.verdict.reason} "
-                            f"{result.verdict.detail}")
+                wire, proof, bad = run_chunk(chunk)
+                wire_bytes += wire
+                proof_bytes += proof
+                failures.extend(bad)
                 if ci < len(updates):
                     report = client.push_updates([updates[ci]])
                     client.require_version(report.version)
@@ -515,35 +544,46 @@ def run_worker_loadtest(
     with WorkerPool(artifact_path, workers=workers,
                     cache_size=cache_size) as pool:
         url = pool.url
+        # One persistent connection per driver thread, held across every
+        # pass — the pooled persistent-connection client.  (Each chunk is
+        # driven by exactly one thread, so plain HttpTransports pinned to
+        # their chunk are equivalent to PooledHttpTransport here, with a
+        # deterministic thread-to-connection mapping.)
         transports = [HttpTransport(url) for _ in range(client_threads)]
-        with ThreadPoolExecutor(max_workers=client_threads) as executor:
-            for index in range(passes):
-                label = "cold" if index == 0 else f"warm{index}"
-                failures: list[str] = []
-                start = time.perf_counter()
-                outcomes = list(executor.map(drive, chunks, transports))
-                seconds = time.perf_counter() - start
-                wire_bytes = sum(wire for wire, _ in outcomes)
-                errors = sum(bad for _, bad in outcomes)
-                if errors:
-                    failures.append(f"{errors} wire-level error replies")
-                if verify_signature is not None:
-                    vs, vt = queries[0]
-                    sample = RemoteClient(HttpTransport(url),
-                                          verify_signature).query(vs, vt)
-                    if not sample.ok:
-                        failures.append(
-                            f"sample ({vs},{vt}): {sample.verdict.reason} "
-                            f"{sample.verdict.detail}")
-                results.append(HttpLoadtestPass(
-                    label=label,
-                    requests=len(queries),
-                    seconds=seconds,
-                    wire_bytes=wire_bytes,
-                    proof_bytes=wire_bytes,  # raw drive: framing included
-                    verified=len(queries) - errors,
-                    failures=tuple(failures),
-                ))
+        try:
+            with ThreadPoolExecutor(max_workers=client_threads) as executor:
+                for index in range(passes):
+                    label = "cold" if index == 0 else f"warm{index}"
+                    failures: list[str] = []
+                    start = time.perf_counter()
+                    outcomes = list(executor.map(drive, chunks, transports))
+                    seconds = time.perf_counter() - start
+                    wire_bytes = sum(wire for wire, _ in outcomes)
+                    errors = sum(bad for _, bad in outcomes)
+                    if errors:
+                        failures.append(f"{errors} wire-level error replies")
+                    if verify_signature is not None:
+                        vs, vt = queries[0]
+                        with HttpTransport(url) as sample_transport:
+                            sample = RemoteClient(
+                                sample_transport, verify_signature,
+                            ).query(vs, vt)
+                        if not sample.ok:
+                            failures.append(
+                                f"sample ({vs},{vt}): {sample.verdict.reason} "
+                                f"{sample.verdict.detail}")
+                    results.append(HttpLoadtestPass(
+                        label=label,
+                        requests=len(queries),
+                        seconds=seconds,
+                        wire_bytes=wire_bytes,
+                        proof_bytes=wire_bytes,  # raw drive: framing included
+                        verified=len(queries) - errors,
+                        failures=tuple(failures),
+                    ))
+        finally:
+            for transport in transports:
+                transport.close()
     aggregate = pool.aggregate
     return WorkerLoadtestReport(
         method=method_name,

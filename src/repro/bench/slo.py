@@ -196,10 +196,10 @@ def _client_main(index: int, url: str, key_path: str, events,
 
     try:
         verify = load_public_key(key_path).verify
-        transport = HttpTransport(url)
-        client = RemoteClient(transport, verify)
-        outcomes = _run_events(client, transport, events,
-                               open_loop=open_loop, time_scale=time_scale)
+        with HttpTransport(url) as transport:
+            client = RemoteClient(transport, verify)
+            outcomes = _run_events(client, transport, events,
+                                   open_loop=open_loop, time_scale=time_scale)
         queue.put((index, outcomes, None))
     except Exception as exc:  # noqa: BLE001 — report, don't hang the join
         queue.put((index, [], f"{type(exc).__name__}: {exc}"))
@@ -514,10 +514,10 @@ def _drive_phase(phase, events, *, url: str, clients: int, client_mode: str,
         from repro.api.transport import HttpTransport
 
         def run_shard(shard) -> "list[dict]":
-            transport = HttpTransport(url)
-            client = RemoteClient(transport, verify_signature)
-            return _run_events(client, transport, shard,
-                               open_loop=open_loop, time_scale=time_scale)
+            with HttpTransport(url) as transport:
+                client = RemoteClient(transport, verify_signature)
+                return _run_events(client, transport, shard,
+                                   open_loop=open_loop, time_scale=time_scale)
 
         from concurrent.futures import ThreadPoolExecutor
 
@@ -614,44 +614,47 @@ def run_slo_soak(
         if verify_signature is not None else load_public_key(key_path).verify
 
     def drive(url: str, server) -> "tuple[list[PhaseReport], list[str], int]":
-        update_client = RemoteClient(HttpTransport(url), coordinator_verify)
-        update_client.hello()
-        reports: list[PhaseReport] = []
-        for phase, events in trace.phases:
+        with HttpTransport(url) as update_transport:
+            update_client = RemoteClient(update_transport, coordinator_verify)
+            update_client.hello()
+            reports: list[PhaseReport] = []
+            for phase, events in trace.phases:
+                if server is not None:
+                    server.metrics.begin_phase(phase.name)
+                reports.append(_drive_phase(
+                    phase, events, url=url, clients=clients,
+                    client_mode=client_mode, key_path=key_path,
+                    verify_signature=verify_signature, time_scale=time_scale,
+                    update_client=update_client,
+                    allow_updates=(server is not None
+                                   and update_signer is not None),
+                ))
             if server is not None:
-                server.metrics.begin_phase(phase.name)
-            reports.append(_drive_phase(
-                phase, events, url=url, clients=clients,
-                client_mode=client_mode, key_path=key_path,
-                verify_signature=verify_signature, time_scale=time_scale,
-                update_client=update_client,
-                allow_updates=server is not None and update_signer is not None,
-            ))
-        if server is not None:
-            from dataclasses import replace as _replace
+                from dataclasses import replace as _replace
 
-            server.metrics.end_phase()
-            windows = {w.phase: w.as_dict() for w in server.metrics.phases}
-            reports = [_replace(r, server_window=windows.get(r.name))
-                       for r in reports]
-        # The freshness gate: after every push, a fresh query must
-        # verify with the last pushed version as the floor — the
-        # end-to-end stale-replay defence, exercised mid-soak.
-        freshness: list[str] = []
-        floor = update_client.min_descriptor_version or 0
-        pair = next(
-            (e.queries[0] for _, events in trace.phases for e in events
-             if e.kind == EVENT_QUERY),
-            None,
-        )
-        if pair is not None:
-            vs, vt = pair
-            final = update_client.query(vs, vt)
-            if not final.ok:
-                freshness.append(
-                    f"final query ({vs},{vt}) at floor {floor}: "
-                    f"{final.verdict.reason} {final.verdict.detail}")
-        return reports, freshness, floor
+                server.metrics.end_phase()
+                windows = {w.phase: w.as_dict()
+                           for w in server.metrics.phases}
+                reports = [_replace(r, server_window=windows.get(r.name))
+                           for r in reports]
+            # The freshness gate: after every push, a fresh query must
+            # verify with the last pushed version as the floor — the
+            # end-to-end stale-replay defence, exercised mid-soak.
+            freshness: list[str] = []
+            floor = update_client.min_descriptor_version or 0
+            pair = next(
+                (e.queries[0] for _, events in trace.phases for e in events
+                 if e.kind == EVENT_QUERY),
+                None,
+            )
+            if pair is not None:
+                vs, vt = pair
+                final = update_client.query(vs, vt)
+                if not final.ok:
+                    freshness.append(
+                        f"final query ({vs},{vt}) at floor {floor}: "
+                        f"{final.verdict.reason} {final.verdict.detail}")
+            return reports, freshness, floor
 
     if artifact_path is not None:
         from repro.service.workers import WorkerPool

@@ -617,6 +617,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             passes=args.passes, cache_size=args.cache_size,
             updates_per_pass=args.updates, update_signer=owner.signer,
             update_seed=args.seed,
+            keep_alive=not args.no_keepalive, batch_size=args.batch_size,
         )
         print(format_table(
             list(HttpLoadtestReport.TABLE_HEADERS), report.table_rows(),
@@ -950,6 +951,14 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--http", action="store_true",
                     help="drive the workload over a real localhost HTTP "
                          "socket through RemoteClient (wire-level metrics)")
+    lt.add_argument("--no-keepalive", action="store_true",
+                    help="with --http: dial a fresh connection per frame "
+                         "instead of reusing one persistent connection "
+                         "(the measurement baseline)")
+    lt.add_argument("--batch-size", type=int, default=0,
+                    help="with --http: send queries as multiproof BATCH "
+                         "frames of this many queries instead of per-query "
+                         "QUERY frames (0 = per-query)")
     lt.add_argument("--range", type=float, default=2000.0)
     lt.add_argument("--count", type=int, default=20)
     lt.add_argument("--seed", type=int, default=0)

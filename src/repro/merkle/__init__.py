@@ -8,11 +8,24 @@ Two structures back all four verification methods:
 * :class:`~repro.merkle.btree.MerkleBTree` — a key-sorted authenticated
   dictionary over composite integer keys (the paper's "distance Merkle
   B-tree" used by FULL and HYP).
+
+Batch serving shares one digest set across k queries through the
+multiproof helpers (:mod:`repro.merkle.multiproof`): ``prove_multi``
+emits the union cover, :func:`verify_multi` reconstructs the root from
+it, and :func:`expand_multi` recovers each query's standalone cover
+byte-for-byte so per-query verification stays unchanged.
 """
 
 from repro.merkle.proof import MerkleProofEntry, decode_proof_entries, encode_proof_entries
 from repro.merkle.tree import MerkleTree, reconstruct_root
 from repro.merkle.btree import MerkleBTree, pair_key
+from repro.merkle.multiproof import (
+    cover_indices,
+    expand_multi,
+    merge_entries,
+    union_indices,
+    verify_multi,
+)
 
 __all__ = [
     "MerkleTree",
@@ -22,4 +35,9 @@ __all__ = [
     "pair_key",
     "encode_proof_entries",
     "decode_proof_entries",
+    "cover_indices",
+    "expand_multi",
+    "merge_entries",
+    "union_indices",
+    "verify_multi",
 ]

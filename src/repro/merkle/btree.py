@@ -141,3 +141,16 @@ class MerkleBTree:
         """
         indices = self.indices_of(keys)
         return indices, self._tree.prove(indices)
+
+    def prove_multi(
+        self, key_sets: "Iterable[Iterable[int]]",
+    ) -> "tuple[list[list[int]], list[int], list[MerkleProofEntry]]":
+        """One deduplicated multiproof for several key sets.
+
+        Returns ``(per-set leaf indices, union leaf indices, shared ΓT
+        entries)`` — the :meth:`MerkleTree.prove_multi` analogue with
+        the key-to-position lookup folded in.
+        """
+        index_sets = [self.indices_of(keys) for keys in key_sets]
+        union, entries = self._tree.prove_multi(index_sets)
+        return index_sets, union, entries

@@ -19,8 +19,9 @@ adds no locking of its own.  The server binds ``port=0`` to an
 ephemeral port, which is what the tests, the load tester and the CI
 smoke job use to avoid port collisions.
 
-This module imports nothing above the error layer: it serves whatever
-object offers ``dispatch(bytes) -> bytes``, keeping the frontend a pure
+This module imports nothing of the serving stack (only the error layer
+and the envelope's typed error frames): it serves whatever object
+offers ``dispatch(bytes) -> bytes``, keeping the frontend a pure
 transport.
 """
 
@@ -31,6 +32,8 @@ import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.api import codes
+from repro.api.envelope import error_frame
 from repro.errors import ServiceError
 
 #: Largest request body the frontend will read, in bytes.  Frames are
@@ -38,18 +41,76 @@ from repro.errors import ServiceError
 #: anything huge is garbage or abuse — reject before allocating.
 MAX_REQUEST_BYTES = 4 * 1024 * 1024
 
+#: Per-connection socket timeout: the longest a handler thread waits
+#: for the next request line or the rest of a body.  Long-lived
+#: keep-alive clients send within milliseconds; anything slower is idle
+#: or a slow-loris, and either way the thread must come back.
+DEFAULT_HANDLER_TIMEOUT = 30.0
+
+#: Requests served per connection before the server closes it
+#: (``Connection: close``).  Bounding keep-alive bounds how long any
+#: one client can monopolize a handler thread; well-behaved clients
+#: (:class:`~repro.api.transport.HttpTransport`) redial transparently.
+DEFAULT_MAX_KEEPALIVE_REQUESTS = 1000
+
+
+def connectable_host(bound_host: str) -> str:
+    """A host clients can dial, given the interface the server bound.
+
+    Binding the wildcard address (``0.0.0.0``, ``::``) listens on every
+    interface, but *connecting* to the wildcard is at best
+    platform-dependent and at worst a refused connection — an URL built
+    from it is unusable.  Loopback is the one address guaranteed to
+    reach a wildcard listener, so that is what client-facing accessors
+    advertise.
+    """
+    if bound_host in ("", "0.0.0.0"):
+        return "127.0.0.1"
+    if bound_host in ("::", "0:0:0:0:0:0:0:0"):
+        return "::1"
+    return bound_host
+
+
+def format_netloc(host: str, port: int) -> str:
+    """``host:port`` with IPv6 literals bracketed, as URLs require."""
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"
+
 
 class _FrameHandler(BaseHTTPRequestHandler):
     """One-endpoint handler; the server instance carries the dispatcher."""
 
     server_version = "repro-spv/1"
     protocol_version = "HTTP/1.1"
+    #: Reply headers and body are two writes; without TCP_NODELAY Nagle
+    #: serializes them against the client's delayed ACK (~40ms/request
+    #: on a kept-alive connection).  socketserver applies this in setup.
+    disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        # ``timeout`` is applied to the connection socket by the stdlib
+        # setup; it covers both the wait for the next request line on a
+        # kept-alive connection and every body read below, so no client
+        # can pin this thread longer than the configured window.
+        self.timeout = getattr(self.server, "handler_timeout",
+                               DEFAULT_HANDLER_TIMEOUT)
+        self._requests_served = 0
+        super().setup()
 
     def _send(self, status: int, body: bytes,
               content_type: str = "application/octet-stream") -> None:
+        self._requests_served += 1
+        budget = getattr(self.server, "max_keepalive_requests",
+                         DEFAULT_MAX_KEEPALIVE_REQUESTS)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if budget and self._requests_served >= budget:
+            # Announce the close so a persistent client redials rather
+            # than tripping its stale-connection retry.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
@@ -81,10 +142,36 @@ class _FrameHandler(BaseHTTPRequestHandler):
         if length > MAX_REQUEST_BYTES:
             self._send(413, b"request too large", "text/plain")
             return
-        frame = self.rfile.read(length)
+        try:
+            frame = self.rfile.read(length)
+        except (TimeoutError, socket.timeout):
+            # A client advertised more body than it sent within the
+            # handler timeout (slow-loris or a died peer).  Answer with
+            # a typed error frame on the off chance it is listening,
+            # then drop the connection — its byte stream is desynced.
+            self._send_timeout(
+                f"request body stalled: {length} bytes promised"
+            )
+            return
+        if len(frame) < length:
+            # The peer closed early; the stream is short, not stalled.
+            self._send_timeout(
+                f"short request body: {len(frame)} of {length} bytes"
+            )
+            return
         # The dispatcher never raises: malformed frames come back as
         # typed error frames, so HTTP status stays 200 end to end.
         self._send(200, self.server.dispatcher.dispatch(frame))
+
+    def _send_timeout(self, detail: str) -> None:
+        try:
+            self._send(200, error_frame(codes.E_REQUEST_TIMEOUT, detail))
+            self.wfile.flush()
+        except OSError:
+            # The peer that starved us is often also gone; there is
+            # nobody left to read the error frame.
+            pass
+        self.close_connection = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Per-request stderr logging off by default (serving hot path)."""
@@ -121,28 +208,53 @@ class ProofHttpServer:
     mode).  Either way :meth:`close` shuts the listener down.
     ``reuse_port=True`` joins an ``SO_REUSEPORT`` group so sibling
     worker processes can share the port.
+
+    Long-lived connections are bounded on two axes:
+    ``handler_timeout`` caps how long one connection may stall its
+    handler thread (between requests or mid-body), and
+    ``max_keepalive_requests`` caps how many requests one connection
+    may issue before being closed (``0`` disables the bound).
     """
 
     def __init__(self, dispatcher, *, host: str = "127.0.0.1",
-                 port: int = 0, reuse_port: bool = False) -> None:
+                 port: int = 0, reuse_port: bool = False,
+                 handler_timeout: float = DEFAULT_HANDLER_TIMEOUT,
+                 max_keepalive_requests: int = DEFAULT_MAX_KEEPALIVE_REQUESTS,
+                 ) -> None:
         if not hasattr(dispatcher, "dispatch"):
             raise ServiceError(
                 f"dispatcher must offer dispatch(bytes) -> bytes, "
                 f"got {type(dispatcher).__name__}"
+            )
+        if handler_timeout <= 0:
+            raise ServiceError(
+                f"handler_timeout must be positive, got {handler_timeout}"
+            )
+        if max_keepalive_requests < 0:
+            raise ServiceError(
+                f"max_keepalive_requests must be >= 0, got "
+                f"{max_keepalive_requests}"
             )
         self.dispatcher = dispatcher
         server_cls = _ReusePortHTTPServer if reuse_port else ThreadingHTTPServer
         self._httpd = server_cls((host, port), _FrameHandler)
         self._httpd.dispatcher = dispatcher
         self._httpd.daemon_threads = True
+        self._httpd.handler_timeout = handler_timeout
+        self._httpd.max_keepalive_requests = max_keepalive_requests
         self._thread: "threading.Thread | None" = None
         self._served = False
 
     # ------------------------------------------------------------------
     @property
-    def host(self) -> str:
-        """The bound interface."""
+    def bound_host(self) -> str:
+        """The interface actually bound (may be a wildcard)."""
         return self._httpd.server_address[0]
+
+    @property
+    def host(self) -> str:
+        """A host clients can dial (wildcard binds resolve to loopback)."""
+        return connectable_host(self.bound_host)
 
     @property
     def port(self) -> int:
@@ -151,8 +263,13 @@ class ProofHttpServer:
 
     @property
     def url(self) -> str:
-        """Base URL for :class:`~repro.api.transport.HttpTransport`."""
-        return f"http://{self.host}:{self.port}"
+        """Base URL for :class:`~repro.api.transport.HttpTransport`.
+
+        Always connectable: wildcard binds advertise loopback and IPv6
+        hosts are bracketed, so the value can be pasted into a client
+        (or a browser) verbatim.
+        """
+        return f"http://{format_netloc(self.host, self.port)}"
 
     # ------------------------------------------------------------------
     def start(self) -> "ProofHttpServer":

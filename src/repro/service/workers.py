@@ -117,8 +117,11 @@ class WorkerPool:
     # ------------------------------------------------------------------
     @property
     def url(self) -> str:
-        """Base URL of the shared listener group."""
-        return f"http://{self.host}:{self.port}"
+        """Base URL of the shared listener group (always connectable:
+        wildcard binds advertise loopback, IPv6 hosts are bracketed)."""
+        from repro.service.http import connectable_host, format_netloc
+
+        return f"http://{format_netloc(connectable_host(self.host), self.port)}"
 
     def _reserve_port(self) -> None:
         """Resolve ``port=0`` once so every worker binds the same port.

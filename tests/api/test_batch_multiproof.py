@@ -1,0 +1,220 @@
+"""Wire-level multiproof batches: envelope evolution and end-to-end trust.
+
+Three layers under test:
+
+* **envelope compatibility** — the ``multiproof`` request flag and the
+  reply's ``shared`` blob are append-only tail fields: unset they leave
+  the legacy bytes untouched, set they extend them, and decoders accept
+  both generations;
+* **the happy path** — a multiproof batch recovers responses
+  byte-identical to independently served ones and every slot verifies;
+* **the hostile path** — a tampered, truncated, or omitted shared blob
+  produces per-slot failure verdicts, never an exception, and error
+  slots ride alongside a shared proof for the ok ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import codes
+from repro.api.client import RemoteClient
+from repro.api.envelope import (
+    BatchQueryReply,
+    BatchQueryRequest,
+    decode_frame,
+    decode_message,
+)
+from repro.api.transport import InProcessTransport
+from repro.core.batch import MultiProofBatch
+
+BAD_NODE = 10**9
+
+
+@pytest.fixture()
+def client(dispatcher, signer):
+    return RemoteClient(InProcessTransport(dispatcher), signer.verify)
+
+
+class TestEnvelopeCompatibility:
+    def test_unset_flag_keeps_legacy_request_bytes(self, workload):
+        pairs = tuple(workload[:3])
+        plain = BatchQueryRequest(pairs)
+        flagged = BatchQueryRequest(pairs, multiproof=True)
+        assert flagged.encode().startswith(plain.encode())
+        assert len(flagged.encode()) == len(plain.encode()) + 1
+
+    def test_legacy_request_bytes_decode_with_default(self, workload):
+        pairs = tuple(workload[:3])
+        decoded = BatchQueryRequest.decode(BatchQueryRequest(pairs).encode())
+        assert decoded.pairs == pairs
+        assert decoded.multiproof is False
+
+    def test_flagged_request_roundtrips(self, workload):
+        pairs = tuple(workload[:2])
+        encoded = BatchQueryRequest(pairs, multiproof=True).encode()
+        assert BatchQueryRequest.decode(encoded).multiproof is True
+
+    def test_legacy_reply_bytes_decode_with_empty_shared(self, client,
+                                                         workload):
+        reply = client.transport.roundtrip(
+            BatchQueryRequest(tuple(workload[:2])).to_frame())
+        message = decode_message(decode_frame(reply))
+        assert isinstance(message, BatchQueryReply)
+        assert message.shared == b""
+        assert BatchQueryReply.decode(message.encode()).shared == b""
+
+    def test_shared_reply_roundtrips(self, client, workload):
+        reply = client.transport.roundtrip(
+            BatchQueryRequest(tuple(workload[:2]),
+                              multiproof=True).to_frame())
+        message = decode_message(decode_frame(reply))
+        assert message.shared
+        again = BatchQueryReply.decode(message.encode())
+        assert again.shared == message.shared
+        # Ok slots carry empty placeholders; the payload lives once in
+        # the shared blob.
+        assert all(item.response_bytes == b"" for item in message.items)
+
+
+class TestMultiproofRoundtrip:
+    def test_recovered_responses_byte_identical(self, client, dij, workload):
+        results = client.query_batch(workload)
+        assert [(r.source, r.target) for r in results] == workload
+        for result in results:
+            assert result.ok, (result.verdict.reason, result.verdict.detail)
+            assert result.response_bytes == \
+                dij.answer(result.source, result.target).encode()
+
+    def test_batch_ships_fewer_bytes_than_legacy(self, client, workload):
+        multi = client.query_batch(workload)
+        legacy = client.query_batch(workload, multiproof=False)
+        assert sum(r.wire_bytes for r in multi) < \
+            sum(r.wire_bytes for r in legacy)
+
+    def test_legacy_opt_out_still_carries_payloads(self, client, dij,
+                                                   workload):
+        results = client.query_batch(workload, multiproof=False)
+        for result in results:
+            assert result.ok
+            assert result.response_bytes == \
+                dij.answer(result.source, result.target).encode()
+
+    def test_mixed_ok_and_error_slots(self, client, workload):
+        pairs = [workload[0], (BAD_NODE, 1), workload[1]]
+        results = client.query_batch(pairs)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert results[1].verdict.reason == codes.E_QUERY_FAILED
+        # The error slot must not poison the shared proof of the rest.
+        assert results[0].response_bytes and results[2].response_bytes
+
+    def test_all_error_batch_falls_back_to_legacy_layout(self, client):
+        results = client.query_batch([(BAD_NODE, 1), (BAD_NODE, 2)])
+        assert all(not r.ok for r in results)
+        assert all(r.verdict.reason == codes.E_QUERY_FAILED for r in results)
+
+    def test_duplicate_queries_in_one_batch(self, client, workload):
+        pairs = [workload[0], workload[0], workload[1]]
+        results = client.query_batch(pairs)
+        assert all(r.ok for r in results)
+        assert results[0].response_bytes == results[1].response_bytes
+
+    def test_singleton_batch(self, client, workload):
+        (result,) = client.query_batch([workload[0]])
+        assert result.ok
+
+    def test_query_many_uses_multiproof_by_default(self, client, workload):
+        transport = client.transport
+        transport.wire_log.clear()
+        transport._log_frames = True
+        client.query_many(workload)
+        frames = list(transport.wire_log)
+        transport._log_frames = False
+        assert len(frames) == 1  # one BATCH frame for the whole burst
+
+
+class _RewriteTransport(InProcessTransport):
+    """Dispatch normally, then rewrite the shared blob of BATCH replies."""
+
+    def __init__(self, dispatcher, rewrite):
+        super().__init__(dispatcher)
+        self._rewrite = rewrite
+
+    def roundtrip(self, frame: bytes) -> bytes:
+        reply = super().roundtrip(frame)
+        message = decode_message(decode_frame(reply))
+        if isinstance(message, BatchQueryReply) and message.shared:
+            return replace(
+                message, shared=self._rewrite(message.shared)).to_frame()
+        return reply
+
+
+class TestHostileSharedBlob:
+    def run_against(self, dispatcher, signer, workload, rewrite):
+        client = RemoteClient(_RewriteTransport(dispatcher, rewrite),
+                              signer.verify)
+        return client.query_batch(workload)
+
+    def assert_all_rejected(self, results, reason=None):
+        for result in results:
+            assert not result.ok
+            if reason is not None:
+                # Structural failures never hand back response bytes.
+                assert result.response_bytes is None
+                assert result.verdict.reason == reason
+
+    def test_truncated_shared_blob(self, dispatcher, signer, workload):
+        results = self.run_against(dispatcher, signer, workload,
+                                   lambda shared: shared[:-7])
+        self.assert_all_rejected(results, codes.MALFORMED_PROOF)
+
+    def test_garbage_shared_blob(self, dispatcher, signer, workload):
+        results = self.run_against(dispatcher, signer, workload,
+                                   lambda shared: b"\xff" * len(shared))
+        self.assert_all_rejected(results, codes.MALFORMED_PROOF)
+
+    def test_omitted_shared_section(self, dispatcher, signer, workload):
+        def drop_section(shared):
+            batch = MultiProofBatch.decode(shared)
+            name = sorted(batch.shared)[0]
+            pruned = {k: v for k, v in batch.shared.items() if k != name}
+            return replace(batch, shared=pruned).encode()
+
+        results = self.run_against(dispatcher, signer, workload, drop_section)
+        self.assert_all_rejected(results, codes.MALFORMED_PROOF)
+
+    def test_tampered_shared_digest_fails_root_check(self, dispatcher,
+                                                     signer, workload):
+        def flip_digest(shared):
+            batch = MultiProofBatch.decode(shared)
+            name = sorted(batch.shared)[0]
+            section = batch.shared[name]
+            entry = section.entries[0]
+            bad = replace(entry, digest=bytes([entry.digest[0] ^ 1])
+                          + entry.digest[1:])
+            sections = dict(batch.shared)
+            sections[name] = replace(
+                section, entries=[bad, *section.entries[1:]])
+            return replace(batch, shared=sections).encode()
+
+        results = self.run_against(dispatcher, signer, workload, flip_digest)
+        # Value tampering survives recovery and dies in per-query root
+        # verification — the same verdict independent replies would get.
+        self.assert_all_rejected(results)
+        assert {r.verdict.reason for r in results} <= {
+            codes.ROOT_MISMATCH, codes.MALFORMED_PROOF}
+
+    def test_reordered_batch_queries_rejected(self, dispatcher, signer,
+                                              workload):
+        def swap_queries(shared):
+            batch = MultiProofBatch.decode(shared)
+            queries = list(batch.queries)
+            queries[0], queries[1] = queries[1], queries[0]
+            return replace(batch, queries=tuple(queries)).encode()
+
+        results = self.run_against(dispatcher, signer, workload[:3],
+                                   swap_queries)
+        self.assert_all_rejected(results, codes.MALFORMED_PROOF)

@@ -1,0 +1,260 @@
+"""Merkle multiproofs: one deduplicated ΓT for several disclosure sets.
+
+The two facts the wire-level BATCH layout rests on are proved here as
+byte-level equivalences, not just verification verdicts:
+
+* the shared multiproof is exactly ``prove(union)`` — and is assemblable
+  from the k *independent* per-set proofs (:func:`merge_entries`), which
+  is how the server builds it without touching the tree;
+* expansion recovers every per-set cover **byte-identical** to the
+  standalone ``prove(set)``, so per-query verification is unchanged.
+
+The tamper battery then checks that the deduplication does not open a
+forgery seam: a wrong digest moves the root, an omitted one is a typed
+structural failure, and reordering the shared entries is benign (lookup
+is by coordinate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.hashing import get_hash
+from repro.errors import MerkleError
+from repro.merkle import (
+    MerkleBTree,
+    MerkleTree,
+    cover_indices,
+    expand_multi,
+    merge_entries,
+    union_indices,
+    verify_multi,
+)
+
+HASH = "sha1"
+
+
+def payloads(n):
+    return [f"payload-{i}".encode() for i in range(n)]
+
+
+def leaf_map(tree, indices):
+    return {i: f"payload-{i}".encode() for i in indices}
+
+
+def make_tree(n, fanout=4):
+    return MerkleTree(payloads(n), fanout=fanout, hash_fn=HASH)
+
+
+def random_sets(n, k, rng):
+    return [sorted(rng.sample(range(n), rng.randint(1, max(1, n // 3))))
+            for _ in range(k)]
+
+
+class TestUnionAndCovers:
+    def test_union_sorted_deduplicated(self):
+        assert union_indices([[3, 1], [1, 7], [3]]) == [1, 3, 7]
+
+    def test_union_of_nothing_rejected(self):
+        with pytest.raises(MerkleError):
+            union_indices([])
+        with pytest.raises(MerkleError):
+            union_indices([[], []])
+
+    def test_cover_indices_match_prove_coordinates(self):
+        tree = make_tree(33, fanout=3)
+        disclosed = [0, 5, 17, 32]
+        entries = tree.prove(disclosed)
+        assert [(e.level, e.index) for e in entries] == \
+            cover_indices(tree.num_leaves, tree.fanout, disclosed)
+
+
+class TestMultiproofEquivalence:
+    @pytest.mark.parametrize("n,fanout", [(1, 2), (2, 2), (7, 2), (16, 4),
+                                          (33, 3), (100, 8)])
+    def test_shared_proof_is_union_proof(self, n, fanout):
+        tree = make_tree(n, fanout)
+        rng = random.Random(n * 31 + fanout)
+        sets = random_sets(n, 5, rng)
+        union, shared = tree.prove_multi(sets)
+        assert union == union_indices(sets)
+        assert shared == tree.prove(union)
+
+    @pytest.mark.parametrize("n,fanout", [(7, 2), (16, 4), (33, 3), (100, 8)])
+    def test_merged_independent_proofs_equal_shared(self, n, fanout):
+        """The server-side path: pool k standalone proofs, no tree."""
+        tree = make_tree(n, fanout)
+        rng = random.Random(n * 17 + fanout)
+        sets = random_sets(n, 4, rng)
+        union, shared = tree.prove_multi(sets)
+        pooled = {}
+        for disclosed in sets:
+            for entry in tree.prove(disclosed):
+                pooled[(entry.level, entry.index)] = entry.digest
+        merged = merge_entries(tree.num_leaves, tree.fanout, union, pooled)
+        assert merged == shared
+
+    @pytest.mark.parametrize("n,fanout", [(1, 2), (7, 2), (16, 4), (33, 3),
+                                          (100, 8)])
+    def test_expansion_recovers_standalone_covers(self, n, fanout):
+        tree = make_tree(n, fanout)
+        rng = random.Random(n * 13 + fanout)
+        sets = random_sets(n, 5, rng)
+        union, shared = tree.prove_multi(sets)
+        root, covers = expand_multi(tree.num_leaves, tree.fanout, HASH,
+                                    leaf_map(tree, union), shared, sets)
+        assert root == tree.root
+        for disclosed, cover in zip(sets, covers):
+            assert cover == tree.prove(disclosed)
+
+    def test_verify_multi_returns_root(self):
+        tree = make_tree(40, 4)
+        sets = [[0, 9], [9, 22, 39], [3]]
+        union, shared = tree.prove_multi(sets)
+        assert verify_multi(tree.num_leaves, tree.fanout, HASH,
+                            leaf_map(tree, union), shared) == tree.root
+
+    def test_btree_multiproof_matches_key_lookup(self):
+        keys = [k * 10 for k in range(25)]
+        btree = MerkleBTree(keys, [f"v{k}".encode() for k in keys],
+                            fanout=4, hash_fn=HASH)
+        key_sets = [[0, 100], [100, 240], [50]]
+        index_sets, union, shared = btree.prove_multi(key_sets)
+        assert index_sets == [btree.indices_of(ks) for ks in key_sets]
+        assert (union, shared) == btree._tree.prove_multi(index_sets)
+
+
+class TestBatchShapes:
+    def test_singleton_batch_degenerates_to_plain_proof(self):
+        tree = make_tree(20, 4)
+        union, shared = tree.prove_multi([[2, 11]])
+        assert union == [2, 11]
+        assert shared == tree.prove([2, 11])
+
+    def test_duplicate_sets_share_everything(self):
+        tree = make_tree(20, 4)
+        sets = [[4, 7], [4, 7], [4, 7]]
+        union, shared = tree.prove_multi(sets)
+        assert union == [4, 7]
+        _, covers = expand_multi(tree.num_leaves, tree.fanout, HASH,
+                                 leaf_map(tree, union), shared, sets)
+        assert covers[0] == covers[1] == covers[2] == tree.prove([4, 7])
+
+    def test_all_leaves_disclosed_needs_no_entries(self):
+        tree = make_tree(9, 3)
+        union, shared = tree.prove_multi([list(range(9))])
+        assert shared == []
+        root, covers = expand_multi(tree.num_leaves, tree.fanout, HASH,
+                                    leaf_map(tree, union), shared,
+                                    [list(range(9))])
+        assert root == tree.root and covers == [[]]
+
+    def test_leaf_set_outside_disclosure_rejected(self):
+        tree = make_tree(20, 4)
+        union, shared = tree.prove_multi([[2, 11]])
+        with pytest.raises(MerkleError):
+            expand_multi(tree.num_leaves, tree.fanout, HASH,
+                         leaf_map(tree, union), shared, [[2, 12]])
+
+
+class TestTamperBattery:
+    @pytest.fixture()
+    def setting(self):
+        tree = make_tree(48, 4)
+        sets = [[1, 30], [7, 30, 42], [19]]
+        union, shared = tree.prove_multi(sets)
+        return tree, sets, union, shared
+
+    def test_tampered_digest_moves_the_root(self, setting):
+        tree, sets, union, shared = setting
+        for position in range(len(shared)):
+            bad = list(shared)
+            entry = bad[position]
+            flipped = bytes([entry.digest[0] ^ 0x01]) + entry.digest[1:]
+            bad[position] = replace(entry, digest=flipped)
+            root, _ = expand_multi(tree.num_leaves, tree.fanout, HASH,
+                                   leaf_map(tree, union), bad, sets)
+            assert root != tree.root
+
+    def test_digest_swap_between_entries_moves_the_root(self, setting):
+        tree, sets, union, shared = setting
+        assert len(shared) >= 2
+        a, b = shared[0], shared[1]
+        swapped = [replace(a, digest=b.digest), replace(b, digest=a.digest),
+                   *shared[2:]]
+        root, _ = expand_multi(tree.num_leaves, tree.fanout, HASH,
+                               leaf_map(tree, union), swapped, sets)
+        assert root != tree.root
+
+    def test_tampered_payload_moves_the_root(self, setting):
+        tree, sets, union, shared = setting
+        leaves = leaf_map(tree, union)
+        leaves[union[0]] = leaves[union[0]] + b"!"
+        root, _ = expand_multi(tree.num_leaves, tree.fanout, HASH,
+                               leaves, shared, sets)
+        assert root != tree.root
+
+    def test_omitted_entry_is_structural_failure(self, setting):
+        tree, sets, union, shared = setting
+        for position in range(len(shared)):
+            bad = shared[:position] + shared[position + 1:]
+            with pytest.raises(MerkleError):
+                expand_multi(tree.num_leaves, tree.fanout, HASH,
+                             leaf_map(tree, union), bad, sets)
+            with pytest.raises(MerkleError):
+                verify_multi(tree.num_leaves, tree.fanout, HASH,
+                             leaf_map(tree, union), bad)
+
+    def test_conflicting_duplicate_entries_rejected(self, setting):
+        tree, sets, union, shared = setting
+        entry = shared[0]
+        flipped = bytes([entry.digest[0] ^ 0x01]) + entry.digest[1:]
+        doubled = [*shared, replace(entry, digest=flipped)]
+        with pytest.raises(MerkleError):
+            verify_multi(tree.num_leaves, tree.fanout, HASH,
+                         leaf_map(tree, union), doubled)
+
+    def test_benign_duplicate_entries_tolerated(self, setting):
+        tree, sets, union, shared = setting
+        assert verify_multi(tree.num_leaves, tree.fanout, HASH,
+                            leaf_map(tree, union),
+                            [*shared, shared[0]]) == tree.root
+
+    def test_reordered_entries_are_benign(self, setting):
+        """Lookup is by (level, index): shuffling cannot weaken anything
+        — the recovered covers stay canonical and byte-identical."""
+        tree, sets, union, shared = setting
+        shuffled = list(shared)
+        random.Random(5).shuffle(shuffled)
+        root, covers = expand_multi(tree.num_leaves, tree.fanout, HASH,
+                                    leaf_map(tree, union), shuffled, sets)
+        assert root == tree.root
+        assert covers == [tree.prove(s) for s in sets]
+
+    def test_merge_with_missing_pooled_entry_rejected(self, setting):
+        tree, sets, union, shared = setting
+        pooled = {(e.level, e.index): e.digest for e in shared}
+        pooled.pop(next(iter(pooled)))
+        with pytest.raises(MerkleError):
+            merge_entries(tree.num_leaves, tree.fanout, union, pooled)
+
+
+class TestSavings:
+    def test_union_cover_never_larger_than_concatenation(self):
+        rng = random.Random(2010)
+        for n, fanout in [(16, 2), (50, 4), (100, 8)]:
+            tree = make_tree(n, fanout)
+            sets = random_sets(n, 6, rng)
+            _, shared = tree.prove_multi(sets)
+            independent = sum(len(tree.prove(s)) for s in sets)
+            assert len(shared) <= independent
+
+    def test_overlapping_sets_actually_save(self):
+        tree = make_tree(64, 2)
+        sets = [[0, 1, i] for i in range(2, 10)]
+        _, shared = tree.prove_multi(sets)
+        independent = sum(len(tree.prove(s)) for s in sets)
+        assert len(shared) < independent / 2

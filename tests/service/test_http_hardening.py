@@ -1,0 +1,204 @@
+"""Frontend hardening for long-lived connections.
+
+Persistent clients change the threat model of the HTTP frontend: a
+connection is no longer request-scoped, so a peer that stalls mid-body
+(slow-loris), under-delivers a promised body, or simply never hangs up
+can pin handler threads indefinitely.  These tests drive raw sockets
+against a live server and assert the three defences: per-connection
+timeouts with a *typed* error frame, short-body detection, and the
+bounded keep-alive budget.  Alongside ride the URL fixes: wildcard and
+IPv6 binds must advertise an address a client can actually dial.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.api import codes
+from repro.api.client import RemoteClient
+from repro.api.envelope import (
+    ErrorMessage,
+    QueryRequest,
+    decode_frame,
+    decode_message,
+)
+from repro.api.transport import HttpTransport
+from repro.errors import ServiceError
+from repro.service.http import (
+    ProofHttpServer,
+    connectable_host,
+    format_netloc,
+)
+from repro.service.server import ProofServer
+
+
+@pytest.fixture()
+def dispatcher(dij):
+    return ProofServer(dij, cache_size=64).dispatcher()
+
+
+def post_raw(host, port, body, *, content_length=None, settle=1.0):
+    """POST /rpc with full control over framing; return the raw reply."""
+    length = len(body) if content_length is None else content_length
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(
+            b"POST /rpc HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Type: application/octet-stream\r\n"
+            + f"Content-Length: {length}\r\n\r\n".encode()
+        )
+        sock.sendall(body)
+        # FIN the write side: the promised body will never arrive.
+        sock.shutdown(socket.SHUT_WR)
+        sock.settimeout(settle + 10.0)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except TimeoutError:
+            pass
+        return b"".join(chunks)
+
+
+def error_code_of(http_reply: bytes) -> str:
+    """Extract the wire error code from a raw HTTP response."""
+    frame = http_reply.split(b"\r\n\r\n", 1)[1]
+    message = decode_message(decode_frame(frame))
+    assert isinstance(message, ErrorMessage)
+    return message.code
+
+
+class TestConnectableUrls:
+    def test_wildcard_bind_advertises_loopback(self, dispatcher, signer,
+                                               workload):
+        with ProofHttpServer(dispatcher, host="0.0.0.0") as server:
+            assert server.bound_host == "0.0.0.0"
+            assert server.host == "127.0.0.1"
+            assert server.url == f"http://127.0.0.1:{server.port}"
+            with HttpTransport(server.url) as transport:
+                client = RemoteClient(transport, signer.verify)
+                vs, vt = workload[0]
+                assert client.query(vs, vt).ok
+
+    def test_empty_bind_advertises_loopback(self, dispatcher):
+        with ProofHttpServer(dispatcher, host="") as server:
+            assert server.host == "127.0.0.1"
+
+    def test_connectable_host_mapping(self):
+        assert connectable_host("0.0.0.0") == "127.0.0.1"
+        assert connectable_host("") == "127.0.0.1"
+        assert connectable_host("::") == "::1"
+        assert connectable_host("0:0:0:0:0:0:0:0") == "::1"
+        assert connectable_host("10.1.2.3") == "10.1.2.3"
+        assert connectable_host("example.test") == "example.test"
+
+    def test_format_netloc_brackets_ipv6(self):
+        assert format_netloc("127.0.0.1", 80) == "127.0.0.1:80"
+        assert format_netloc("::1", 8080) == "[::1]:8080"
+        assert format_netloc("fe80::1", 1) == "[fe80::1]:1"
+
+
+class TestBodyDefences:
+    def test_short_body_gets_typed_error_frame(self, dispatcher, workload):
+        vs, vt = workload[0]
+        frame = QueryRequest(vs, vt).to_frame()
+        with ProofHttpServer(dispatcher) as server:
+            reply = post_raw(server.host, server.port, frame[:3],
+                             content_length=len(frame))
+        assert error_code_of(reply) == codes.E_REQUEST_TIMEOUT
+
+    def test_slow_loris_times_out_with_typed_error(self, dispatcher,
+                                                   workload):
+        vs, vt = workload[0]
+        frame = QueryRequest(vs, vt).to_frame()
+        with ProofHttpServer(dispatcher, handler_timeout=0.5) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(
+                    b"POST /rpc HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {len(frame)}\r\n\r\n".encode()
+                )
+                sock.sendall(frame[:2])  # ... and then stall, socket open
+                start = time.monotonic()
+                chunks = []
+                sock.settimeout(10.0)
+                try:
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        chunks.append(chunk)
+                except TimeoutError:
+                    pass
+                elapsed = time.monotonic() - start
+        assert error_code_of(b"".join(chunks)) == codes.E_REQUEST_TIMEOUT
+        assert elapsed < 8.0  # the 0.5s window, not a default-long stall
+
+    def test_healthy_request_on_same_config_still_serves(self, dispatcher,
+                                                         signer, workload):
+        with ProofHttpServer(dispatcher, handler_timeout=0.5) as server:
+            with HttpTransport(server.url) as transport:
+                client = RemoteClient(transport, signer.verify)
+                vs, vt = workload[0]
+                assert client.query(vs, vt).ok
+
+
+class TestKeepAliveBudget:
+    def test_budget_closes_connection_with_header(self, dispatcher,
+                                                  workload):
+        vs, vt = workload[0]
+        frame = QueryRequest(vs, vt).to_frame()
+        request = (
+            b"POST /rpc HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Type: application/octet-stream\r\n"
+            + f"Content-Length: {len(frame)}\r\n\r\n".encode() + frame
+        )
+        with ProofHttpServer(dispatcher, max_keepalive_requests=2) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(request)
+                first = sock.recv(65536)
+                sock.sendall(request)
+                remainder = []
+                sock.settimeout(10.0)
+                try:
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        remainder.append(chunk)
+                except TimeoutError:
+                    pytest.fail("server kept the connection past its budget")
+                second = b"".join(remainder)
+        assert b"Connection: close" not in first
+        assert b"Connection: close" in second
+
+    def test_client_rides_through_budget(self, dispatcher, signer, workload):
+        with ProofHttpServer(dispatcher, max_keepalive_requests=3) as server:
+            with HttpTransport(server.url) as transport:
+                client = RemoteClient(transport, signer.verify)
+                for _ in range(3):
+                    for vs, vt in workload:
+                        assert client.query(vs, vt).ok
+
+    def test_zero_budget_disables_the_bound(self, dispatcher, signer,
+                                            workload):
+        with ProofHttpServer(dispatcher, max_keepalive_requests=0) as server:
+            with HttpTransport(server.url) as transport:
+                client = RemoteClient(transport, signer.verify)
+                for vs, vt in workload:
+                    assert client.query(vs, vt).ok
+
+    def test_invalid_limits_rejected(self, dispatcher):
+        with pytest.raises(ServiceError):
+            ProofHttpServer(dispatcher, handler_timeout=0.0)
+        with pytest.raises(ServiceError):
+            ProofHttpServer(dispatcher, handler_timeout=-1.0)
+        with pytest.raises(ServiceError):
+            ProofHttpServer(dispatcher, max_keepalive_requests=-1)
