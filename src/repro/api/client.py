@@ -26,6 +26,8 @@ from repro.api.envelope import (
     ErrorMessage,
     HelloReply,
     HelloRequest,
+    ManifestReply,
+    ManifestRequest,
     Message,
     MetricsReply,
     MetricsRequest,
@@ -60,6 +62,10 @@ class RemoteResult:
     response_bytes: "bytes | None"
     wire_bytes: int
     cached: bool = False
+    #: True when ``response_bytes`` holds a stitched cross-shard
+    #: :class:`~repro.shard.stitch.CompositeResponse` instead of a
+    #: plain :class:`~repro.core.proofs.QueryResponse`.
+    composite: bool = False
 
     @property
     def ok(self) -> bool:
@@ -68,10 +74,31 @@ class RemoteResult:
 
     @property
     def response(self) -> "QueryResponse | None":
-        """The decoded response (re-decoded on access; None on error)."""
-        if self.response_bytes is None:
+        """The decoded response (re-decoded on access; None on error).
+
+        Composite results have no single ``QueryResponse``; use
+        :attr:`composite_response` for those.
+        """
+        if self.response_bytes is None or self.composite:
             return None
         return QueryResponse.decode(self.response_bytes)
+
+    @property
+    def composite_response(self):
+        """The decoded stitched answer (None unless ``composite``)."""
+        if self.response_bytes is None or not self.composite:
+            return None
+        from repro.shard.stitch import CompositeResponse
+
+        return CompositeResponse.decode(self.response_bytes)
+
+    @property
+    def path(self) -> "tuple | None":
+        """``(path_nodes, path_cost)`` regardless of response shape."""
+        decoded = self.composite_response if self.composite else self.response
+        if decoded is None:
+            return None
+        return decoded.path_nodes, decoded.path_cost
 
 
 class RemoteClient:
@@ -94,6 +121,9 @@ class RemoteClient:
         #: The bytes-first verifier doing the actual checking.
         self.client = Client(verify_signature,
                              min_descriptor_version=min_descriptor_version)
+        #: Cached, already-signature-checked shard manifest (set after
+        #: the first composite reply or an explicit fetch).
+        self._manifest = None
 
     # ------------------------------------------------------------------
     def require_version(self, version: int) -> None:
@@ -152,8 +182,60 @@ class RemoteClient:
             self._exchange(DescriptorRequest(), DescriptorReply))
         return SignedDescriptor.decode(reply.descriptor_bytes), reply.descriptor_bytes
 
+    def fetch_manifest(self):
+        """The served shard manifest: decoded, verified, plus raw bytes.
+
+        Routers only.  The manifest is the sharded counterpart of the
+        descriptor: owner-signed, so the router cannot misrepresent the
+        partition.  Raises :class:`ProtocolError` when the server has
+        none or the bytes do not decode; the signature/freshness check
+        is the returned manifest's and is performed here — a manifest
+        that fails it raises too, since nothing it says can be trusted.
+        """
+        from repro.shard.manifest import ShardManifest, verify_manifest
+
+        reply = self._raise_on_error(
+            self._exchange(ManifestRequest(), ManifestReply))
+        try:
+            manifest = ShardManifest.decode(reply.manifest_bytes)
+        except ReproError as exc:
+            raise ProtocolError(f"served manifest does not decode: {exc}") from exc
+        verdict = verify_manifest(manifest, self.client.verify_signature,
+                                  min_version=self.client.min_descriptor_version)
+        if not verdict.ok:
+            raise ProtocolError(
+                f"served manifest rejected ({verdict.reason}): {verdict.detail}"
+            )
+        self._manifest = manifest
+        return manifest, reply.manifest_bytes
+
+    def _composite_verdict(self, source: int, target: int,
+                           composite_bytes: bytes) -> VerificationResult:
+        """Verify a stitched reply, fetching the manifest on first use."""
+        from repro.shard.stitch import verify_composite
+
+        floor = self.client.min_descriptor_version
+        manifest = self._manifest
+        if manifest is None or (floor is not None and manifest.version < floor):
+            try:
+                manifest, _ = self.fetch_manifest()
+            except ProtocolError as exc:
+                return VerificationResult.failure(
+                    codes.MALFORMED_MANIFEST,
+                    f"cannot obtain a trusted shard manifest: {exc}",
+                )
+        return verify_composite(source, target, composite_bytes, manifest,
+                                self.client.verify_signature,
+                                min_version=floor, manifest_verified=True)
+
     def query(self, source: int, target: int) -> RemoteResult:
-        """One verified shortest path query over the wire."""
+        """One verified shortest path query over the wire.
+
+        Against a shard router the reply may be a stitched composite
+        (``result.composite``); the verdict then covers every per-shard
+        segment plus the cross-shard glue (see
+        :func:`repro.shard.stitch.verify_composite`).
+        """
         request = QueryRequest(source, target)
         reply_frame = self._roundtrip(request.to_frame())
         wire_bytes = len(reply_frame)
@@ -168,6 +250,11 @@ class RemoteClient:
             raise ProtocolError(
                 f"expected QueryReply or ErrorMessage, got {type(message).__name__}"
             )
+        if message.composite:
+            verdict = self._composite_verdict(source, target, message.composite)
+            return RemoteResult(source, target, verdict, message.composite,
+                                wire_bytes, cached=message.cached,
+                                composite=True)
         verdict = self.client.verify_bytes(source, target, message.response_bytes)
         return RemoteResult(source, target, verdict, message.response_bytes,
                             wire_bytes, cached=message.cached)
@@ -209,8 +296,9 @@ class RemoteClient:
                 f"batch reply has {len(message.items)} items for "
                 f"{len(pairs)} queries"
             )
-        if message.shared:
+        if message.shared and not message.composite_slots:
             return self._verify_multiproof(pairs, message, len(reply_frame))
+        composite_slots = frozenset(message.composite_slots)
         # The frame's framing bytes are charged to the batch's first
         # item; per-item payload sizes dominate by orders of magnitude.
         overhead = len(reply_frame) - sum(
@@ -224,6 +312,14 @@ class RemoteClient:
                     VerificationResult.failure(item.error_code, item.error_detail),
                     None, wire,
                 ))
+                continue
+            if index in composite_slots:
+                verdict = self._composite_verdict(source, target,
+                                                  item.response_bytes)
+                results.append(RemoteResult(source, target, verdict,
+                                            item.response_bytes, wire,
+                                            cached=item.cached,
+                                            composite=True))
                 continue
             verdict = self.client.verify_bytes(source, target, item.response_bytes)
             results.append(RemoteResult(source, target, verdict,

@@ -595,3 +595,194 @@ def run_worker_loadtest(
         aggregate_metrics=aggregate.as_dict() if aggregate else {},
         worker_requests=tuple(s.requests for s in pool.worker_snapshots),
     )
+
+
+# ----------------------------------------------------------------------
+# Sharded (router) load testing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RouterLoadtestReport:
+    """Wire replay against a shard router fronting per-shard workers.
+
+    The pass layout mirrors :class:`WorkerLoadtestReport`; what changes
+    is the serving topology: each shard is its own worker *process*
+    over its own ``.rspv`` artifact, and the measured endpoint is the
+    router that plans, fans out and stitches.  ``cross_shard`` counts
+    workload pairs the router answered with a stitched composite.
+    ``router_metrics`` is the router's ``GET /metrics`` JSON — per-shard
+    windows and the fleet merge included.
+    """
+
+    method: str
+    num_queries: int
+    num_shards: int
+    client_threads: int
+    url: str
+    passes: tuple[HttpLoadtestPass, ...]
+    cross_shard: int
+    router_metrics: "dict | None" = None
+
+    @property
+    def cold(self) -> HttpLoadtestPass:
+        """The first (cold-cache) pass."""
+        return self.passes[0]
+
+    @property
+    def warm(self) -> HttpLoadtestPass:
+        """The last (fully warm) pass."""
+        return self.passes[-1]
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether every verified sample passed."""
+        return all(p.all_verified for p in self.passes)
+
+    def table_rows(self) -> "list[list[object]]":
+        """Rows for :func:`repro.bench.reporting.format_table`."""
+        return [
+            [p.label, p.requests, p.qps, p.wire_bytes / 1024.0,
+             "ok" if p.all_verified else f"{len(p.failures)} FAILED"]
+            for p in self.passes
+        ]
+
+    #: Header matching :meth:`table_rows`.
+    TABLE_HEADERS = ("pass", "requests", "wire QPS", "wire KB", "verified")
+
+
+def run_router_loadtest(
+    graph,
+    signer,
+    queries: "list[tuple[int, int]]",
+    *,
+    num_shards: int,
+    passes: int = 2,
+    client_threads: int = 4,
+    cache_size: int = DEFAULT_CAPACITY,
+    verify_signature: "SignatureVerifier | None" = None,
+    method: str = "DIJ",
+    strategy: str = "hilbert",
+) -> RouterLoadtestReport:
+    """Stand up a k-shard serving fleet and replay *queries* through it.
+
+    Owner-side, the harness partitions *graph* into ``num_shards``
+    shards and packs each as its own artifact (plus the signed
+    manifest); serving-side, every shard gets its own single-process
+    :class:`~repro.service.workers.WorkerPool` and a
+    :class:`~repro.service.router.ShardRouter` fronts them over pooled
+    HTTP transports behind a real
+    :class:`~repro.service.http.ProofHttpServer`.  Client threads then
+    fire raw query frames exactly as :func:`run_worker_loadtest` does,
+    so k=1 and k=2 numbers are comparable router-to-router (k=1 pays
+    the same proxy hop).  When *verify_signature* is given, one
+    response per pass — a cross-shard pair when the workload has one —
+    is verified end to end through
+    :class:`~repro.api.client.RemoteClient`, stitched composite
+    included.
+    """
+    import contextlib
+    import os
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api.client import RemoteClient
+    from repro.api.envelope import MSG_QUERY_OK, QueryRequest, decode_frame
+    from repro.api.transport import HttpTransport, PooledHttpTransport
+    from repro.service.http import ProofHttpServer
+    from repro.service.router import ShardRouter
+    from repro.service.workers import WorkerPool
+    from repro.shard import build_shards, save_manifest
+    from repro.store.artifact import save_method
+
+    if passes < 2:
+        raise ServiceError(f"need a cold and a warm pass; got passes={passes}")
+    if not queries:
+        raise ServiceError("empty load-test workload")
+    if client_threads < 1:
+        raise ServiceError(f"client_threads must be >= 1, got {client_threads}")
+
+    build = build_shards(graph, signer, num_shards=num_shards,
+                         method=method, strategy=strategy)
+    plan = build.plan
+    cross_shard = sum(
+        1 for vs, vt in queries if plan.shard_of(vs) != plan.shard_of(vt))
+
+    frames = [QueryRequest(vs, vt).to_frame() for vs, vt in queries]
+    chunks = [frames[i::client_threads] for i in range(client_threads)]
+    sample_pair = next(
+        ((vs, vt) for vs, vt in queries
+         if plan.shard_of(vs) != plan.shard_of(vt)),
+        queries[0],
+    )
+
+    def drive(chunk: "list[bytes]", transport: HttpTransport) -> tuple[int, int]:
+        wire = 0
+        bad = 0
+        for frame in chunk:
+            reply = transport.roundtrip(frame)
+            wire += len(reply)
+            if decode_frame(reply).msg_type != MSG_QUERY_OK:
+                bad += 1
+        return wire, bad
+
+    results: list[HttpLoadtestPass] = []
+    with tempfile.TemporaryDirectory(prefix="repro-shards-") as workdir, \
+            contextlib.ExitStack() as stack:
+        manifest_path = os.path.join(workdir, "fleet.rspm")
+        save_manifest(build.manifest, manifest_path)
+        pools = []
+        for shard_id, built in enumerate(build.methods):
+            artifact = os.path.join(workdir, f"shard{shard_id}.rspv")
+            save_method(built, artifact)
+            pools.append(stack.enter_context(
+                WorkerPool(artifact, workers=1, cache_size=cache_size)))
+        shard_transports = [
+            stack.enter_context(PooledHttpTransport(pool.url))
+            for pool in pools
+        ]
+        router = stack.enter_context(
+            ShardRouter(build.manifest, shard_transports, graph))
+        http_server = stack.enter_context(ProofHttpServer(router))
+        url = http_server.url
+        transports = [stack.enter_context(HttpTransport(url))
+                      for _ in range(client_threads)]
+        with ThreadPoolExecutor(max_workers=client_threads) as executor:
+            for index in range(passes):
+                label = "cold" if index == 0 else f"warm{index}"
+                failures: list[str] = []
+                start = time.perf_counter()
+                outcomes = list(executor.map(drive, chunks, transports))
+                seconds = time.perf_counter() - start
+                wire_bytes = sum(wire for wire, _ in outcomes)
+                errors = sum(bad for _, bad in outcomes)
+                if errors:
+                    failures.append(f"{errors} wire-level error replies")
+                if verify_signature is not None:
+                    vs, vt = sample_pair
+                    with HttpTransport(url) as sample_transport:
+                        sample = RemoteClient(
+                            sample_transport, verify_signature,
+                        ).query(vs, vt)
+                    if not sample.ok:
+                        failures.append(
+                            f"sample ({vs},{vt}): {sample.verdict.reason} "
+                            f"{sample.verdict.detail}")
+                results.append(HttpLoadtestPass(
+                    label=label,
+                    requests=len(queries),
+                    seconds=seconds,
+                    wire_bytes=wire_bytes,
+                    proof_bytes=wire_bytes,  # raw drive: framing included
+                    verified=len(queries) - errors,
+                    failures=tuple(failures),
+                ))
+        router_metrics = fetch_http_metrics(url)
+    return RouterLoadtestReport(
+        method=method,
+        num_queries=len(queries),
+        num_shards=num_shards,
+        client_threads=client_threads,
+        url=url,
+        passes=tuple(results),
+        cross_shard=cross_shard,
+        router_metrics=router_metrics,
+    )

@@ -137,8 +137,12 @@ def _execute_event(client, transport, event) -> dict:
         elif event.expect == "ok":  # replay of a valid frame: full service
             if isinstance(message, QueryReply):
                 (vs, vt), = event.queries
-                verdict = client.client.verify_bytes(vs, vt,
-                                                     message.response_bytes)
+                if message.composite:  # a router answered with a stitch
+                    verdict = client._composite_verdict(vs, vt,
+                                                        message.composite)
+                else:
+                    verdict = client.client.verify_bytes(
+                        vs, vt, message.response_bytes)
                 out["garbage_outcome"] = "typed" if verdict.ok else "unexpected"
                 if not verdict.ok:
                     out["failures"].append(
@@ -159,8 +163,13 @@ def _execute_event(client, transport, event) -> dict:
                 except Exception:  # noqa: BLE001
                     mutated = None
                 if isinstance(mutated, QueryRequest):
-                    verdict = client.client.verify_bytes(
-                        mutated.source, mutated.target, message.response_bytes)
+                    if message.composite:
+                        verdict = client._composite_verdict(
+                            mutated.source, mutated.target, message.composite)
+                    else:
+                        verdict = client.client.verify_bytes(
+                            mutated.source, mutated.target,
+                            message.response_bytes)
                     if not verdict.ok:
                         out["garbage_outcome"] = "unexpected"
                         out["failures"].append(
@@ -558,7 +567,7 @@ def _drive_phase(phase, events, *, url: str, clients: int, client_mode: str,
 
 
 def run_slo_soak(
-    method: VerificationMethod,
+    method: "VerificationMethod | None",
     scenario: Scenario,
     *,
     key_path: "str | None" = None,
@@ -571,6 +580,8 @@ def run_slo_soak(
     cache_size: int = DEFAULT_CAPACITY,
     artifact_path: "str | None" = None,
     workers: int = 1,
+    url: "str | None" = None,
+    graph=None,
 ) -> SloReport:
     """Run *scenario* against a live serving stack; report per phase.
 
@@ -583,6 +594,14 @@ def run_slo_soak(
     *workers* processes serves instead; update events are dropped
     (replica pushes are ROADMAP item 5's scale-out work) and the
     report gains per-worker request balance.
+
+    With *url* the soak drives an **already-running external endpoint**
+    (e.g. a shard router) instead of booting anything: *method* may be
+    ``None`` (the served method is learned from the handshake), the
+    traffic graph comes from *graph* (or *method*'s), and update events
+    are dropped — an external endpoint's update path is not this
+    harness's to exercise.  Responses are verified exactly as in the
+    other modes, stitched cross-shard composites included.
 
     ``client_mode="process"`` (the default, and what the CLI uses)
     spawns real client processes that verify with the public key file
@@ -609,7 +628,13 @@ def run_slo_soak(
     if time_scale <= 0:
         raise ServiceError(f"time_scale must be positive, got {time_scale}")
 
-    trace = generate_traffic(method.graph, scenario, seed=seed)
+    traffic_graph = graph if graph is not None else (
+        method.graph if method is not None else None)
+    if traffic_graph is None:
+        raise ServiceError(
+            "the soak needs a traffic graph: pass method or graph")
+
+    trace = generate_traffic(traffic_graph, scenario, seed=seed)
     coordinator_verify = verify_signature \
         if verify_signature is not None else load_public_key(key_path).verify
 
@@ -655,6 +680,23 @@ def run_slo_soak(
                         f"final query ({vs},{vt}) at floor {floor}: "
                         f"{final.verdict.reason} {final.verdict.detail}")
             return reports, freshness, floor
+
+    if url is not None:
+        with HttpTransport(url) as probe:
+            served_method = RemoteClient(probe, coordinator_verify).hello().method
+        reports, freshness, floor = drive(url, None)
+        server_metrics = fetch_http_metrics(url)
+        return SloReport(
+            scenario=scenario.name,
+            method=method.name if method is not None else served_method,
+            seed=seed, trace_digest=trace.digest(), clients=clients,
+            client_mode=client_mode, url=url, phases=tuple(reports),
+            server_metrics=server_metrics,
+            final_version=floor, freshness_failures=tuple(freshness),
+        )
+
+    if method is None:
+        raise ServiceError("without url, the soak needs a built method")
 
     if artifact_path is not None:
         from repro.service.workers import WorkerPool

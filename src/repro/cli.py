@@ -8,22 +8,38 @@ Subcommands::
     repro-spv demo      net.txt --method HYP --queries 3
     repro-spv estimate  net.txt --range 2000
     repro-spv pack      net.txt --method LDM --out de.ldm.rspv --save-key owner.pub
+    repro-spv partition net.txt --shards 4 --out-prefix de --save-key owner.pub
     repro-spv serve     net.txt --method DIJ --workload queries.txt
     repro-spv serve     net.txt --method DIJ --http 8350 --save-key owner.pub
     repro-spv serve     --artifact de.ldm.rspv --http 8350 --workers 4
+    repro-spv serve     net.txt --router --manifest de.manifest.rspm \\
+                        --shards de.shard0.rspv,de.shard1.rspv --http 8350
     repro-spv fetch     http://host:8350 3 9 --out r.bin --descriptor-out d.bin
     repro-spv verify    r.bin --key owner.pub --descriptor d.bin
     repro-spv loadtest  net.txt --method DIJ --range 2000 --passes 3
     repro-spv loadtest  net.txt --method DIJ --http
     repro-spv loadtest  --artifact de.ldm.rspv --http --workers 2 --key owner.pub
     repro-spv loadtest  --scenario steady-burst --http --workers 2 --insecure
+    repro-spv loadtest  net.txt --scenario steady --http --url http://host:8350 \\
+                        --key owner.pub
     repro-spv bench     net.txt --method DIJ --out BENCH_DIJ.json
 
 ``demo`` runs the full three-party protocol (build, answer, verify) and
 prints per-query proof sizes; ``estimate`` prints the predictive sizing
 model's ranking without building anything.  ``pack`` builds a method
 once and freezes it into a ``.rspv`` artifact — the owner's offline
-step; ``serve --artifact`` (and ``loadtest --artifact``) then boot from
+step; ``partition`` is the sharded variant of that step: it cuts the
+graph into k shards, packs each shard as its own ``.rspv`` under its
+own signed descriptor, and writes the owner-signed ``.rspm`` shard
+manifest binding the partition to those descriptors (``info`` on the
+manifest prints the shard map); ``serve --router`` then fronts the
+shard fleet — embedded in-process from ``--shards a.rspv,b.rspv``, or
+remote workers via ``--shard-urls`` — planning on the full graph,
+fanning cross-shard queries out and stitching per-shard proofs into
+one composite the client verifies against the manifest;
+``loadtest --scenario X --url URL`` soaks such an already-running
+router from outside.  ``serve --artifact`` (and ``loadtest
+--artifact``) boot from
 that file without the graph or the signer, and with ``--http`` plus
 ``--workers N`` pre-fork N ``SO_REUSEPORT`` worker processes that share
 the port (and the page-cached artifact), printing aggregated metrics on
@@ -92,8 +108,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.shard import is_manifest
     from repro.store import is_artifact
 
+    if is_manifest(args.graph):
+        return _cmd_info_manifest(args.graph)
     if is_artifact(args.graph):
         return _cmd_info_artifact(args.graph)
     graph = read_graph(args.graph)
@@ -140,6 +159,32 @@ def _cmd_info_artifact(path: str) -> int:
     return 0
 
 
+def _cmd_info_manifest(path: str) -> int:
+    """``info`` on a ``.rspm`` shard manifest: the shard map."""
+    from repro.shard import manifest_info
+
+    info = manifest_info(path)
+    rows = [
+        ["kind", info["kind"]],
+        ["method", info["method"]],
+        ["graph version", info["version"]],
+        ["strategy", info["strategy"]],
+        ["shards", info["shards"]],
+        ["boundary nodes", info["boundary_nodes"]],
+    ]
+    print(format_table(["property", "value"], rows,
+                       title=f"{path} (.rspm shard manifest)"))
+    entry_rows = [
+        [entry["shard"], entry["nodes"], entry["boundary_nodes"],
+         entry["descriptor_digest"]]
+        for entry in info["entries"]
+    ]
+    print()
+    print(format_table(
+        ["shard", "core nodes", "boundary", "descriptor digest"], entry_rows))
+    return 0
+
+
 def _cmd_pack(args: argparse.Namespace) -> int:
     """``pack``: build once (owner side) and freeze the serve state."""
     from repro.store import artifact_info, save_method
@@ -158,6 +203,61 @@ def _cmd_pack(args: argparse.Namespace) -> int:
           f"{info.total_bytes / 1024:.1f} KB, "
           f"descriptor version {info.descriptor_version}")
     print(f"content digest {info.content_digest.hex()}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    """``partition``: the owner's sharded publish, frozen to disk.
+
+    Cuts the graph into ``--shards`` shards, builds one method per
+    shard (each over its core+halo subgraph, under its own signed
+    descriptor), packs each as ``PREFIX.shard<i>.rspv``, and writes the
+    owner-signed shard manifest as ``PREFIX.manifest.rspm``.
+    """
+    import os
+
+    from repro.shard import build_shards, save_manifest
+    from repro.store import save_method
+
+    graph = read_graph(args.graph)
+    signer = NullSigner() if args.insecure else RsaSigner(bits=1024)
+    params = {}
+    if args.method == "LDM":
+        params = dict(c=args.landmarks)
+    elif args.method == "HYP":
+        params = dict(num_cells=args.cells)
+    start = time.perf_counter()
+    build = build_shards(graph, signer, num_shards=args.shards,
+                         method=args.method, strategy=args.strategy,
+                         **params)
+    build_seconds = time.perf_counter() - start
+    if args.save_key:
+        save_public_key(signer, args.save_key)
+        print(f"wrote owner public key to {args.save_key}")
+    rows = []
+    for shard_id, method in enumerate(build.methods):
+        path = f"{args.out_prefix}.shard{shard_id}.rspv"
+        save_method(method, path)
+        entry = build.manifest.entries[shard_id]
+        rows.append([
+            shard_id, path, entry.num_nodes,
+            method.graph.num_nodes - entry.num_nodes,
+            len(entry.boundary),
+            os.path.getsize(path) / 1024,
+            entry.descriptor_digest.hex()[:16],
+        ])
+    manifest_path = f"{args.out_prefix}.manifest.rspm"
+    manifest_bytes = save_manifest(build.manifest, manifest_path)
+    print(format_table(
+        ["shard", "artifact", "core", "halo", "boundary", "KB", "digest"],
+        rows,
+        title=(f"{args.method} partition of {args.graph}: "
+               f"{args.shards} shards by {args.strategy}, "
+               f"{len(build.plan.cut_edges)} cut edges "
+               f"(build {build_seconds:.2f}s)"),
+    ))
+    print(f"\nwrote signed shard manifest ({manifest_bytes} bytes, "
+          f"graph version {build.manifest.version}) to {manifest_path}")
     return 0
 
 
@@ -296,6 +396,80 @@ def _cmd_serve_workers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_router(args: argparse.Namespace) -> int:
+    """``serve --router``: front a shard fleet on one wire endpoint.
+
+    The graph positional is the *full* network — the router plans
+    global shortest paths on it, then fans segments out to the shard
+    workers.  Workers come from ``--shard-urls`` (already-running
+    remote endpoints, one pooled connection each) or ``--shards``
+    (per-shard ``.rspv`` artifacts served embedded in this process —
+    the single-box demo of the sharded topology).
+    """
+    import contextlib
+
+    from repro.api.transport import InProcessTransport, PooledHttpTransport
+    from repro.service.http import ProofHttpServer
+    from repro.service.router import ShardRouter
+    from repro.shard import load_manifest
+    from repro.store import load_method
+
+    if args.http is None:
+        raise ServiceError(
+            "serve --router fronts the wire protocol; add --http PORT")
+    if not args.graph:
+        raise ServiceError(
+            "serve --router needs the full graph file for route planning")
+    if args.artifact:
+        raise ServiceError(
+            "--artifact is the single-box path; a router takes --shards "
+            "(artifact list) or --shard-urls")
+    if not args.manifest:
+        raise ServiceError(
+            "serve --router needs --manifest (the signed .rspm file "
+            "written by repro-spv partition)")
+    if bool(args.shards) == bool(args.shard_urls):
+        raise ServiceError(
+            "serve --router needs exactly one of --shards (embedded "
+            "workers from artifacts) or --shard-urls (remote workers)")
+    manifest = load_manifest(args.manifest)
+    graph = read_graph(args.graph)
+    with contextlib.ExitStack() as stack:
+        if args.shard_urls:
+            backends = [url.strip() for url in args.shard_urls.split(",")]
+            transports = [
+                stack.enter_context(PooledHttpTransport(url))
+                for url in backends
+            ]
+            source = f"remote workers {backends}"
+        else:
+            paths = [path.strip() for path in args.shards.split(",")]
+            transports = []
+            for path in paths:
+                server = ProofServer(load_method(path),
+                                     cache_size=args.cache_size)
+                transports.append(InProcessTransport(server.dispatcher()))
+            source = f"embedded workers from {paths}"
+        router = stack.enter_context(
+            ShardRouter(manifest, transports, graph))
+        http_server = ProofHttpServer(router, host=args.host, port=args.http)
+        print(f"{manifest.method} shard router on {http_server.url}: "
+              f"{manifest.num_shards} shards "
+              f"({manifest.num_boundary_nodes} boundary nodes, "
+              f"manifest {args.manifest}), {source}; "
+              f"POST frames to {http_server.url}/rpc, Ctrl-C to stop",
+              flush=True)
+        try:
+            http_server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down router")
+        finally:
+            http_server.close()
+        print(_metrics_table(router.metrics.snapshot(),
+                             title="router metrics"))
+    return 0
+
+
 def _cmd_serve_http(args: argparse.Namespace) -> int:
     """``serve --http``: the wire-protocol frontend, until interrupted."""
     from repro.service.http import ProofHttpServer
@@ -359,6 +533,12 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.router:
+        return _cmd_serve_router(args)
+    if args.manifest or args.shards or args.shard_urls:
+        raise ServiceError(
+            "--manifest/--shards/--shard-urls configure the shard router; "
+            "add --router")
     if args.http is not None:
         return _cmd_serve_http(args)
     owner, method, build_seconds = _serving_method(args)
@@ -503,7 +683,27 @@ def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
     if args.events_scale != 1.0:
         scenario = scenario.scaled(args.events_scale)
 
-    if args.artifact:
+    if args.url:
+        if not args.key:
+            raise ServiceError(
+                "an external-endpoint soak needs --key (the owner's public "
+                "key file) for the client processes to verify against"
+            )
+        if not args.graph:
+            raise ServiceError(
+                "loadtest --url needs the graph file the endpoint serves "
+                "(the workload substrate); the endpoint itself is not "
+                "asked for it"
+            )
+        clients = args.clients or 2
+        report = run_slo_soak(
+            None, scenario, key_path=args.key, clients=clients,
+            client_mode=args.client_mode, seed=args.seed,
+            time_scale=args.time_scale, cache_size=args.cache_size,
+            url=args.url, graph=read_graph(args.graph),
+        )
+        source = f"external endpoint {args.url}"
+    elif args.artifact:
         from repro.store import load_method
 
         if not args.key:
@@ -590,6 +790,10 @@ def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     if args.scenario:
         return _cmd_loadtest_scenario(args)
+    if args.url:
+        raise ServiceError(
+            "loadtest --url drives an already-running endpoint with "
+            "scenario traffic; add --scenario (e.g. --scenario steady)")
     if args.artifact:
         if not args.http:
             raise ServiceError(
@@ -869,6 +1073,30 @@ def build_parser() -> argparse.ArgumentParser:
                            "boxes never see the private key")
     pack.set_defaults(fn=_cmd_pack)
 
+    part = sub.add_parser(
+        "partition",
+        help="cut a graph into shards: per-shard .rspv artifacts plus a "
+             "signed .rspm shard manifest")
+    part.add_argument("graph")
+    part.add_argument("--shards", type=int, default=2,
+                      help="number of shards to cut the graph into")
+    part.add_argument("--strategy", choices=["hilbert", "grid"],
+                      default="hilbert",
+                      help="spatial ordering behind the balanced cut")
+    part.add_argument("--method", choices=["DIJ", "FULL", "LDM", "HYP"],
+                      default="DIJ")
+    part.add_argument("--landmarks", type=int, default=50)
+    part.add_argument("--cells", type=int, default=49)
+    part.add_argument("--insecure", action="store_true",
+                      help="use the keyed-hash stub signer (fast, no RSA)")
+    part.add_argument("--out-prefix", required=True,
+                      help="writes PREFIX.shard<i>.rspv and "
+                           "PREFIX.manifest.rspm")
+    part.add_argument("--save-key",
+                      help="also write the owner's public key file — one "
+                           "key verifies every shard and the manifest")
+    part.set_defaults(fn=_cmd_partition)
+
     def add_server_args(p: argparse.ArgumentParser,
                         default_method: str) -> None:
         p.add_argument("graph", nargs="?",
@@ -912,6 +1140,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="honour wire update pushes by re-signing with "
                             "the owner key (UNAUTHENTICATED — trusted "
                             "networks only; default: refuse pushes)")
+    serve.add_argument("--router", action="store_true",
+                       help="front a sharded fleet: plan on the full graph, "
+                            "fan cross-shard queries out, stitch proofs "
+                            "(needs --manifest plus --shards or "
+                            "--shard-urls, and --http)")
+    serve.add_argument("--manifest",
+                       help="signed .rspm shard manifest "
+                            "(from repro-spv partition)")
+    serve.add_argument("--shards",
+                       help="comma-separated per-shard .rspv artifacts, "
+                            "served embedded in the router process")
+    serve.add_argument("--shard-urls",
+                       help="comma-separated base URLs of already-running "
+                            "shard workers (one pooled connection each)")
     serve.set_defaults(fn=_cmd_serve)
 
     fetch = sub.add_parser(
@@ -972,6 +1214,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "scenario (e.g. steady-burst) instead of a plain "
                          "replay; requires --http, self-provisions a "
                          "synthetic network when no graph is given")
+    lt.add_argument("--url",
+                    help="with --scenario: soak this already-running "
+                         "endpoint (e.g. a shard router) instead of booting "
+                         "a server; needs the graph positional (workload "
+                         "substrate) and --key")
     lt.add_argument("--clients", type=int, default=0,
                     help="scenario client pool size (default: --workers "
                          "inline, 2 against an artifact pool)")

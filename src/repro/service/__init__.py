@@ -33,6 +33,7 @@ from repro.service.server import (
     ServedResponse,
     UpdateRequest,
 )
+from repro.service.router import ShardRouter
 from repro.service.sync import ReadWriteLock
 from repro.service.workers import WorkerPool
 
@@ -50,6 +51,7 @@ __all__ = [
     "ServerMetrics",
     "MetricsSnapshot",
     "WorkerPool",
+    "ShardRouter",
     "merge_snapshots",
     "percentile",
 ]

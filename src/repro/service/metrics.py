@@ -237,6 +237,8 @@ class ServerMetrics:
 
 def merge_snapshots(
     snapshots: "list[MetricsSnapshot | None]",
+    *,
+    labels: "list[str] | None" = None,
 ) -> MetricsSnapshot:
     """Aggregate per-worker windows into one fleet view.
 
@@ -251,7 +253,24 @@ def merge_snapshots(
     honest fleet view (the pool reports the crash separately).  The
     merged ``phase`` label is kept only when every surviving window
     agrees on it — mixed-phase merges are unlabeled.
+
+    ``labels`` (parallel to *snapshots*) relabels each surviving window
+    before the merge — how a shard router tags its workers' windows
+    ``shard0..shardN`` so the consensus rule applies to shard identity:
+    one shard's windows keep the label, a cross-shard fleet merge drops
+    it.
     """
+    if labels is not None:
+        if len(labels) != len(snapshots):
+            raise ValueError(
+                f"{len(labels)} labels for {len(snapshots)} snapshots"
+            )
+        from dataclasses import replace
+
+        snapshots = [
+            None if s is None else replace(s, phase=label)
+            for s, label in zip(snapshots, labels)
+        ]
     snapshots = [s for s in snapshots if s is not None]
     if not snapshots:
         return MetricsSnapshot(0, 0.0, 0, 0, 0, 0.0, 0.0)

@@ -1,0 +1,66 @@
+"""Sharded serving: partition a graph, sign the manifest, stitch proofs.
+
+The subsystem splits one authenticated graph into k independently
+servable shards (:mod:`repro.shard.partition`), binds the cut to the
+per-shard signed descriptors with an owner-signed manifest
+(:mod:`repro.shard.manifest`), and defines the composite response
+format a router assembles and a client verifies end to end
+(:mod:`repro.shard.stitch`).  The router itself lives in
+:mod:`repro.service.router`, next to the other serving machinery.
+"""
+
+from repro.shard.manifest import (
+    MANIFEST_FORMAT_VERSION,
+    MANIFEST_MAGIC,
+    ShardEntry,
+    ShardManifest,
+    build_manifest,
+    descriptor_digest,
+    is_manifest,
+    load_manifest,
+    manifest_info,
+    save_manifest,
+    sign_manifest,
+    verify_manifest,
+)
+from repro.shard.partition import (
+    DEFAULT_SHARDS,
+    PARTITION_STRATEGIES,
+    ShardBuild,
+    ShardPlan,
+    build_shards,
+    plan_shards,
+    shard_subgraph,
+)
+from repro.shard.stitch import (
+    COMPOSITE_FORMAT_VERSION,
+    CompositeResponse,
+    CompositeSegment,
+    verify_composite,
+)
+
+__all__ = [
+    "COMPOSITE_FORMAT_VERSION",
+    "CompositeResponse",
+    "CompositeSegment",
+    "DEFAULT_SHARDS",
+    "MANIFEST_FORMAT_VERSION",
+    "MANIFEST_MAGIC",
+    "PARTITION_STRATEGIES",
+    "ShardBuild",
+    "ShardEntry",
+    "ShardManifest",
+    "ShardPlan",
+    "build_manifest",
+    "build_shards",
+    "descriptor_digest",
+    "is_manifest",
+    "load_manifest",
+    "manifest_info",
+    "plan_shards",
+    "save_manifest",
+    "shard_subgraph",
+    "sign_manifest",
+    "verify_composite",
+    "verify_manifest",
+]

@@ -1,0 +1,355 @@
+"""The shard manifest: an owner-signed map of the partition itself.
+
+A sharded deployment has k signed descriptors — one per shard — but
+nothing yet says *these k descriptors together are the partition of
+this graph*.  The manifest closes that gap: it is a format-versioned,
+owner-signed record binding
+
+* each shard's **node ranges** (who owns which ids),
+* each shard's **boundary nodes** (the only legal stitch junctions),
+* each shard's **descriptor digest** (SHA-256 over the encoded signed
+  descriptor — the exact bytes a response must carry),
+
+under one signature at one graph version.  A client holding nothing but
+the owner's public key verifies the manifest once, then checks every
+composite response against it: a swapped shard root, a stale descriptor
+replayed next to fresh siblings, or a junction outside the declared
+boundary set all fail by digest or membership — no trust in the router
+required.
+
+On disk the manifest is its own tiny artifact (magic ``RSPM``), a
+sibling of the per-shard ``.rspv`` packs; on the wire it travels
+verbatim inside a :class:`~repro.api.envelope.ManifestReply`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+
+from repro.api import codes
+from repro.core.framework import VerificationResult
+from repro.encoding import Decoder, Encoder
+from repro.errors import ArtifactError, EncodingError
+
+#: Leading file bytes: "Repro Shortest Path Manifest".
+MANIFEST_MAGIC = b"RSPM"
+
+#: Manifest layout version (bump on breaking changes; additions must
+#: be new trailing fields so older manifests keep decoding).
+MANIFEST_FORMAT_VERSION = 1
+
+#: Digest algorithm binding descriptors into the manifest.
+_DIGEST = hashlib.sha256
+DIGEST_BYTES = _DIGEST(b"").digest_size
+
+
+def descriptor_digest(descriptor_bytes: bytes) -> bytes:
+    """The manifest's pin for one encoded signed descriptor."""
+    return _DIGEST(descriptor_bytes).digest()
+
+
+def _ranges_of(sorted_ids: "tuple[int, ...]") \
+        -> "tuple[tuple[int, int], ...]":
+    """Maximal runs of consecutive ids, as inclusive ``(lo, hi)`` pairs."""
+    ranges: "list[tuple[int, int]]" = []
+    for node_id in sorted_ids:
+        if ranges and node_id == ranges[-1][1] + 1:
+            ranges[-1] = (ranges[-1][0], node_id)
+        else:
+            ranges.append((node_id, node_id))
+    return tuple(ranges)
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's row: digest pin, owned id ranges, boundary nodes."""
+
+    descriptor_digest: bytes
+    id_ranges: tuple[tuple[int, int], ...]
+    boundary: tuple[int, ...]
+
+    @classmethod
+    def from_members(cls, digest: bytes, members, boundary) -> "ShardEntry":
+        """Build a row from a sorted core member list."""
+        return cls(descriptor_digest=digest,
+                   id_ranges=_ranges_of(tuple(members)),
+                   boundary=tuple(boundary))
+
+    def owns(self, node_id: int) -> bool:
+        """Whether *node_id* falls inside this shard's id ranges."""
+        position = bisect_right(self.id_ranges, (node_id, float("inf")))
+        if position == 0:
+            return False
+        lo, hi = self.id_ranges[position - 1]
+        return lo <= node_id <= hi
+
+    def is_boundary(self, node_id: int) -> bool:
+        """Whether *node_id* is one of this shard's declared junctions."""
+        position = bisect_right(self.boundary, node_id)
+        return position > 0 and self.boundary[position - 1] == node_id
+
+    @property
+    def num_nodes(self) -> int:
+        """Core size (nodes owned by this shard)."""
+        return sum(hi - lo + 1 for lo, hi in self.id_ranges)
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The owner-signed partition record (see module docstring).
+
+    ``version`` is the graph mutation version every shard descriptor is
+    signed at — the manifest refuses to speak for a mixed-version
+    deployment, which is what makes the stale-sibling replay checkable.
+    """
+
+    method: str
+    version: int
+    strategy: str
+    entries: tuple[ShardEntry, ...]
+    signature: bytes = b""
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the manifest covers."""
+        return len(self.entries)
+
+    @property
+    def num_boundary_nodes(self) -> int:
+        """Total declared boundary nodes across all shards."""
+        return sum(len(entry.boundary) for entry in self.entries)
+
+    def shard_of(self, node_id: int) -> "int | None":
+        """The owning shard id, or ``None`` for uncovered ids."""
+        for shard_id, entry in enumerate(self.entries):
+            if entry.owns(node_id):
+                return shard_id
+        return None
+
+    # -- canonical bytes -------------------------------------------------
+    def message(self) -> bytes:
+        """The exact bytes the owner signs."""
+        enc = Encoder()
+        enc.write_uint(MANIFEST_FORMAT_VERSION)
+        enc.write_str(self.method)
+        enc.write_uint(self.version)
+        enc.write_str(self.strategy)
+        enc.write_uint(len(self.entries))
+        for entry in self.entries:
+            enc.write_bytes(entry.descriptor_digest)
+            enc.write_uint_seq([b for pair in entry.id_ranges for b in pair])
+            enc.write_uint_seq(entry.boundary)
+        return enc.getvalue()
+
+    def encode(self) -> bytes:
+        """Serialize: the signed message verbatim, then the signature."""
+        return (Encoder().write_bytes(self.message())
+                .write_bytes(self.signature).getvalue())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ShardManifest":
+        """Strict inverse of :meth:`encode`.
+
+        Raises :class:`~repro.errors.EncodingError` on any structural
+        defect — truncation, a non-current format version, overlapping
+        or unsorted ranges, a boundary node outside its own shard.
+        Signature *validity* is not checked here (that needs the public
+        key); :func:`verify_manifest` does that.
+        """
+        outer = Decoder(bytes(data))
+        message = outer.read_bytes()
+        signature = outer.read_bytes()
+        outer.expect_end()
+        manifest = cls._parse_message(message)
+        return replace(manifest, signature=signature)
+
+    @classmethod
+    def _parse_message(cls, message: bytes) -> "ShardManifest":
+        dec = Decoder(message)
+        format_version = dec.read_uint()
+        if format_version != MANIFEST_FORMAT_VERSION:
+            raise EncodingError(
+                f"unsupported manifest format version {format_version} "
+                f"(this build speaks {MANIFEST_FORMAT_VERSION})"
+            )
+        method = dec.read_str()
+        version = dec.read_uint()
+        strategy = dec.read_str()
+        count = dec.read_count(DIGEST_BYTES + 2)
+        if count < 1:
+            raise EncodingError("manifest covers no shards")
+        entries: "list[ShardEntry]" = []
+        for shard_id in range(count):
+            digest = dec.read_bytes()
+            if len(digest) != DIGEST_BYTES:
+                raise EncodingError(
+                    f"shard {shard_id}: descriptor digest is "
+                    f"{len(digest)} bytes, expected {DIGEST_BYTES}"
+                )
+            flat = dec.read_uint_seq()
+            if not flat or len(flat) % 2:
+                raise EncodingError(
+                    f"shard {shard_id}: malformed id-range list"
+                )
+            ranges = tuple(
+                (flat[i], flat[i + 1]) for i in range(0, len(flat), 2)
+            )
+            previous = -1
+            for lo, hi in ranges:
+                if lo > hi or lo <= previous:
+                    raise EncodingError(
+                        f"shard {shard_id}: id ranges must be ascending "
+                        f"and disjoint"
+                    )
+                previous = hi
+            boundary = tuple(dec.read_uint_seq())
+            entry = ShardEntry(digest, ranges, boundary)
+            if list(boundary) != sorted(set(boundary)):
+                raise EncodingError(
+                    f"shard {shard_id}: boundary list must be sorted "
+                    f"and unique"
+                )
+            for node_id in boundary:
+                if not entry.owns(node_id):
+                    raise EncodingError(
+                        f"shard {shard_id}: boundary node {node_id} is "
+                        f"outside the shard's own id ranges"
+                    )
+            entries.append(entry)
+        dec.expect_end()
+        claimed: "list[tuple[int, int]]" = sorted(
+            pair for entry in entries for pair in entry.id_ranges
+        )
+        for (lo_a, hi_a), (lo_b, _) in zip(claimed, claimed[1:]):
+            if lo_b <= hi_a:
+                raise EncodingError(
+                    f"shards claim overlapping id ranges "
+                    f"({lo_a}..{hi_a} and {lo_b}..)"
+                )
+        return cls(method=method, version=version, strategy=strategy,
+                   entries=tuple(entries))
+
+
+def build_manifest(plan, methods, signer) -> ShardManifest:
+    """Assemble and sign the manifest for one sharded publish.
+
+    *plan* is the :class:`~repro.shard.partition.ShardPlan`; *methods*
+    the built per-shard verification methods in shard order.  All shard
+    descriptors must share one method name and one graph version — a
+    mixed build is an owner-side bug, refused loudly.
+    """
+    if len(methods) != plan.num_shards:
+        raise ArtifactError(
+            f"plan has {plan.num_shards} shards but {len(methods)} "
+            f"methods were built"
+        )
+    names = {m.name for m in methods}
+    versions = {m.descriptor.version for m in methods}
+    if len(names) != 1 or len(versions) != 1:
+        raise ArtifactError(
+            f"shard builds disagree (methods {sorted(names)}, "
+            f"versions {sorted(versions)}); a manifest signs one uniform "
+            f"deployment"
+        )
+    entries = tuple(
+        ShardEntry.from_members(
+            descriptor_digest(method.descriptor.encode()),
+            plan.members[shard_id],
+            plan.boundary[shard_id],
+        )
+        for shard_id, method in enumerate(methods)
+    )
+    manifest = ShardManifest(method=names.pop(), version=versions.pop(),
+                             strategy=plan.strategy, entries=entries)
+    return sign_manifest(manifest, signer)
+
+
+def sign_manifest(manifest: ShardManifest, signer) -> ShardManifest:
+    """A copy of *manifest* signed by the owner."""
+    return replace(manifest, signature=signer.sign(manifest.message()))
+
+
+def verify_manifest(manifest: ShardManifest, verify_signature, *,
+                    min_version: "int | None" = None) -> VerificationResult:
+    """Check the owner signature and the freshness floor.
+
+    Structural validity is :meth:`ShardManifest.decode`'s job; this is
+    the trust check a client runs once per fetched manifest.
+    """
+    if not manifest.signature or \
+            not verify_signature(manifest.message(), manifest.signature):
+        return VerificationResult.failure(
+            codes.BAD_SIGNATURE,
+            "shard manifest signature does not verify",
+        )
+    if min_version is not None and manifest.version < min_version:
+        return VerificationResult.failure(
+            codes.STALE_DESCRIPTOR,
+            f"manifest signs graph version {manifest.version}, "
+            f"freshness floor is {min_version}",
+        )
+    return VerificationResult.success()
+
+
+# ----------------------------------------------------------------------
+# File form
+# ----------------------------------------------------------------------
+def save_manifest(manifest: ShardManifest, path: str) -> int:
+    """Write the manifest artifact; returns the byte size."""
+    data = MANIFEST_MAGIC + manifest.encode()
+    try:
+        with open(path, "wb") as outfile:
+            outfile.write(data)
+    except OSError as exc:
+        raise ArtifactError(f"cannot write manifest {path!r}: {exc}") from exc
+    return len(data)
+
+
+def load_manifest(path: str) -> ShardManifest:
+    """Read and structurally validate a manifest artifact."""
+    try:
+        with open(path, "rb") as infile:
+            data = infile.read()
+    except OSError as exc:
+        raise ArtifactError(f"cannot read manifest {path!r}: {exc}") from exc
+    if not data.startswith(MANIFEST_MAGIC):
+        raise ArtifactError(
+            f"{path!r} is not a shard manifest (bad magic)"
+        )
+    try:
+        return ShardManifest.decode(data[len(MANIFEST_MAGIC):])
+    except EncodingError as exc:
+        raise ArtifactError(f"corrupt shard manifest {path!r}: {exc}") from exc
+
+
+def is_manifest(path: str) -> bool:
+    """Sniff whether *path* is a shard manifest file."""
+    try:
+        with open(path, "rb") as infile:
+            return infile.read(len(MANIFEST_MAGIC)) == MANIFEST_MAGIC
+    except OSError:
+        return False
+
+
+def manifest_info(path: str) -> dict:
+    """Operator-facing summary of a manifest file (``repro-spv info``)."""
+    manifest = load_manifest(path)
+    return {
+        "kind": "shard-manifest",
+        "method": manifest.method,
+        "version": manifest.version,
+        "strategy": manifest.strategy,
+        "shards": manifest.num_shards,
+        "boundary_nodes": manifest.num_boundary_nodes,
+        "entries": [
+            {
+                "shard": shard_id,
+                "descriptor_digest": entry.descriptor_digest.hex(),
+                "nodes": entry.num_nodes,
+                "boundary_nodes": len(entry.boundary),
+            }
+            for shard_id, entry in enumerate(manifest.entries)
+        ],
+    }

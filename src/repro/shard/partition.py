@@ -1,0 +1,219 @@
+"""Cutting one graph into k servable shards.
+
+Sharding follows the distributed-directory model (Goodrich et al.): the
+owner partitions the network once, builds and signs one authenticated
+structure *per shard*, and hands the pieces to untrusted serving boxes.
+Everything here is owner-side; what makes the partition itself
+verifiable is the signed manifest in :mod:`repro.shard.manifest`.
+
+A shard's serving graph is **core + halo**:
+
+* the *core* is the set of nodes the shard owns (every node has exactly
+  one owner);
+* the *halo* is the one-hop fringe — every foreign endpoint of a cut
+  edge — included so a shard can answer segment queries that terminate
+  on a neighbouring shard's border node;
+* edges are the core-core edges plus the cut edges.  Halo-halo edges
+  are *excluded*: the halo exists to terminate paths, not to route
+  through foreign territory the shard does not serve.
+
+Cut edges are therefore present in **both** adjacent shards' graphs,
+which is what makes cross-shard stitching sound: a global shortest path
+split at ownership changes yields segments that each lie entirely
+inside one shard's graph (interior core hops plus one trailing cut
+edge), and a subpath of a shortest path is itself shortest — so each
+segment verifies against its shard's signed root with the unchanged
+per-method machinery, at exactly the global segment cost.
+
+Two strategies order the nodes before the balanced contiguous cut:
+
+* ``"hilbert"`` — the space-filling curve from :mod:`repro.order`;
+  works for any ``1 <= k <= |V|`` and keeps shards spatially compact;
+* ``"grid"`` — :class:`~repro.hiti.partition.GridPartition` cells in
+  row-major order (the paper's HYP partitioning reused); cells stay
+  contiguous in the cut, so shards are unions of grid cells up to one
+  straddling cell per boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graph.graph import SpatialGraph
+from repro.order.orderings import hilbert_order
+
+#: Node orderings :func:`plan_shards` can cut along.
+PARTITION_STRATEGIES = ("hilbert", "grid")
+
+#: Default number of shards for the CLI.
+DEFAULT_SHARDS = 2
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Who owns what: the partition plus its cross-shard overlay.
+
+    ``members[s]`` is shard *s*'s sorted core; ``boundary[s]`` the
+    sorted subset of that core with at least one foreign neighbour;
+    ``cut_edges`` every edge whose endpoints have different owners
+    (``u < v``, ascending).  The plan is pure bookkeeping — shard
+    graphs are derived from it by :func:`shard_subgraph`.
+    """
+
+    strategy: str
+    members: tuple[tuple[int, ...], ...]
+    boundary: tuple[tuple[int, ...], ...]
+    cut_edges: tuple[tuple[int, int, float], ...]
+    _owner: dict = field(repr=False, compare=False, default_factory=dict)
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the plan cuts the graph into."""
+        return len(self.members)
+
+    def shard_of(self, node_id: int) -> int:
+        """The shard owning *node_id* (raises for unknown nodes)."""
+        try:
+            return self._owner[node_id]
+        except KeyError:
+            raise GraphError(f"node {node_id} is in no shard") from None
+
+
+def _ordered_nodes(graph: SpatialGraph, num_shards: int,
+                   strategy: str) -> "list[int]":
+    """All node ids in the order the balanced cut slices."""
+    if strategy == "hilbert":
+        return hilbert_order(graph)
+    if strategy == "grid":
+        from repro.hiti.partition import GridPartition
+
+        # The grid wants a perfect square of cells; use the smallest
+        # square with at least one cell per shard, then cut the
+        # cell-ordered node sequence (cells stay contiguous).
+        side = math.isqrt(num_shards)
+        if side * side < num_shards:
+            side += 1
+        partition = GridPartition(graph, max(1, side) ** 2)
+        return [node_id
+                for cell in partition.occupied_cells
+                for node_id in partition.members_of(cell)]
+    raise GraphError(
+        f"unknown partition strategy {strategy!r}; "
+        f"known: {PARTITION_STRATEGIES}"
+    )
+
+
+def plan_shards(graph: SpatialGraph, num_shards: int, *,
+                strategy: str = "hilbert") -> ShardPlan:
+    """Assign every node an owner shard; compute the cut overlay.
+
+    The node sequence from *strategy* is sliced into ``num_shards``
+    balanced contiguous chunks (sizes differ by at most one), so both
+    strategies yield spatially compact, near-equal shards — the load
+    balance the router's fan-out relies on.
+    """
+    n = graph.num_nodes
+    if num_shards < 1:
+        raise GraphError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > n:
+        raise GraphError(
+            f"cannot cut {n} nodes into {num_shards} shards"
+        )
+    sequence = _ordered_nodes(graph, num_shards, strategy)
+    if len(sequence) != n:
+        raise GraphError(
+            f"ordering covered {len(sequence)} of {n} nodes"
+        )
+    bounds = [round(s * n / num_shards) for s in range(num_shards + 1)]
+    members = tuple(
+        tuple(sorted(sequence[bounds[s]:bounds[s + 1]]))
+        for s in range(num_shards)
+    )
+    owner: dict[int, int] = {}
+    for shard_id, ids in enumerate(members):
+        for node_id in ids:
+            owner[node_id] = shard_id
+    cut_edges = []
+    crossing: "list[set[int]]" = [set() for _ in range(num_shards)]
+    for u, v, w in graph.edges():
+        if owner[u] != owner[v]:
+            cut_edges.append((u, v, w))
+            crossing[owner[u]].add(u)
+            crossing[owner[v]].add(v)
+    boundary = tuple(tuple(sorted(nodes)) for nodes in crossing)
+    return ShardPlan(strategy=strategy, members=members, boundary=boundary,
+                     cut_edges=tuple(cut_edges), _owner=owner)
+
+
+def shard_subgraph(graph: SpatialGraph, plan: ShardPlan,
+                   shard_id: int) -> SpatialGraph:
+    """Shard *shard_id*'s serving graph: core + halo, no halo-halo edges.
+
+    The result carries the source graph's mutation version, so every
+    shard descriptor — and the manifest binding them — is signed at one
+    uniform freshness version.
+    """
+    if not 0 <= shard_id < plan.num_shards:
+        raise GraphError(
+            f"shard {shard_id} out of range (plan has {plan.num_shards})"
+        )
+    core = set(plan.members[shard_id])
+    nodes: "list[tuple[int, float, float]]" = []
+    for node_id in plan.members[shard_id]:
+        node = graph.node(node_id)
+        nodes.append((node.id, node.x, node.y))
+    halo: dict[int, tuple[int, float, float]] = {}
+    edges: "list[tuple[int, int, float]]" = []
+    for u in plan.members[shard_id]:
+        for v, w in sorted(graph.neighbors(u).items()):
+            if v in core:
+                if u < v:
+                    edges.append((u, v, w))
+            else:
+                if v not in halo:
+                    node = graph.node(v)
+                    halo[v] = (node.id, node.x, node.y)
+                edges.append((u, v, w) if u < v else (v, u, w))
+    nodes.extend(halo[node_id] for node_id in sorted(halo))
+    return SpatialGraph.from_parts(nodes, edges, version=graph.version)
+
+
+@dataclass(frozen=True)
+class ShardBuild:
+    """Everything the owner ships after one sharded publish."""
+
+    plan: ShardPlan
+    manifest: "object"  # ShardManifest (typed loosely to avoid a cycle)
+    methods: tuple
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards were built."""
+        return len(self.methods)
+
+
+def build_shards(graph: SpatialGraph, signer, *, num_shards: int,
+                 method: str = "DIJ", strategy: str = "hilbert",
+                 **params) -> ShardBuild:
+    """Partition, build one signed method per shard, sign the manifest.
+
+    This is the owner's whole sharded publish in one call: the returned
+    :class:`ShardBuild` holds the per-shard built methods (each over its
+    core+halo graph, each under its own signed descriptor) and the
+    owner-signed :class:`~repro.shard.manifest.ShardManifest` that binds
+    the partition to those descriptors by digest.
+    """
+    from repro.core.method import get_method
+    from repro.shard.manifest import build_manifest
+
+    plan = plan_shards(graph, num_shards, strategy=strategy)
+    method_cls = get_method(method)
+    methods = tuple(
+        method_cls.build(shard_subgraph(graph, plan, shard_id), signer,
+                         **params)
+        for shard_id in range(plan.num_shards)
+    )
+    manifest = build_manifest(plan, methods, signer)
+    return ShardBuild(plan=plan, manifest=manifest, methods=methods)

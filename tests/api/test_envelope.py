@@ -15,14 +15,21 @@ ROUND_TRIP_MESSAGES = [
     E.QueryRequest(3, 9),
     E.QueryReply(b"\x00\x01payload", cached=True),
     E.QueryReply(b"", cached=False),
+    E.QueryReply(b"", cached=True, composite=b"stitched-composite"),
     E.BatchQueryRequest(((1, 2), (3, 4), (5, 6))),
     E.BatchQueryReply((
         E.BatchItem(b"resp-a", True),
         E.BatchItem(None, False, "query-failed", "unknown node 77"),
         E.BatchItem(b"resp-b", False),
     )),
+    E.BatchQueryReply((
+        E.BatchItem(b"plain", False),
+        E.BatchItem(b"composite-bytes", True),
+    ), composite_slots=(1,)),
     E.DescriptorRequest(),
     E.DescriptorReply(b"descriptor-bytes"),
+    E.ManifestRequest(),
+    E.ManifestReply(b"signed-manifest-bytes"),
     E.UpdatePushRequest((
         E.WireUpdate("update-weight", 3, 9, 17.25),
         E.WireUpdate("add-edge", 1, 2, 4.0),
@@ -107,6 +114,32 @@ class TestMessageRoundTrips:
                               cache_evictions=2).encode()
         with pytest.raises(ProtocolError):
             E.MetricsReply.decode(full[:-2])
+
+    def test_query_reply_composite_tail_is_additive(self):
+        """A pre-sharding QueryReply layout (no composite tail) decodes
+        with ``composite`` empty, and an empty composite writes no tail —
+        old and new builds exchange plain replies byte-identically."""
+        plain = E.QueryReply(b"resp", cached=True)
+        assert E.QueryReply.decode(plain.encode()).composite == b""
+        bare = E.QueryReply(b"", cached=False)
+        stitched = E.QueryReply(b"", cached=False, composite=b"xyz")
+        assert len(bare.encode()) < len(stitched.encode())
+        assert E.QueryReply.decode(stitched.encode()).composite == b"xyz"
+
+    def test_batch_reply_composite_slots_force_shared_tail(self):
+        """``composite_slots`` is the second tail field, so writing it
+        forces the ``shared`` tail out too (possibly empty)."""
+        reply = E.BatchQueryReply(
+            (E.BatchItem(b"a", False), E.BatchItem(b"c", False)),
+            composite_slots=(1,),
+        )
+        decoded = E.BatchQueryReply.decode(reply.encode())
+        assert decoded.composite_slots == (1,)
+        assert decoded.shared == b""
+
+    def test_manifest_request_rejects_payload(self):
+        with pytest.raises(ProtocolError):
+            E.ManifestRequest.decode(b"\x01")
 
     def test_unknown_message_type(self):
         frame = E.Frame(E.PROTOCOL_VERSION, 0x55, b"")

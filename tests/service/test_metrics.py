@@ -181,6 +181,32 @@ class TestMergeSnapshots:
                                  self._window(1, phase="steady")])
         assert mixed.phase == ""
 
+    def test_labels_relabel_before_merge(self):
+        from repro.service.metrics import merge_snapshots
+
+        windows = [self._window(2, phase="x"), self._window(3, phase="y")]
+        same = merge_snapshots(windows, labels=["shard0", "shard0"])
+        assert same.phase == "shard0"
+        assert same.requests == 5
+        mixed = merge_snapshots(windows, labels=["shard0", "shard1"])
+        assert mixed.phase == ""
+
+    def test_labels_skip_crashed_slots(self):
+        from repro.service.metrics import merge_snapshots
+
+        merged = merge_snapshots([self._window(2), None],
+                                 labels=["shard0", "shard1"])
+        assert merged.phase == "shard0"
+        assert merged.requests == 2
+
+    def test_labels_length_must_match(self):
+        import pytest
+
+        from repro.service.metrics import merge_snapshots
+
+        with pytest.raises(ValueError, match="labels"):
+            merge_snapshots([self._window(1)], labels=["a", "b"])
+
 
 class TestPhaseWindows:
     """``begin_phase`` / ``end_phase`` windowing on a live metrics object."""

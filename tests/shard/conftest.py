@@ -1,0 +1,95 @@
+"""Shard-layer fixtures: one shared 3-shard build plus stitch helpers.
+
+``make_composite`` mirrors the router's honest assembly (segment by the
+global shortest path, answer each segment from its shard's provider,
+stitch) but is deliberately reimplemented in a handful of lines here so
+adversary tests can start from a known-good composite and mutate it —
+the router itself is exercised in ``tests/service/test_router.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.framework import ServiceProvider
+from repro.crypto.signer import NullSigner
+from repro.shard import CompositeResponse, CompositeSegment, build_shards
+from repro.shortestpath.kernel import indexed_shortest_path
+
+
+@pytest.fixture(scope="package")
+def signer():
+    return NullSigner()
+
+
+@pytest.fixture(scope="package")
+def build3(road300, signer):
+    """A 3-shard DIJ build of the shared road network."""
+    return build_shards(road300, signer, num_shards=3)
+
+
+def plan_segments(graph, manifest, source, target):
+    """The router's segmentation rule: split the global path at
+    ownership changes; returns ``[(shard_id, seg_source, seg_target)]``."""
+    path = indexed_shortest_path(graph.to_index(), source, target)
+    owners = [manifest.shard_of(node_id) for node_id in path.nodes]
+    segments = []
+    start = 0
+    for position in range(1, len(path.nodes)):
+        if owners[position] != owners[position - 1]:
+            segments.append((owners[start], path.nodes[start],
+                             path.nodes[position]))
+            start = position
+    segments.append((owners[start], path.nodes[start], path.nodes[-1]))
+    return segments
+
+
+def make_composite(providers, segments):
+    """Assemble an honest composite from per-shard provider answers."""
+    stitched: "list[int]" = []
+    total = 0.0
+    parts = []
+    for shard_id, seg_source, seg_target in segments:
+        response = providers[shard_id].answer(seg_source, seg_target)
+        stitched.extend(response.path_nodes if not stitched
+                        else response.path_nodes[1:])
+        total += response.path_cost
+        parts.append(CompositeSegment(shard_id, response.encode()))
+    source, target = segments[0][1], segments[-1][2]
+    return CompositeResponse(source, target, tuple(stitched), total,
+                             tuple(parts))
+
+
+class StitchCase:
+    """A deterministic cross-shard query with its honest composite."""
+
+    def __init__(self, graph, build):
+        self.graph = graph
+        self.build = build
+        self.manifest = build.manifest
+        self.providers = [ServiceProvider(m) for m in build.methods]
+        rng = random.Random(11)
+        nodes = sorted(graph.node_ids())
+        for _ in range(500):
+            source, target = rng.sample(nodes, 2)
+            segments = plan_segments(graph, self.manifest, source, target)
+            if len(segments) >= 2:
+                self.source, self.target = source, target
+                self.segments = segments
+                self.composite = make_composite(self.providers, segments)
+                return
+        raise AssertionError("no cross-shard pair found in 500 draws")
+
+
+@pytest.fixture(scope="package")
+def case(road300, build3) -> StitchCase:
+    return StitchCase(road300, build3)
+
+
+@pytest.fixture(scope="package")
+def composite_maker():
+    """The :func:`make_composite` helper, reachable without package
+    imports (the test tree has no ``__init__.py`` files)."""
+    return make_composite

@@ -1,0 +1,171 @@
+"""Partition planning: coverage, balance, cut overlay, core+halo graphs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.synthetic import grid_network
+from repro.shard import (
+    build_shards,
+    descriptor_digest,
+    plan_shards,
+    shard_subgraph,
+)
+from repro.shortestpath.kernel import indexed_shortest_path
+
+
+class TestPlan:
+    def test_members_partition_the_node_set(self, road300):
+        plan = plan_shards(road300, 3)
+        flat = [n for members in plan.members for n in members]
+        assert sorted(flat) == sorted(road300.node_ids())
+        assert len(set(flat)) == road300.num_nodes
+
+    def test_balanced_and_sorted(self, road300):
+        plan = plan_shards(road300, 3)
+        sizes = [len(members) for members in plan.members]
+        assert max(sizes) - min(sizes) <= 1
+        for members in plan.members:
+            assert list(members) == sorted(members)
+
+    def test_shard_of_agrees_with_members(self, road300):
+        plan = plan_shards(road300, 4)
+        for shard_id, members in enumerate(plan.members):
+            for node_id in members:
+                assert plan.shard_of(node_id) == shard_id
+        with pytest.raises(GraphError, match="no shard"):
+            plan.shard_of(10 ** 9)
+
+    def test_cut_edges_cross_and_feed_boundaries(self, road300):
+        plan = plan_shards(road300, 3)
+        assert plan.cut_edges, "3 shards of a connected graph must cut edges"
+        for u, v, _ in plan.cut_edges:
+            assert u < v
+            su, sv = plan.shard_of(u), plan.shard_of(v)
+            assert su != sv
+            assert u in plan.boundary[su]
+            assert v in plan.boundary[sv]
+        cut_endpoints = {n for u, v, _ in plan.cut_edges for n in (u, v)}
+        for nodes in plan.boundary:
+            assert set(nodes) <= cut_endpoints
+
+    def test_grid_strategy_also_covers(self, road300):
+        plan = plan_shards(road300, 4, strategy="grid")
+        assert plan.num_shards == 4
+        flat = [n for members in plan.members for n in members]
+        assert sorted(flat) == sorted(road300.node_ids())
+
+    def test_single_shard_has_no_cut(self, road300):
+        plan = plan_shards(road300, 1)
+        assert plan.num_shards == 1
+        assert plan.cut_edges == ()
+        assert plan.boundary == ((),)
+
+    def test_validation(self, grid5):
+        with pytest.raises(GraphError, match=">= 1"):
+            plan_shards(grid5, 0)
+        with pytest.raises(GraphError, match="cannot cut"):
+            plan_shards(grid5, grid5.num_nodes + 1)
+        with pytest.raises(GraphError, match="unknown partition strategy"):
+            plan_shards(grid5, 2, strategy="bogus")
+
+
+class TestSubgraph:
+    def test_core_plus_halo_no_halo_halo_edges(self, road300):
+        plan = plan_shards(road300, 2)
+        for shard_id in range(2):
+            sub = shard_subgraph(road300, plan, shard_id)
+            core = set(plan.members[shard_id])
+            halo = set(sub.node_ids()) - core
+            expected_halo = {
+                v if plan.shard_of(u) == shard_id else u
+                for u, v, _ in plan.cut_edges
+                if shard_id in (plan.shard_of(u), plan.shard_of(v))
+            }
+            assert halo == expected_halo
+            for u, v, w in sub.edges():
+                assert u in core or v in core
+                assert math.isclose(w, road300.neighbors(u)[v])
+            assert sub.version == road300.version
+
+    def test_cut_edges_live_in_both_shards(self, road300):
+        plan = plan_shards(road300, 3)
+        subs = [shard_subgraph(road300, plan, s) for s in range(3)]
+        for u, v, w in plan.cut_edges:
+            for shard_id in (plan.shard_of(u), plan.shard_of(v)):
+                assert math.isclose(subs[shard_id].neighbors(u)[v], w)
+
+    def test_out_of_range_shard(self, road300):
+        plan = plan_shards(road300, 2)
+        with pytest.raises(GraphError, match="out of range"):
+            shard_subgraph(road300, plan, 2)
+
+    def test_segment_distances_match_global(self, road300):
+        """The soundness lemma, measured: every global-path segment costs
+        exactly the same inside its shard's core+halo graph."""
+        plan = plan_shards(road300, 3)
+        subs = [shard_subgraph(road300, plan, s) for s in range(3)]
+        indexes = [sub.to_index() for sub in subs]
+        global_index = road300.to_index()
+        nodes = sorted(road300.node_ids())
+        checked = 0
+        for source, target in [(nodes[0], nodes[-1]),
+                               (nodes[7], nodes[-13]),
+                               (nodes[len(nodes) // 3],
+                                nodes[2 * len(nodes) // 3])]:
+            path = indexed_shortest_path(global_index, source, target)
+            owners = [plan.shard_of(n) for n in path.nodes]
+            start = 0
+            for position in range(1, len(path.nodes) + 1):
+                if position == len(path.nodes) \
+                        or owners[position] != owners[position - 1]:
+                    seg_s, seg_t = path.nodes[start], \
+                        path.nodes[min(position, len(path.nodes) - 1)]
+                    if seg_s != seg_t:
+                        shard_path = indexed_shortest_path(
+                            indexes[owners[start]], seg_s, seg_t)
+                        global_seg = indexed_shortest_path(
+                            global_index, seg_s, seg_t)
+                        assert math.isclose(shard_path.cost, global_seg.cost)
+                        checked += 1
+                    start = position
+        assert checked >= 3
+
+
+class TestBuildShards:
+    def test_manifest_pins_every_descriptor(self, road300, build3):
+        assert build3.num_shards == 3
+        manifest = build3.manifest
+        assert manifest.num_shards == 3
+        assert manifest.method == "DIJ"
+        assert manifest.version == road300.version
+        for shard_id, method in enumerate(build3.methods):
+            entry = manifest.entries[shard_id]
+            assert entry.descriptor_digest == \
+                descriptor_digest(method.descriptor.encode())
+            assert entry.num_nodes == len(build3.plan.members[shard_id])
+            assert entry.boundary == build3.plan.boundary[shard_id]
+
+    def test_shard_methods_answer_their_core(self, build3):
+        for shard_id, method in enumerate(build3.methods):
+            members = build3.plan.members[shard_id]
+            response = method.answer(members[0], members[len(members) // 2])
+            assert response.path_nodes[0] == members[0]
+
+    def test_other_method_kinds_build(self, signer):
+        # LDM landmark vectors need each shard subgraph connected, which a
+        # grid split in two guarantees; arbitrary road shards may not be.
+        graph = grid_network(8, 8)
+        build = build_shards(graph, signer, num_shards=2, method="LDM",
+                             c=4)
+        assert build.manifest.method == "LDM"
+        assert build.num_shards == 2
+
+    def test_grid_graph_two_shards(self, signer):
+        graph = grid_network(6, 6)
+        build = build_shards(graph, signer, num_shards=2)
+        assert build.manifest.num_shards == 2
+        assert build.plan.cut_edges

@@ -507,3 +507,67 @@ class TestErrors:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPartition:
+    def test_partition_writes_shards_and_manifest(self, graph_file, tmp_path,
+                                                  capsys):
+        prefix = tmp_path / "de"
+        key = tmp_path / "owner.pub"
+        code = main(["partition", str(graph_file), "--shards", "2",
+                     "--insecure", "--out-prefix", str(prefix),
+                     "--save-key", str(key)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard manifest" in out
+        assert key.exists()
+        assert (tmp_path / "de.shard0.rspv").exists()
+        assert (tmp_path / "de.shard1.rspv").exists()
+        assert (tmp_path / "de.manifest.rspm").exists()
+
+    def test_info_recognizes_manifest(self, graph_file, tmp_path, capsys):
+        prefix = tmp_path / "de"
+        assert main(["partition", str(graph_file), "--shards", "2",
+                     "--insecure", "--out-prefix", str(prefix)]) == 0
+        capsys.readouterr()
+        assert main(["info", str(tmp_path / "de.manifest.rspm")]) == 0
+        out = capsys.readouterr().out
+        assert "shard manifest" in out
+        assert "boundary" in out
+        assert "descriptor digest" in out
+
+
+class TestRouterValidation:
+    def test_router_requires_manifest(self, graph_file, capsys):
+        code = main(["serve", str(graph_file), "--router", "--http", "0",
+                     "--shards", "a.rspv,b.rspv"])
+        assert code == 2
+        assert "--manifest" in capsys.readouterr().err
+
+    def test_router_requires_exactly_one_worker_source(self, graph_file,
+                                                       tmp_path, capsys):
+        manifest = tmp_path / "m.rspm"
+        manifest.write_bytes(b"RSPM")
+        code = main(["serve", str(graph_file), "--router", "--http", "0",
+                     "--manifest", str(manifest)])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+        code = main(["serve", str(graph_file), "--router", "--http", "0",
+                     "--manifest", str(manifest),
+                     "--shards", "a.rspv", "--shard-urls", "http://x"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_router_flags_without_router(self, graph_file, tmp_path, capsys):
+        manifest = tmp_path / "m.rspm"
+        manifest.write_bytes(b"RSPM")
+        code = main(["serve", str(graph_file), "--insecure",
+                     "--manifest", str(manifest)])
+        assert code == 2
+        assert "--router" in capsys.readouterr().err
+
+    def test_loadtest_url_requires_scenario(self, graph_file, capsys):
+        code = main(["loadtest", str(graph_file),
+                     "--url", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "--scenario" in capsys.readouterr().err

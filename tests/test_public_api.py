@@ -55,6 +55,11 @@ class TestTopLevel:
         "repro.service.server",
         "repro.service.http",
         "repro.service.workers",
+        "repro.service.router",
+        "repro.shard",
+        "repro.shard.partition",
+        "repro.shard.manifest",
+        "repro.shard.stitch",
         "repro.store",
         "repro.store.pack",
         "repro.store.artifact",
@@ -68,7 +73,7 @@ class TestTopLevel:
                             "repro.shortestpath", "repro.landmarks",
                             "repro.hiti", "repro.core", "repro.workload",
                             "repro.crypto", "repro.bench", "repro.service",
-                            "repro.api"):
+                            "repro.api", "repro.shard"):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
                 assert hasattr(module, name), f"{module_name}.{name}"
