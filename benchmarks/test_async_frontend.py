@@ -1,0 +1,172 @@
+"""Async frontend benchmark: wire QPS at C=256 and a C=1000 hold soak.
+
+Two claims earn the event-loop frontend its place next to the threaded
+one, and this module gates both against the ``async_driver`` block of
+``benchmarks/slo_baseline.json``:
+
+* **Throughput under connection pressure** — at 256 concurrent
+  keep-alive clients the async frontend must out-serve the threaded
+  frontend by ``min_qps_ratio`` (the threaded server pays a stack +
+  scheduler for every connection; the event loop pays a coroutine).
+  Like the worker-scaling gate, the ratio only means something on real
+  parallel hardware: on a single core both frontends time-slice one
+  CPU and the measurement is scheduler noise, so the run still records
+  both configurations and verifies every response, then **skips
+  loudly** instead of passing (or failing) on noise.
+* **A thousand held connections cost ~nothing** — an
+  :class:`~repro.bench.aioclient.AsyncClientPool` opens
+  ``hold_connections`` persistent connections, trickles verified
+  traffic over them for ``hold_rounds`` rounds, and process RSS must
+  stay flat (``max_rss_growth_mb``).  A per-connection leak — buffered
+  frames, un-reaped tasks, handler state — shows up here multiplied by
+  a thousand, long before it would trip any per-request test.
+
+Both runs verify every single wire response client-side, so these are
+end-to-end soundness checks before they are performance checks.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_DATASET, DEFAULT_SCALE, emit
+from repro.bench.serving import run_http_loadtest
+
+BASELINE = os.path.join(os.path.dirname(__file__), "slo_baseline.json")
+
+
+def _async_policy() -> dict:
+    with open(BASELINE, "r", encoding="utf-8") as infile:
+        return json.load(infile)["async_driver"]
+
+
+def _rss_mb() -> float:
+    """Current (not peak) resident set size of this process, in MB."""
+    with open("/proc/self/status", "r", encoding="ascii") as status:
+        for line in status:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) / 1024.0
+    raise OSError("no VmRSS in /proc/self/status")
+
+
+def test_async_frontend(ctx, results):
+    """Event-loop vs threaded frontend at C=256 persistent clients."""
+    policy = _async_policy()
+    clients = int(policy["clients"])
+    min_ratio = float(policy["min_qps_ratio"])
+    method = ctx.method("DIJ")
+    graph = ctx.dataset()
+    # Enough work that every client gets several queries per pass.
+    base = list(ctx.workload())
+    queries = (base * ((8 * clients) // len(base) + 1))[:8 * clients]
+
+    reports = {}
+    rows = []
+    for label, async_frontend in (("threaded", False), ("async", True)):
+        report = run_http_loadtest(
+            method, queries, ctx.signer.verify,
+            passes=2, async_clients=clients, async_frontend=async_frontend,
+        )
+        assert report.all_verified, report.warm.failures
+        reports[label] = report
+        for p in report.passes:
+            rows.append([label, p.label, p.requests, p.qps,
+                         p.wire_bytes / 1024.0])
+        results.add(
+            "async_frontend", dataset=DEFAULT_DATASET, scale=DEFAULT_SCALE,
+            nodes=graph.num_nodes, frontend=label, clients=clients,
+            cold_qps=report.cold.qps, warm_qps=report.warm.qps,
+            server_requests=(report.server_metrics or {}).get("requests"),
+            cpu_count=os.cpu_count(),
+        )
+    ratio = (reports["async"].warm.qps / reports["threaded"].warm.qps
+             if reports["threaded"].warm.qps else 0.0)
+    results.add(
+        "async_frontend_summary", dataset=DEFAULT_DATASET,
+        scale=DEFAULT_SCALE, clients=clients, qps_ratio=ratio,
+        min_qps_ratio=min_ratio, cpu_count=os.cpu_count(),
+        gated=(os.cpu_count() or 1) >= 2,
+    )
+    emit(
+        f"Async vs threaded frontend wire QPS ({DEFAULT_DATASET}-like, "
+        f"|V|={graph.num_nodes}, C={clients} persistent async clients, "
+        f"async/threaded warm ratio {ratio:.2f}x, {os.cpu_count()} CPUs)",
+        ["frontend", "pass", "requests", "wire QPS", "wire KB"],
+        rows,
+    )
+    if (os.cpu_count() or 1) < 2:
+        # Everything above still ran and verified; only the throughput
+        # *comparison* is meaningless when both frontends time-slice a
+        # single CPU.  Skip loudly — a silent pass here once hid a
+        # worker-scaling regression for weeks.
+        pytest.skip(
+            f"QPS-ratio gate needs >= 2 cores (this runner has "
+            f"{os.cpu_count()}; measured {ratio:.2f}x is time-slicing, "
+            f"not event-loop advantage)"
+        )
+    assert ratio >= min_ratio, (
+        f"async frontend served only {ratio:.2f}x the threaded frontend's "
+        f"warm wire QPS at C={clients} (required {min_ratio:g}x on a "
+        f"{os.cpu_count()}-core machine)"
+    )
+
+
+def test_connection_hold_soak(ctx, results):
+    """C=1000 held connections: verified traffic, flat process RSS."""
+    from repro.bench.aioclient import AsyncClientPool
+    from repro.service.aio import AsyncProofHttpServer
+    from repro.service.server import ProofServer
+
+    policy = _async_policy()
+    holders = int(policy["hold_connections"])
+    rounds = int(policy["hold_rounds"])
+    rss_ceiling = float(policy["max_rss_growth_mb"])
+    method = ctx.method("DIJ")
+    graph = ctx.dataset()
+    base = list(ctx.workload())
+    # One query per held connection per round — the point is the held
+    # sockets, not throughput.
+    chunk = (base * (holders // len(base) + 1))[:holders]
+
+    dispatcher = ProofServer(method, cache_size=256).dispatcher()
+    rows = []
+    failures = 0
+    with AsyncProofHttpServer(dispatcher) as server, \
+            AsyncClientPool(server.url, ctx.signer.verify,
+                            clients=holders, timeout=120.0) as pool:
+        pool.hello()  # all C connections established and handshaken
+        gc.collect()
+        baseline_mb = _rss_mb()
+        grown = 0.0
+        for round_index in range(rounds):
+            outcomes = pool.run_chunk(chunk)
+            failures += sum(1 for r in outcomes if not r.ok)
+            gc.collect()
+            grown = _rss_mb() - baseline_mb
+            rows.append([round_index + 1, len(outcomes),
+                         sum(1 for r in outcomes if r.ok), grown])
+        metrics = dispatcher.metrics_json()
+    results.add(
+        "connection_hold_soak", dataset=DEFAULT_DATASET, scale=DEFAULT_SCALE,
+        nodes=graph.num_nodes, connections=holders, rounds=rounds,
+        requests=metrics.get("requests"), verification_failures=failures,
+        baseline_rss_mb=baseline_mb, rss_growth_mb=grown,
+        max_rss_growth_mb=rss_ceiling, cpu_count=os.cpu_count(),
+    )
+    emit(
+        f"Connection-hold soak (C={holders} persistent connections, "
+        f"baseline RSS {baseline_mb:.0f} MB, {os.cpu_count()} CPUs)",
+        ["round", "queries", "verified", "RSS growth MB"],
+        rows,
+    )
+    assert failures <= int(policy["max_verification_failures"]), failures
+    assert metrics.get("requests", 0) >= rounds * holders
+    assert grown <= rss_ceiling, (
+        f"RSS grew {grown:.1f} MB over {rounds} rounds with {holders} held "
+        f"connections (ceiling {rss_ceiling:g} MB) — a per-connection leak "
+        f"multiplied a thousandfold"
+    )

@@ -55,6 +55,7 @@ _LAZY = {
     "InProcessTransport": "repro.api.transport",
     "HttpTransport": "repro.api.transport",
     "PooledHttpTransport": "repro.api.transport",
+    "AsyncTransport": "repro.api.transport",
 }
 
 __all__ = [

@@ -149,6 +149,16 @@ class RemoteClient:
         to turn into a failure value where one makes sense.
         """
         reply_frame = self._roundtrip(request.to_frame())
+        return self.interpret_exchange(reply_frame, reply_cls)
+
+    @staticmethod
+    def interpret_exchange(reply_frame: bytes, reply_cls) -> Message:
+        """Decode one reply frame into its expected typed message.
+
+        The transport-free half of :meth:`_exchange`, split out so
+        drivers that perform their own roundtrips (the asyncio load
+        driver) reuse the exact decoding discipline.
+        """
         message = decode_message(decode_frame(reply_frame))
         if isinstance(message, (reply_cls, ErrorMessage)):
             return message
@@ -238,6 +248,16 @@ class RemoteClient:
         """
         request = QueryRequest(source, target)
         reply_frame = self._roundtrip(request.to_frame())
+        return self.interpret_query_reply(source, target, reply_frame)
+
+    def interpret_query_reply(self, source: int, target: int,
+                              reply_frame: bytes) -> RemoteResult:
+        """Decode and verify one query reply frame.
+
+        The transport-free half of :meth:`query`: callers that already
+        carried the frame (async drivers, recorded traffic) get the
+        identical decoding, composite handling and verification.
+        """
         wire_bytes = len(reply_frame)
         message = decode_message(decode_frame(reply_frame))
         if isinstance(message, ErrorMessage):
@@ -285,6 +305,17 @@ class RemoteClient:
         pairs = [(int(s), int(t)) for s, t in pairs]
         request = BatchQueryRequest(tuple(pairs), multiproof=multiproof)
         reply_frame = self._roundtrip(request.to_frame())
+        return self.interpret_batch_reply(pairs, reply_frame)
+
+    def interpret_batch_reply(self, pairs,
+                              reply_frame: bytes) -> "list[RemoteResult]":
+        """Decode and verify one batch reply frame against its queries.
+
+        The transport-free half of :meth:`query_batch` (same multiproof
+        expansion, per-slot verdicts and wire accounting), reused by the
+        asyncio load driver.
+        """
+        pairs = [(int(s), int(t)) for s, t in pairs]
         message = decode_message(decode_frame(reply_frame))
         self._raise_on_error(message)
         if not isinstance(message, BatchQueryReply):

@@ -19,10 +19,16 @@ protocol layer never looks inside one, so the same
 * :class:`PooledHttpTransport` — the thread-safe variant for
   multi-threaded load drivers: one persistent connection per calling
   thread, all released by a single ``close()``.
+* :class:`AsyncTransport` — the event-loop variant: the same persistent
+  one-endpoint contract, but ``roundtrip`` is a coroutine, so one
+  thread can hold hundreds of these (one per simulated client) and
+  multiplex them on a single loop.  This is the demand side of the
+  async serving core.
 """
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import socket
 import threading
@@ -246,3 +252,165 @@ class PooledHttpTransport(Transport):
         # Threads keep their HttpTransport objects (closing only drops
         # sockets); re-track them so a later close() sees reused ones.
         self._local = threading.local()
+
+
+class AsyncTransport:
+    """Frames over a persistent connection, awaited on an event loop.
+
+    Same one-endpoint contract as :class:`HttpTransport` — ``POST
+    {base_url}/rpc``, frame in, frame out, status 200 or bust — and the
+    same connection discipline: the first ``roundtrip`` dials, later
+    ones reuse the connection, a failure on a *reused* connection is
+    retried once on a fresh dial, ``Connection: close`` from the server
+    drops the connection so the next call redials.
+
+    The difference is concurrency shape: this class is **not** for
+    threads at all.  One event loop holds C of these (one per simulated
+    client), and each carries at most one in-flight request — so a
+    single driver thread sustains hundreds to thousands of persistent
+    keep-alive connections, the regime the spawn-per-client SLO harness
+    could never reach.
+
+    Must be used from the event loop that first dialed it; the HTTP
+    response is parsed by hand (status line, headers, sized body)
+    because ``http.client`` is blocking.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme != "http" or split.hostname is None:
+            raise ProtocolError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = split.hostname
+        self._port = split.port if split.port is not None else 80
+        self._path_prefix = split.path
+        host_header = split.hostname
+        if ":" in host_header:  # bare IPv6 literal → bracket for Host:
+            host_header = f"[{host_header}]"
+        self._netloc = f"{host_header}:{self._port}"
+        self.timeout = timeout
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+
+    @property
+    def endpoint(self) -> str:
+        """The rpc URL frames are POSTed to."""
+        return f"{self.base_url}/rpc"
+
+    # ------------------------------------------------------------------
+    async def _connect(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self._host, self._port),
+                self.timeout,
+            )
+        except (OSError, asyncio.TimeoutError, TimeoutError) as exc:
+            self._reader = self._writer = None
+            raise ProtocolError(
+                f"cannot reach {self.endpoint}: {exc}"
+            ) from exc
+        sock = self._writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+
+    async def _drop(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _request(self, frame: bytes) -> bytes:
+        reader, writer = self._reader, self._writer
+        # Single write: request line, headers and body leave together.
+        writer.write(
+            (f"POST {self._path_prefix}/rpc HTTP/1.1\r\n"
+             f"Host: {self._netloc}\r\n"
+             f"Content-Type: application/octet-stream\r\n"
+             f"Content-Length: {len(frame)}\r\n\r\n").encode("latin-1")
+            + frame
+        )
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), self.timeout)
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+            raise ConnectionError(f"not an HTTP reply: {status_line[:40]!r}")
+        status = int(parts[1])
+        length = None
+        will_close = parts[0] == b"HTTP/1.0"
+        while True:
+            line = await asyncio.wait_for(reader.readline(), self.timeout)
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("server closed mid-headers")
+            name, sep, value = line.partition(b":")
+            if not sep:
+                raise ConnectionError(f"malformed header: {line[:40]!r}")
+            name = name.strip().lower()
+            if name == b"content-length":
+                length = int(value.strip())
+            elif name == b"connection":
+                will_close = value.strip().lower() == b"close"
+        if length is None:
+            raise ConnectionError("reply without Content-Length")
+        body = await asyncio.wait_for(reader.readexactly(length),
+                                      self.timeout)
+        if will_close:
+            # Keep-alive budget exhausted or shutdown: redial next call
+            # instead of tripping the stale-retry path.
+            await self._drop()
+        if status != 200:
+            raise ProtocolError(f"HTTP {status} from {self.endpoint}")
+        return body
+
+    async def roundtrip(self, frame: bytes) -> bytes:
+        """Deliver a request frame, return the reply frame."""
+        frame = bytes(frame)
+        fresh = self._writer is None
+        if fresh:
+            await self._connect()
+        try:
+            return await self._request(frame)
+        except ProtocolError:
+            raise
+        except (OSError, EOFError, ValueError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            await self._drop()
+            if fresh:
+                raise ProtocolError(
+                    f"transport failure against {self.endpoint}: {exc}"
+                ) from exc
+        # Stale reused connection: one retry on a fresh dial.
+        await self._connect()
+        try:
+            return await self._request(frame)
+        except ProtocolError:
+            raise
+        except (OSError, EOFError, ValueError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            await self._drop()
+            raise ProtocolError(
+                f"transport failure against {self.endpoint} "
+                f"(after reconnect): {exc}"
+            ) from exc
+
+    async def close(self) -> None:
+        """Drop the held connection (the next call redials)."""
+        await self._drop()
+
+    async def __aenter__(self) -> "AsyncTransport":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

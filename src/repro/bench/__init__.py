@@ -1,5 +1,6 @@
 """Experiment harness: build methods, run workloads, render tables."""
 
+from repro.bench.aioclient import AsyncClientPool, AsyncRemoteClient
 from repro.bench.harness import MethodRun, build_method, run_workload
 from repro.bench.profile import (
     BenchRecord,
@@ -20,6 +21,8 @@ from repro.bench.slo import (
 )
 
 __all__ = [
+    "AsyncClientPool",
+    "AsyncRemoteClient",
     "MethodRun",
     "build_method",
     "run_workload",

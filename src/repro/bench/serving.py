@@ -309,6 +309,8 @@ def run_http_loadtest(
     update_seed: int = 2010,
     keep_alive: bool = True,
     batch_size: int = 0,
+    async_clients: int = 0,
+    async_frontend: bool = False,
 ) -> HttpLoadtestReport:
     """Replay *queries* over real HTTP, verifying every wire response.
 
@@ -329,9 +331,21 @@ def run_http_loadtest(
     replays the workload as multiproof BATCH frames of that many
     queries instead of per-query QUERY frames (every recovered response
     still individually verified).
+
+    ``async_clients > 0`` swaps the single driver for an
+    :class:`~repro.bench.aioclient.AsyncClientPool` of that many
+    persistent event-loop clients (``keep_alive`` is then implied), and
+    ``async_frontend=True`` serves through
+    :class:`~repro.service.aio.AsyncProofHttpServer` instead of the
+    threaded frontend — the two switches compose, so the same workload
+    measures any frontend × driver pairing.
     """
+    import contextlib
+
     from repro.api.client import RemoteClient
     from repro.api.transport import HttpTransport
+    from repro.bench.aioclient import AsyncClientPool
+    from repro.service.aio import AsyncProofHttpServer
     from repro.service.http import ProofHttpServer
 
     if passes < 2:
@@ -344,13 +358,30 @@ def run_http_loadtest(
         raise ServiceError("updates_per_pass needs an update_signer to re-sign")
     if batch_size < 0:
         raise ServiceError(f"batch_size must be >= 0, got {batch_size}")
+    if async_clients < 0:
+        raise ServiceError(f"async_clients must be >= 0, got {async_clients}")
+    if async_clients and not keep_alive:
+        raise ServiceError(
+            "async clients hold persistent connections; --no-keepalive "
+            "only applies to the single-connection driver")
 
     server = ProofServer(method, cache_size=cache_size)
     dispatcher = server.dispatcher(update_signer=update_signer)
+    server_cls = AsyncProofHttpServer if async_frontend else ProofHttpServer
     results: list[HttpLoadtestPass] = []
-    with ProofHttpServer(dispatcher) as http_server, \
-            HttpTransport(http_server.url, keep_alive=keep_alive) as transport:
-        client = RemoteClient(transport, verify_signature)
+    with contextlib.ExitStack() as stack:
+        http_server = stack.enter_context(server_cls(dispatcher))
+        if async_clients:
+            # Generous per-request timeout: with hundreds of in-flight
+            # requests on an oversubscribed box, honest queueing delay
+            # can reach tens of seconds without anything being wrong.
+            client = stack.enter_context(AsyncClientPool(
+                http_server.url, verify_signature, clients=async_clients,
+                timeout=120.0))
+        else:
+            transport = stack.enter_context(
+                HttpTransport(http_server.url, keep_alive=keep_alive))
+            client = RemoteClient(transport, verify_signature)
         hello = client.hello()
         if hello.method != method.name:
             raise ServiceError(
@@ -361,7 +392,9 @@ def run_http_loadtest(
             wire = 0
             proof = 0
             bad: list[str] = []
-            if batch_size:
+            if async_clients:
+                outcomes = client.run_chunk(chunk, batch_size=batch_size)
+            elif batch_size:
                 groups = [chunk[i:i + batch_size]
                           for i in range(0, len(chunk), batch_size)]
                 outcomes = [r for group in groups

@@ -34,6 +34,7 @@ policy file checked in under ``benchmarks/`` is what CI enforces.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import threading
 import time
@@ -56,13 +57,76 @@ from repro.workload.traffic import (
 
 
 # ----------------------------------------------------------------------
-# Client-side event execution (shared by thread and process clients)
+# Client-side event execution (shared by thread, process, async clients)
 # ----------------------------------------------------------------------
-def _execute_event(client, transport, event) -> dict:
-    """Send one traffic event; return its flat outcome record.
+def _blank_outcome(event) -> dict:
+    """The flat outcome record every event execution fills in.
 
-    The record is a plain dict so process clients can ship it over a
-    multiprocessing queue without custom picklers.
+    A plain dict so process clients can ship it over a multiprocessing
+    queue without custom picklers.
+    """
+    return {"kind": event.kind, "latency": 0.0, "wire": 0, "proof": 0,
+            "queries": 0, "verified": 0, "cached": 0, "failures": [],
+            "garbage_kind": event.garbage_kind, "garbage_outcome": ""}
+
+
+def _note_query(out: dict, vs: int, vt: int, result) -> None:
+    """Account one verified query result into *out*."""
+    out["wire"] = result.wire_bytes
+    out["proof"] = len(result.response_bytes or b"")
+    out["queries"] = 1
+    out["cached"] = int(result.cached)
+    if result.ok:
+        out["verified"] = 1
+    else:
+        out["failures"].append(
+            f"({vs},{vt}): {result.verdict.reason} {result.verdict.detail}")
+
+
+def _note_batch(out: dict, results) -> None:
+    """Account one verified batch's results into *out*."""
+    out["queries"] = len(results)
+    for r in results:
+        out["wire"] += r.wire_bytes
+        out["proof"] += len(r.response_bytes or b"")
+        out["cached"] += int(r.cached)
+        if r.ok:
+            out["verified"] += 1
+        else:
+            out["failures"].append(
+                f"({r.source},{r.target}): {r.verdict.reason} "
+                f"{r.verdict.detail}")
+
+
+def _note_garbage_refusal(out: dict, event, exc: Exception) -> None:
+    """Classify an exception raised while carrying a garbage frame.
+
+    A :class:`ProtocolError` (transport rejection, or an error the reply
+    decoder surfaced) is a *typed* outcome; anything else is the untyped
+    failure the soak exists to catch.
+    """
+    if isinstance(exc, ProtocolError):
+        out["garbage_outcome"] = \
+            "typed" if event.expect in ("error", "any") else "unexpected"
+        if out["garbage_outcome"] == "unexpected":
+            out["failures"].append(
+                f"garbage {event.garbage_kind}: protocol-level refusal "
+                f"where a reply was expected")
+    else:
+        out["garbage_outcome"] = "untyped"
+        out["failures"].append(
+            f"garbage {event.garbage_kind}: untyped "
+            f"{type(exc).__name__}: {exc}")
+
+
+def _interpret_garbage_reply(out: dict, sync_client, event,
+                             reply_frame: bytes) -> None:
+    """Hold a garbage frame's reply against the event's expectation.
+
+    *sync_client* is a :class:`~repro.api.client.RemoteClient` — async
+    drivers pass the one embedded in their
+    :class:`~repro.bench.aioclient.AsyncRemoteClient`, so the verdict
+    logic is byte-for-byte shared across every client mode.
     """
     from repro.api.envelope import (
         ErrorMessage,
@@ -72,109 +136,114 @@ def _execute_event(client, transport, event) -> dict:
         decode_message,
     )
 
-    out = {"kind": event.kind, "latency": 0.0, "wire": 0, "proof": 0,
-           "queries": 0, "verified": 0, "cached": 0, "failures": [],
-           "garbage_kind": event.garbage_kind, "garbage_outcome": ""}
+    try:
+        message = decode_message(decode_frame(reply_frame))
+    except Exception as exc:  # noqa: BLE001 — classification is the point
+        _note_garbage_refusal(out, event, exc)
+        return
+    out["wire"] = len(reply_frame)
+    if event.expect == "error":
+        ok = isinstance(message, ErrorMessage)
+        out["garbage_outcome"] = "typed" if ok else "unexpected"
+        if not ok:
+            out["failures"].append(
+                f"garbage {event.garbage_kind}: expected a typed error, "
+                f"got {type(message).__name__}")
+    elif event.expect == "ok":  # replay of a valid frame: full service
+        if isinstance(message, QueryReply):
+            (vs, vt), = event.queries
+            if message.composite:  # a router answered with a stitch
+                verdict = sync_client._composite_verdict(vs, vt,
+                                                         message.composite)
+            else:
+                verdict = sync_client.client.verify_bytes(
+                    vs, vt, message.response_bytes)
+            out["garbage_outcome"] = "typed" if verdict.ok else "unexpected"
+            if not verdict.ok:
+                out["failures"].append(
+                    f"garbage replay ({vs},{vt}): {verdict.reason} "
+                    f"{verdict.detail}")
+        else:
+            out["garbage_outcome"] = "unexpected"
+            out["failures"].append(
+                f"garbage replay: expected QueryReply, "
+                f"got {type(message).__name__}")
+    else:  # "any": a typed error or a well-formed reply both pass
+        out["garbage_outcome"] = "typed"
+        if isinstance(message, QueryReply):
+            # The flip may have landed in the query ids; decode the
+            # mutated frame ourselves to know what was actually asked.
+            try:
+                mutated = decode_message(decode_frame(event.frame))
+            except Exception:  # noqa: BLE001
+                mutated = None
+            if isinstance(mutated, QueryRequest):
+                if message.composite:
+                    verdict = sync_client._composite_verdict(
+                        mutated.source, mutated.target, message.composite)
+                else:
+                    verdict = sync_client.client.verify_bytes(
+                        mutated.source, mutated.target,
+                        message.response_bytes)
+                if not verdict.ok:
+                    out["garbage_outcome"] = "unexpected"
+                    out["failures"].append(
+                        f"garbage bitflip: reply failed verification: "
+                        f"{verdict.reason} {verdict.detail}")
+
+
+def _execute_event(client, transport, event) -> dict:
+    """Send one traffic event; return its flat outcome record."""
+    out = _blank_outcome(event)
     start = time.perf_counter()
     if event.kind == EVENT_QUERY:
         (vs, vt), = event.queries
         result = client.query(vs, vt)
         out["latency"] = time.perf_counter() - start
-        out["wire"] = result.wire_bytes
-        out["proof"] = len(result.response_bytes or b"")
-        out["queries"] = 1
-        out["cached"] = int(result.cached)
-        if result.ok:
-            out["verified"] = 1
-        else:
-            out["failures"].append(
-                f"({vs},{vt}): {result.verdict.reason} {result.verdict.detail}")
+        _note_query(out, vs, vt, result)
     elif event.kind == EVENT_BATCH:
         results = client.query_many(event.queries)
         out["latency"] = time.perf_counter() - start
-        out["queries"] = len(results)
-        for r in results:
-            out["wire"] += r.wire_bytes
-            out["proof"] += len(r.response_bytes or b"")
-            out["cached"] += int(r.cached)
-            if r.ok:
-                out["verified"] += 1
-            else:
-                out["failures"].append(
-                    f"({r.source},{r.target}): {r.verdict.reason} "
-                    f"{r.verdict.detail}")
+        _note_batch(out, results)
     elif event.kind == EVENT_GARBAGE:
         try:
             reply_frame = transport.roundtrip(event.frame)
-            message = decode_message(decode_frame(reply_frame))
-        except ProtocolError:
-            # A protocol-level refusal (transport rejection or an error
-            # the reply decoder surfaced) is a *typed* outcome.
-            out["latency"] = time.perf_counter() - start
-            out["garbage_outcome"] = \
-                "typed" if event.expect in ("error", "any") else "unexpected"
-            if out["garbage_outcome"] == "unexpected":
-                out["failures"].append(
-                    f"garbage {event.garbage_kind}: protocol-level refusal "
-                    f"where a reply was expected")
-            return out
         except Exception as exc:  # noqa: BLE001 — this is the assertion
             out["latency"] = time.perf_counter() - start
-            out["garbage_outcome"] = "untyped"
-            out["failures"].append(
-                f"garbage {event.garbage_kind}: untyped "
-                f"{type(exc).__name__}: {exc}")
+            _note_garbage_refusal(out, event, exc)
             return out
         out["latency"] = time.perf_counter() - start
-        out["wire"] = len(reply_frame)
-        if event.expect == "error":
-            ok = isinstance(message, ErrorMessage)
-            out["garbage_outcome"] = "typed" if ok else "unexpected"
-            if not ok:
-                out["failures"].append(
-                    f"garbage {event.garbage_kind}: expected a typed error, "
-                    f"got {type(message).__name__}")
-        elif event.expect == "ok":  # replay of a valid frame: full service
-            if isinstance(message, QueryReply):
-                (vs, vt), = event.queries
-                if message.composite:  # a router answered with a stitch
-                    verdict = client._composite_verdict(vs, vt,
-                                                        message.composite)
-                else:
-                    verdict = client.client.verify_bytes(
-                        vs, vt, message.response_bytes)
-                out["garbage_outcome"] = "typed" if verdict.ok else "unexpected"
-                if not verdict.ok:
-                    out["failures"].append(
-                        f"garbage replay ({vs},{vt}): {verdict.reason} "
-                        f"{verdict.detail}")
-            else:
-                out["garbage_outcome"] = "unexpected"
-                out["failures"].append(
-                    f"garbage replay: expected QueryReply, "
-                    f"got {type(message).__name__}")
-        else:  # "any": a typed error or a well-formed reply both pass
-            out["garbage_outcome"] = "typed"
-            if isinstance(message, QueryReply):
-                # The flip may have landed in the query ids; decode the
-                # mutated frame ourselves to know what was actually asked.
-                try:
-                    mutated = decode_message(decode_frame(event.frame))
-                except Exception:  # noqa: BLE001
-                    mutated = None
-                if isinstance(mutated, QueryRequest):
-                    if message.composite:
-                        verdict = client._composite_verdict(
-                            mutated.source, mutated.target, message.composite)
-                    else:
-                        verdict = client.client.verify_bytes(
-                            mutated.source, mutated.target,
-                            message.response_bytes)
-                    if not verdict.ok:
-                        out["garbage_outcome"] = "unexpected"
-                        out["failures"].append(
-                            f"garbage bitflip: reply failed verification: "
-                            f"{verdict.reason} {verdict.detail}")
+        _interpret_garbage_reply(out, client, event, reply_frame)
+    return out
+
+
+async def _execute_event_async(client, event) -> dict:
+    """The event-loop twin of :func:`_execute_event`.
+
+    *client* is an :class:`~repro.bench.aioclient.AsyncRemoteClient`;
+    only the roundtrips are awaited — every accounting and verdict path
+    is the shared sync helper the other client modes use.
+    """
+    out = _blank_outcome(event)
+    start = time.perf_counter()
+    if event.kind == EVENT_QUERY:
+        (vs, vt), = event.queries
+        result = await client.query(vs, vt)
+        out["latency"] = time.perf_counter() - start
+        _note_query(out, vs, vt, result)
+    elif event.kind == EVENT_BATCH:
+        results = await client.query_many(event.queries)
+        out["latency"] = time.perf_counter() - start
+        _note_batch(out, results)
+    elif event.kind == EVENT_GARBAGE:
+        try:
+            reply_frame = await client.transport.roundtrip(event.frame)
+        except Exception as exc:  # noqa: BLE001 — this is the assertion
+            out["latency"] = time.perf_counter() - start
+            _note_garbage_refusal(out, event, exc)
+            return out
+        out["latency"] = time.perf_counter() - start
+        _interpret_garbage_reply(out, client.client, event, reply_frame)
     return out
 
 
@@ -195,6 +264,48 @@ def _run_events(client, transport, events, *, open_loop: bool,
                 time.sleep(delay)
         outcomes.append(_execute_event(client, transport, event))
     return outcomes
+
+
+def _run_events_async(url: str, shards, verify_signature, *,
+                      open_loop: bool, time_scale: float) -> "list[dict]":
+    """Run every shard as a coroutine client on one private event loop.
+
+    Each shard gets its own persistent
+    :class:`~repro.api.transport.AsyncTransport` (one connection, one
+    in-flight request — a simulated user), and all shards run
+    concurrently on a single loop in the calling thread.  Pacing
+    matches :func:`_run_events`: open loop sleeps only when ahead of
+    schedule.
+    """
+    from repro.api.transport import AsyncTransport
+    from repro.bench.aioclient import AsyncRemoteClient
+
+    async def run_shard(shard) -> "list[dict]":
+        transport = AsyncTransport(url)
+        client = AsyncRemoteClient(transport, verify_signature)
+        outcomes = []
+        start = time.perf_counter()
+        try:
+            for event in shard:
+                if open_loop:
+                    delay = start + event.at * time_scale - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                outcomes.append(await _execute_event_async(client, event))
+        finally:
+            await transport.close()
+        return outcomes
+
+    async def run_all() -> "list[dict]":
+        shard_outcomes = await asyncio.gather(
+            *(run_shard(shard) for shard in shards if shard))
+        return [o for outcomes in shard_outcomes for o in outcomes]
+
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(run_all())
+    finally:
+        loop.close()
 
 
 def _client_main(index: int, url: str, key_path: str, events,
@@ -518,6 +629,12 @@ def _drive_phase(phase, events, *, url: str, clients: int, client_mode: str,
                 f"without reporting")
         for process in processes:
             process.join(timeout=5.0)
+    elif client_mode == "async":
+        # Every shard is a coroutine on one loop: the only client shape
+        # that reaches hundreds-to-thousands of concurrent connections.
+        outcomes.extend(_run_events_async(
+            url, shards, verify_signature,
+            open_loop=open_loop, time_scale=time_scale))
     else:  # threads: same pacing logic, in-process verifier
         from repro.api.client import RemoteClient
         from repro.api.transport import HttpTransport
@@ -582,6 +699,7 @@ def run_slo_soak(
     workers: int = 1,
     url: "str | None" = None,
     graph=None,
+    frontend: str = "threaded",
 ) -> SloReport:
     """Run *scenario* against a live serving stack; report per phase.
 
@@ -607,8 +725,17 @@ def run_slo_soak(
     spawns real client processes that verify with the public key file
     at *key_path*; ``"thread"`` keeps clients in-process using
     *verify_signature* — same pacing, no spawn latency, right for unit
-    tests.  ``time_scale`` stretches (>1) or compresses (<1) every
-    arrival timestamp.
+    tests.  ``"async"`` multiplexes every client as a coroutine with
+    its own persistent connection on one event loop — the only mode
+    that scales to hundreds or thousands of concurrent connections
+    (point it at a single-box frontend; composite router replies would
+    need an out-of-band manifest).  ``time_scale`` stretches (>1) or
+    compresses (<1) every arrival timestamp.
+
+    ``frontend="async"`` serves through the event-loop frontend
+    (:class:`~repro.service.aio.AsyncProofHttpServer`) instead of the
+    threaded one — inline and worker-pool modes only; an external
+    *url*'s frontend is not this harness's to choose.
     """
     from repro.api.client import RemoteClient
     from repro.api.transport import HttpTransport
@@ -616,14 +743,21 @@ def run_slo_soak(
 
     if clients < 1:
         raise ServiceError(f"clients must be >= 1, got {clients}")
-    if client_mode not in ("process", "thread"):
+    if client_mode not in ("process", "thread", "async"):
         raise ServiceError(f"unknown client_mode {client_mode!r}")
+    if frontend not in ("threaded", "async"):
+        raise ServiceError(
+            f"frontend must be 'threaded' or 'async', got {frontend!r}")
+    if frontend == "async" and url is not None:
+        raise ServiceError(
+            "an external endpoint's frontend is its own; frontend "
+            "selection only applies when the soak boots the server")
     if client_mode == "process" and key_path is None:
         raise ServiceError("process clients need key_path to verify with")
-    if client_mode == "thread" and verify_signature is None:
+    if client_mode in ("thread", "async") and verify_signature is None:
         if key_path is None:
             raise ServiceError(
-                "thread clients need verify_signature or key_path")
+                f"{client_mode} clients need verify_signature or key_path")
         verify_signature = load_public_key(key_path).verify
     if time_scale <= 0:
         raise ServiceError(f"time_scale must be positive, got {time_scale}")
@@ -702,7 +836,7 @@ def run_slo_soak(
         from repro.service.workers import WorkerPool
 
         with WorkerPool(artifact_path, workers=workers,
-                        cache_size=cache_size) as pool:
+                        cache_size=cache_size, frontend=frontend) as pool:
             reports, freshness, floor = drive(pool.url, None)
             url = pool.url
             server_metrics = fetch_http_metrics(url)
@@ -717,12 +851,15 @@ def run_slo_soak(
             final_version=floor, freshness_failures=tuple(freshness),
         )
 
+    from repro.service.aio import AsyncProofHttpServer
     from repro.service.http import ProofHttpServer
     from repro.service.server import ProofServer
 
+    server_cls = AsyncProofHttpServer if frontend == "async" \
+        else ProofHttpServer
     server = ProofServer(method, cache_size=cache_size)
     dispatcher = server.dispatcher(update_signer=update_signer)
-    with ProofHttpServer(dispatcher) as http_server:
+    with server_cls(dispatcher) as http_server:
         url = http_server.url
         reports, freshness, floor = drive(url, server)
         server_metrics = fetch_http_metrics(url)

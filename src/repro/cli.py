@@ -377,11 +377,13 @@ def _cmd_serve_workers(args: argparse.Namespace) -> int:
     """``serve --artifact --http --workers N``: the pre-forked pool."""
     from repro.service.workers import WorkerPool
 
+    frontend = "async" if args.async_frontend else "threaded"
     pool = WorkerPool(args.artifact, workers=args.workers, host=args.host,
-                      port=args.http, cache_size=args.cache_size)
+                      port=args.http, cache_size=args.cache_size,
+                      frontend=frontend)
     pool.start()
-    print(f"{args.workers} workers serving {args.artifact} on {pool.url} "
-          f"(SO_REUSEPORT, cache {args.cache_size} per worker); "
+    print(f"{args.workers} {frontend} workers serving {args.artifact} on "
+          f"{pool.url} (SO_REUSEPORT, cache {args.cache_size} per worker); "
           f"POST frames to {pool.url}/rpc, Ctrl-C to stop", flush=True)
     try:
         while True:
@@ -452,7 +454,14 @@ def _cmd_serve_router(args: argparse.Namespace) -> int:
             source = f"embedded workers from {paths}"
         router = stack.enter_context(
             ShardRouter(manifest, transports, graph))
-        http_server = ProofHttpServer(router, host=args.host, port=args.http)
+        if args.async_frontend:
+            from repro.service.aio import AsyncProofHttpServer
+
+            http_server = AsyncProofHttpServer(router, host=args.host,
+                                               port=args.http)
+        else:
+            http_server = ProofHttpServer(router, host=args.host,
+                                          port=args.http)
         print(f"{manifest.method} shard router on {http_server.url}: "
               f"{manifest.num_shards} shards "
               f"({manifest.num_boundary_nodes} boundary nodes, "
@@ -512,13 +521,21 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         )
     update_signer = owner.signer if args.allow_updates else None
     dispatcher = server.dispatcher(update_signer=update_signer)
-    http_server = ProofHttpServer(dispatcher, host=args.host, port=args.http)
+    if args.async_frontend:
+        from repro.service.aio import AsyncProofHttpServer
+
+        http_server = AsyncProofHttpServer(dispatcher, host=args.host,
+                                           port=args.http)
+    else:
+        http_server = ProofHttpServer(dispatcher, host=args.host,
+                                      port=args.http)
     pushes = ("enabled — trusted networks only" if args.allow_updates
               else "disabled")
     source = f"artifact {args.artifact}" if owner is None else \
         f"build {build_seconds:.2f}s"
+    frontend = "async frontend" if args.async_frontend else "threaded frontend"
     print(f"{method.name} proof service on {http_server.url} "
-          f"({source}, cache {args.cache_size}, "
+          f"({source}, {frontend}, cache {args.cache_size}, "
           f"update pushes {pushes}); "
           f"POST frames to {http_server.url}/rpc, Ctrl-C to stop",
           flush=True)
@@ -541,6 +558,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "add --router")
     if args.http is not None:
         return _cmd_serve_http(args)
+    if args.async_frontend:
+        raise ServiceError(
+            "--async selects the HTTP event-loop frontend; add --http PORT")
     owner, method, build_seconds = _serving_method(args)
     if args.save_key:
         if owner is None:
@@ -615,6 +635,11 @@ def _cmd_loadtest_workers(args: argparse.Namespace) -> int:
             "against a pool; use the single-server loadtest for update-aware "
             "replays"
         )
+    if args.async_clients:
+        raise ServiceError(
+            "--async-clients drives the in-process loadtest; against a "
+            "worker pool use --scenario with --client-mode async"
+        )
     if args.save_key:
         raise ServiceError(
             "--save-key needs the building side; an artifact-backed loadtest "
@@ -679,6 +704,15 @@ def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
 
     if not args.http:
         raise ServiceError("loadtest --scenario drives the wire path; add --http")
+    if args.async_clients:
+        raise ServiceError(
+            "--scenario sizes its client pool with --clients; add "
+            "--client-mode async for coroutine clients")
+    if args.async_frontend and args.url:
+        raise ServiceError(
+            "--async selects the frontend of the server this soak boots; "
+            "an external --url endpoint's frontend is its own")
+    frontend = "async" if args.async_frontend else "threaded"
     scenario = get_scenario(args.scenario)
     if args.events_scale != 1.0:
         scenario = scenario.scaled(args.events_scale)
@@ -719,6 +753,7 @@ def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
             clients=clients, client_mode=args.client_mode, seed=args.seed,
             time_scale=args.time_scale, cache_size=args.cache_size,
             artifact_path=args.artifact, workers=args.workers,
+            frontend=frontend,
         )
         source = f"artifact {args.artifact}, {args.workers} workers"
     else:
@@ -745,6 +780,7 @@ def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
             update_signer=owner.signer, clients=clients,
             client_mode=args.client_mode, seed=args.seed,
             time_scale=args.time_scale, cache_size=args.cache_size,
+            frontend=frontend,
         )
         if not args.save_key:
             os.unlink(key_path)
@@ -801,6 +837,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 "add --http"
             )
         return _cmd_loadtest_workers(args)
+    if (args.async_clients or args.async_frontend) and not args.http:
+        raise ServiceError(
+            "--async/--async-clients drive the wire path; add --http")
     owner, method, build_seconds = _published_method(args)
     if args.save_key:
         save_public_key(owner.signer, args.save_key)
@@ -822,12 +861,18 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             updates_per_pass=args.updates, update_signer=owner.signer,
             update_seed=args.seed,
             keep_alive=not args.no_keepalive, batch_size=args.batch_size,
+            async_clients=args.async_clients,
+            async_frontend=args.async_frontend,
         )
+        frontend = "async" if args.async_frontend else "threaded"
+        driver = (f"{args.async_clients} async clients"
+                  if args.async_clients else "1 driver connection")
         print(format_table(
             list(HttpLoadtestReport.TABLE_HEADERS), report.table_rows(),
             title=(f"{args.method} HTTP load test: {len(queries)} queries x "
                    f"{args.passes} passes on {args.graph} via {report.url} "
-                   f"(build {build_seconds:.2f}s)"),
+                   f"({frontend} frontend, {driver}, "
+                   f"build {build_seconds:.2f}s)"),
         ))
         print(f"\nwarm/cold wire speedup: {report.speedup:.1f}x, "
               f"bytes-on-wire / proof bytes: {report.wire_overhead_ratio:.4f}x")
@@ -1118,6 +1163,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "of pre-forked SO_REUSEPORT worker processes")
         p.add_argument("--no-coalesce", action="store_true",
                        help="answer bursts per query instead of batching")
+        p.add_argument("--async", dest="async_frontend", action="store_true",
+                       help="with --http: serve through the asyncio "
+                            "event-loop frontend instead of the "
+                            "thread-per-connection one (same wire protocol; "
+                            "lifts the concurrent-connection ceiling)")
         p.add_argument("--save-key",
                        help="write the owner's public key file (for "
                             "`repro-spv verify` / RemoteClient users)")
@@ -1201,6 +1251,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="with --http: send queries as multiproof BATCH "
                          "frames of this many queries instead of per-query "
                          "QUERY frames (0 = per-query)")
+    lt.add_argument("--async-clients", type=int, default=0,
+                    help="with --http: drive the workload with this many "
+                         "persistent event-loop clients on one thread "
+                         "instead of the single-connection driver "
+                         "(0 = single driver)")
     lt.add_argument("--range", type=float, default=2000.0)
     lt.add_argument("--count", type=int, default=20)
     lt.add_argument("--seed", type=int, default=0)
@@ -1222,10 +1277,13 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--clients", type=int, default=0,
                     help="scenario client pool size (default: --workers "
                          "inline, 2 against an artifact pool)")
-    lt.add_argument("--client-mode", choices=["process", "thread"],
+    lt.add_argument("--client-mode",
+                    choices=["process", "thread", "async"],
                     default="process",
-                    help="scenario clients as real processes (default) or "
-                         "in-process threads (faster startup)")
+                    help="scenario clients as real processes (default), "
+                         "in-process threads (faster startup), or "
+                         "coroutines on one event loop (scales to "
+                         "hundreds of connections)")
     lt.add_argument("--time-scale", type=float, default=1.0,
                     help="stretch (>1) or compress (<1) scenario arrival "
                          "timestamps")

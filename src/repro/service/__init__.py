@@ -18,6 +18,7 @@ Typical use::
     print(server.snapshot().qps)
 """
 
+from repro.service.aio import AsyncProofHttpServer
 from repro.service.cache import CacheEntry, CacheStats, ProofCache
 from repro.service.http import ProofHttpServer
 from repro.service.metrics import (
@@ -40,6 +41,7 @@ from repro.service.workers import WorkerPool
 __all__ = [
     "ProofServer",
     "ProofHttpServer",
+    "AsyncProofHttpServer",
     "ProofRequest",
     "UpdateRequest",
     "ServedResponse",

@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api import codes
@@ -52,6 +53,13 @@ DEFAULT_HANDLER_TIMEOUT = 30.0
 #: one client can monopolize a handler thread; well-behaved clients
 #: (:class:`~repro.api.transport.HttpTransport`) redial transparently.
 DEFAULT_MAX_KEEPALIVE_REQUESTS = 1000
+
+#: How long :meth:`ProofHttpServer.close` waits for requests that are
+#: already being handled to finish before giving up on them.  Idle
+#: keep-alive connections are *not* waited for — only connections whose
+#: request line has arrived and whose response is still being produced
+#: or written.
+DEFAULT_DRAIN_TIMEOUT = 5.0
 
 
 def connectable_host(bound_host: str) -> str:
@@ -96,7 +104,35 @@ class _FrameHandler(BaseHTTPRequestHandler):
         self.timeout = getattr(self.server, "handler_timeout",
                                DEFAULT_HANDLER_TIMEOUT)
         self._requests_served = 0
+        self._inflight = False
         super().setup()
+
+    # -- in-flight accounting (the shutdown drain) ---------------------
+    # Handler threads are daemons, so ``server_close()`` does not join
+    # them: without accounting, ``close()`` could return (and the
+    # process exit) while a response is mid-write on a pipelined
+    # connection.  A handler counts as in-flight from the moment a
+    # request line has arrived until its response is flushed; idle
+    # keep-alive waits are deliberately *not* counted, so shutdown never
+    # waits on a client that is merely holding a connection open.
+    def parse_request(self) -> bool:
+        cv = getattr(self.server, "inflight_cv", None)
+        if cv is not None and not self._inflight:
+            with cv:
+                self.server.inflight_count += 1
+            self._inflight = True
+        return super().parse_request()
+
+    def handle_one_request(self) -> None:
+        try:
+            super().handle_one_request()
+        finally:
+            if self._inflight:
+                self._inflight = False
+                cv = self.server.inflight_cv
+                with cv:
+                    self.server.inflight_count -= 1
+                    cv.notify_all()
 
     def _send(self, status: int, body: bytes,
               content_type: str = "application/octet-stream") -> None:
@@ -177,8 +213,22 @@ class _FrameHandler(BaseHTTPRequestHandler):
         """Per-request stderr logging off by default (serving hot path)."""
 
 
-class _ReusePortHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that joins an ``SO_REUSEPORT`` listener group.
+class _FrameHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a listen backlog sized for storms.
+
+    The socketserver default of 5 pending connections predates
+    persistent high-concurrency clients: a few hundred keep-alive
+    clients dialing at once overflow it, their SYNs get dropped, and
+    the stragglers sit in multi-second kernel retransmit backoff before
+    the server ever sees them.  Match the async frontend's backlog so
+    the two are comparable connection-storm for connection-storm.
+    """
+
+    request_queue_size = 1024
+
+
+class _ReusePortHTTPServer(_FrameHTTPServer):
+    """Frame server that joins an ``SO_REUSEPORT`` listener group.
 
     Several processes binding the same port this way have the kernel
     load-balance incoming connections across them — the pre-forked
@@ -220,6 +270,7 @@ class ProofHttpServer:
                  port: int = 0, reuse_port: bool = False,
                  handler_timeout: float = DEFAULT_HANDLER_TIMEOUT,
                  max_keepalive_requests: int = DEFAULT_MAX_KEEPALIVE_REQUESTS,
+                 drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
                  ) -> None:
         if not hasattr(dispatcher, "dispatch"):
             raise ServiceError(
@@ -235,13 +286,20 @@ class ProofHttpServer:
                 f"max_keepalive_requests must be >= 0, got "
                 f"{max_keepalive_requests}"
             )
+        if drain_timeout < 0:
+            raise ServiceError(
+                f"drain_timeout must be >= 0, got {drain_timeout}"
+            )
         self.dispatcher = dispatcher
-        server_cls = _ReusePortHTTPServer if reuse_port else ThreadingHTTPServer
+        self.drain_timeout = drain_timeout
+        server_cls = _ReusePortHTTPServer if reuse_port else _FrameHTTPServer
         self._httpd = server_cls((host, port), _FrameHandler)
         self._httpd.dispatcher = dispatcher
         self._httpd.daemon_threads = True
         self._httpd.handler_timeout = handler_timeout
         self._httpd.max_keepalive_requests = max_keepalive_requests
+        self._httpd.inflight_cv = threading.Condition()
+        self._httpd.inflight_count = 0
         self._thread: "threading.Thread | None" = None
         self._served = False
 
@@ -291,12 +349,29 @@ class ProofHttpServer:
         self._httpd.serve_forever()
 
     def close(self) -> None:
-        """Stop serving and release the listening socket."""
+        """Stop serving and release the listening socket.
+
+        Requests whose handling has already begun are *drained*: close
+        waits (up to ``drain_timeout``) until their responses have been
+        flushed, so a client that was mid-exchange on a pipelined
+        connection gets its reply instead of an aborted socket.  Idle
+        keep-alive connections are not waited for.
+        """
         if self._served:
             # shutdown() waits on the serve_forever loop's exit event,
             # which only exists once a loop has run; calling it on a
             # never-served instance would block forever.
             self._httpd.shutdown()
+            # Handler threads are daemons (server_close() will not join
+            # them), so without this wait an in-flight response could be
+            # severed by process exit right after close() returns.
+            cv = self._httpd.inflight_cv
+            deadline = time.monotonic() + self.drain_timeout
+            with cv:
+                while self._httpd.inflight_count > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not cv.wait(timeout=remaining):
+                        break
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

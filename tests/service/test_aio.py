@@ -1,0 +1,448 @@
+"""The asyncio frontend: same wire contract, event-loop concurrency.
+
+Two obligations anchor this battery.  First, **contract parity**: the
+async frontend must be indistinguishable from the threaded one on the
+wire — byte-identical reply frames for all four methods, the same
+``/healthz``/``/metrics`` endpoints, and full interop in both
+directions (sync transport → async server, async transport → threaded
+server).  Second, the **long-lived-connection defences** the threaded
+frontend already has, re-proven against the event loop: slow-loris and
+short bodies answered with typed ``E_REQUEST_TIMEOUT`` frames, garbage
+bytes on a kept-alive socket answered with a typed
+``E_MALFORMED_FRAME`` frame (not a silent reset), over-budget
+connections shed with ``Connection: close``, and the keep-alive
+request budget honoured.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.api import codes
+from repro.api.client import RemoteClient
+from repro.api.envelope import (
+    ErrorMessage,
+    HelloRequest,
+    QueryRequest,
+    decode_frame,
+    decode_message,
+)
+from repro.api.transport import AsyncTransport, HttpTransport
+from repro.errors import ServiceError
+from repro.service.aio import AsyncProofHttpServer
+from repro.service.http import ProofHttpServer
+from repro.service.server import ProofServer
+
+
+@pytest.fixture()
+def dispatcher(dij):
+    return ProofServer(dij, cache_size=64).dispatcher()
+
+
+def post_raw(host, port, body, *, content_length=None, settle=1.0):
+    """POST /rpc with full control over framing; return the raw reply."""
+    length = len(body) if content_length is None else content_length
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(
+            b"POST /rpc HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Type: application/octet-stream\r\n"
+            + f"Content-Length: {length}\r\n\r\n".encode()
+        )
+        sock.sendall(body)
+        sock.shutdown(socket.SHUT_WR)
+        sock.settimeout(settle + 10.0)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except TimeoutError:
+            pass
+        return b"".join(chunks)
+
+
+def http_post(frame: bytes) -> bytes:
+    """One well-formed POST /rpc request as raw bytes."""
+    return (b"POST /rpc HTTP/1.1\r\nHost: test\r\n"
+            b"Content-Type: application/octet-stream\r\n"
+            + f"Content-Length: {len(frame)}\r\n\r\n".encode() + frame)
+
+
+def read_response(sock) -> "tuple[dict, bytes]":
+    """Read one HTTP response off *sock*: (lowercased headers, body)."""
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("peer closed before headers completed")
+        buffer += chunk
+    head, rest = buffer.split(b"\r\n\r\n", 1)
+    lines = head.split(b"\r\n")
+    headers = {"_status": lines[0].decode("latin-1")}
+    for line in lines[1:]:
+        name, _, value = line.partition(b":")
+        headers[name.strip().decode().lower()] = value.strip().decode()
+    length = int(headers["content-length"])
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("peer closed mid-body")
+        rest += chunk
+    return headers, rest[:length]
+
+
+def error_code_of(http_reply: bytes) -> str:
+    """Extract the wire error code from a raw HTTP response."""
+    frame = http_reply.split(b"\r\n\r\n", 1)[1]
+    message = decode_message(decode_frame(frame))
+    assert isinstance(message, ErrorMessage)
+    return message.code
+
+
+# ----------------------------------------------------------------------
+# Contract parity with the threaded frontend
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_sync_client_full_session(self, dispatcher, signer, workload):
+        """The stdlib persistent transport works against the event loop."""
+        with AsyncProofHttpServer(dispatcher) as server, \
+                HttpTransport(server.url) as transport:
+            client = RemoteClient(transport, signer.verify)
+            assert client.hello().method == "DIJ"
+            for vs, vt in workload[:4]:
+                assert client.query(vs, vt).ok
+            assert all(r.ok for r in client.query_many(workload[:4]))
+
+    def test_async_transport_against_threaded_server(self, dispatcher,
+                                                     signer, workload):
+        """And the awaited transport works against the threaded frontend."""
+        import asyncio
+
+        from repro.bench.aioclient import AsyncRemoteClient
+
+        with ProofHttpServer(dispatcher) as server:
+            async def drive():
+                transport = AsyncTransport(server.url)
+                client = AsyncRemoteClient(transport, signer.verify)
+                try:
+                    hello = await client.hello()
+                    results = [await client.query(vs, vt)
+                               for vs, vt in workload[:3]]
+                    batch = await client.query_batch(workload[:3])
+                finally:
+                    await transport.close()
+                return hello, results, batch
+
+            loop = asyncio.new_event_loop()
+            try:
+                hello, results, batch = loop.run_until_complete(drive())
+            finally:
+                loop.close()
+        assert hello.method == "DIJ"
+        assert all(r.ok for r in results)
+        assert all(r.ok for r in batch)
+
+    def test_replies_byte_identical_across_frontends(
+            self, dij, full, ldm, hyp, workload):
+        """Same frames, fresh caches → identical reply bytes, 4 methods."""
+        frames = [HelloRequest().to_frame()]
+        frames += [QueryRequest(vs, vt).to_frame() for vs, vt in workload[:4]]
+        frames += [QueryRequest(*workload[0]).to_frame()]  # a cached repeat
+        for method in (dij, full, ldm, hyp):
+            replies = {}
+            for label, server_cls in (("threaded", ProofHttpServer),
+                                      ("async", AsyncProofHttpServer)):
+                dispatcher = ProofServer(method, cache_size=64).dispatcher()
+                with server_cls(dispatcher) as server, \
+                        socket.create_connection(
+                            (server.host, server.port), timeout=10.0) as sock:
+                    bodies = []
+                    for frame in frames:
+                        sock.sendall(http_post(frame))
+                        _headers, body = read_response(sock)
+                        bodies.append(body)
+                    replies[label] = bodies
+            assert replies["threaded"] == replies["async"], method.name
+
+    def test_healthz_and_metrics(self, dispatcher):
+        import json
+        import urllib.request
+
+        with AsyncProofHttpServer(dispatcher) as server:
+            with urllib.request.urlopen(f"{server.url}/healthz",
+                                        timeout=5.0) as reply:
+                assert reply.read() == b"ok"
+            with urllib.request.urlopen(f"{server.url}/metrics",
+                                        timeout=5.0) as reply:
+                metrics = json.loads(reply.read())
+        assert metrics["requests"] == 0
+        assert "hit_rate" in metrics and "cache_capacity" in metrics
+
+    def test_unknown_path_404_and_unknown_verb_501(self, dispatcher):
+        with AsyncProofHttpServer(dispatcher) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+                headers, _body = read_response(sock)
+                assert "404" in headers["_status"]
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(b"PUT /rpc HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Length: 0\r\n\r\n")
+                headers, _body = read_response(sock)
+                assert "501" in headers["_status"]
+
+    def test_pipelined_requests_one_write(self, dispatcher, workload):
+        """Two requests in one segment come back as two in-order replies."""
+        first = QueryRequest(*workload[0]).to_frame()
+        second = QueryRequest(*workload[1]).to_frame()
+        with AsyncProofHttpServer(dispatcher) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(http_post(first) + http_post(second))
+                _h1, body1 = read_response(sock)
+                _h2, body2 = read_response(sock)
+        assert decode_frame(body1).msg_type == decode_frame(body2).msg_type
+        # In-order: each reply must answer its own query's frame.
+        one = decode_message(decode_frame(body1))
+        two = decode_message(decode_frame(body2))
+        assert one.response_bytes != two.response_bytes
+
+
+# ----------------------------------------------------------------------
+# Long-lived-connection defences
+# ----------------------------------------------------------------------
+class TestDefences:
+    def test_short_body_gets_typed_error_frame(self, dispatcher, workload):
+        frame = QueryRequest(*workload[0]).to_frame()
+        with AsyncProofHttpServer(dispatcher) as server:
+            reply = post_raw(server.host, server.port, frame[:3],
+                             content_length=len(frame))
+        assert error_code_of(reply) == codes.E_REQUEST_TIMEOUT
+
+    def test_slow_loris_body_times_out_typed(self, dispatcher, workload):
+        frame = QueryRequest(*workload[0]).to_frame()
+        with AsyncProofHttpServer(dispatcher, handler_timeout=0.5) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(
+                    b"POST /rpc HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {len(frame)}\r\n\r\n".encode()
+                    + frame[:2])  # ...and then nothing, forever
+                headers, body = read_response(sock)
+        message = decode_message(decode_frame(body))
+        assert isinstance(message, ErrorMessage)
+        assert message.code == codes.E_REQUEST_TIMEOUT
+        assert headers.get("connection") == "close"
+
+    def test_slow_loris_headers_time_out_typed(self, dispatcher):
+        with AsyncProofHttpServer(dispatcher, handler_timeout=0.5) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(b"POST /rpc HTTP/1.1\r\nHost: t\r\n")  # stalls
+                _headers, body = read_response(sock)
+        message = decode_message(decode_frame(body))
+        assert isinstance(message, ErrorMessage)
+        assert message.code == codes.E_REQUEST_TIMEOUT
+
+    def test_idle_keepalive_closed_silently(self, dispatcher, workload):
+        """An idle peer is dropped without a frame — it asked nothing."""
+        frame = QueryRequest(*workload[0]).to_frame()
+        with AsyncProofHttpServer(dispatcher, handler_timeout=0.5) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(http_post(frame))
+                _headers, _body = read_response(sock)  # request 1 is served
+                sock.settimeout(10.0)
+                assert sock.recv(65536) == b""  # then idle → clean EOF
+
+    def test_garbage_on_kept_alive_socket_typed_then_close(
+            self, dispatcher, workload):
+        """Non-HTTP bytes after a valid request: typed frame, then EOF."""
+        frame = QueryRequest(*workload[0]).to_frame()
+        with AsyncProofHttpServer(dispatcher) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(http_post(frame))
+                _headers, body = read_response(sock)
+                assert decode_message(decode_frame(body))  # served fine
+                sock.sendall(b"\x00\xff RSPV garbage not an http request\r\n")
+                headers, body = read_response(sock)
+                message = decode_message(decode_frame(body))
+                assert isinstance(message, ErrorMessage)
+                assert message.code == codes.E_MALFORMED_FRAME
+                assert headers.get("connection") == "close"
+                sock.settimeout(10.0)
+                assert sock.recv(65536) == b""
+
+    def test_over_budget_connections_shed(self, dispatcher, workload):
+        """Beyond max_connections: full service, but Connection: close."""
+        frame = QueryRequest(*workload[0]).to_frame()
+        with AsyncProofHttpServer(dispatcher, max_connections=2) as server:
+            holders = [socket.create_connection((server.host, server.port),
+                                                timeout=10.0)
+                       for _ in range(2)]
+            try:
+                for held in holders:  # make sure both are accepted + served
+                    held.sendall(http_post(frame))
+                    headers, _body = read_response(held)
+                    assert "connection" not in headers
+                with socket.create_connection((server.host, server.port),
+                                              timeout=10.0) as shed:
+                    shed.sendall(http_post(frame))
+                    headers, body = read_response(shed)
+                    assert headers.get("connection") == "close"
+                    # Shed ≠ refused: the reply is a full valid answer.
+                    assert not isinstance(
+                        decode_message(decode_frame(body)), ErrorMessage)
+                    assert shed.recv(65536) == b""
+            finally:
+                for held in holders:
+                    held.close()
+
+    def test_keepalive_budget_closes_after_n_requests(self, dispatcher,
+                                                      workload):
+        frame = QueryRequest(*workload[0]).to_frame()
+        with AsyncProofHttpServer(dispatcher,
+                                  max_keepalive_requests=3) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                seen_close = False
+                for index in range(3):
+                    sock.sendall(http_post(frame))
+                    headers, _body = read_response(sock)
+                    if index < 2:
+                        assert "connection" not in headers
+                    else:
+                        assert headers.get("connection") == "close"
+                        seen_close = True
+                assert seen_close
+                assert sock.recv(65536) == b""
+
+    def test_oversized_body_rejected_413(self, dispatcher):
+        from repro.service.http import MAX_REQUEST_BYTES
+
+        with AsyncProofHttpServer(dispatcher) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(
+                    b"POST /rpc HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {MAX_REQUEST_BYTES + 1}\r\n\r\n".encode())
+                headers, _body = read_response(sock)
+        assert "413" in headers["_status"]
+
+    def test_missing_length_rejected_411(self, dispatcher):
+        with AsyncProofHttpServer(dispatcher) as server:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=10.0) as sock:
+                sock.sendall(b"POST /rpc HTTP/1.1\r\nHost: t\r\n\r\n")
+                headers, _body = read_response(sock)
+        assert "411" in headers["_status"]
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_constructor_validation(self, dispatcher):
+        with pytest.raises(ServiceError):
+            AsyncProofHttpServer(object())
+        for kwargs in ({"handler_timeout": 0.0},
+                       {"max_keepalive_requests": -1},
+                       {"max_connections": 0},
+                       {"dispatch_workers": 0},
+                       {"drain_timeout": -1.0}):
+            with pytest.raises(ServiceError):
+                AsyncProofHttpServer(dispatcher, **kwargs).close()
+
+    def test_port_resolves_before_start(self, dispatcher):
+        server = AsyncProofHttpServer(dispatcher)
+        try:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.close()  # never started: must still release the socket
+
+    def test_double_start_rejected(self, dispatcher):
+        with AsyncProofHttpServer(dispatcher) as server:
+            with pytest.raises(ServiceError):
+                server.start()
+
+    def test_close_idempotent(self, dispatcher):
+        server = AsyncProofHttpServer(dispatcher).start()
+        server.close()
+        server.close()
+
+    def test_port_collision_is_typed(self, dispatcher):
+        with AsyncProofHttpServer(dispatcher) as server:
+            with pytest.raises(ServiceError, match="cannot bind"):
+                AsyncProofHttpServer(dispatcher, port=server.port)
+
+    def test_reuse_port_group(self, dij, signer, workload):
+        if not hasattr(socket, "SO_REUSEPORT"):
+            pytest.skip("platform has no SO_REUSEPORT")
+        first = AsyncProofHttpServer(
+            ProofServer(dij, cache_size=16).dispatcher(), reuse_port=True)
+        second = AsyncProofHttpServer(
+            ProofServer(dij, cache_size=16).dispatcher(),
+            port=first.port, reuse_port=True)
+        with first, second, HttpTransport(first.url) as transport:
+            client = RemoteClient(transport, signer.verify)
+            assert all(client.query(vs, vt).ok for vs, vt in workload[:3])
+
+    def test_close_drops_idle_connections_fast(self, dispatcher, workload):
+        """Shutdown must not wait drain_timeout for merely-open peers."""
+        frame = QueryRequest(*workload[0]).to_frame()
+        server = AsyncProofHttpServer(dispatcher, drain_timeout=30.0).start()
+        idle = socket.create_connection((server.host, server.port),
+                                        timeout=10.0)
+        try:
+            idle.sendall(http_post(frame))
+            read_response(idle)  # established + served, now idle
+            start = time.monotonic()
+            server.close()
+            assert time.monotonic() - start < 10.0
+        finally:
+            idle.close()
+
+
+# ----------------------------------------------------------------------
+# The asyncio client pool
+# ----------------------------------------------------------------------
+class TestAsyncClientPool:
+    def test_pool_drives_both_frontends(self, dij, signer, workload):
+        from repro.bench.aioclient import AsyncClientPool
+
+        for server_cls in (ProofHttpServer, AsyncProofHttpServer):
+            dispatcher = ProofServer(dij, cache_size=64).dispatcher()
+            with server_cls(dispatcher) as server, \
+                    AsyncClientPool(server.url, signer.verify,
+                                    clients=5) as pool:
+                assert pool.hello().method == "DIJ"
+                results = pool.run_chunk(workload)
+                assert len(results) == len(workload)
+                assert all(r.ok for r in results)
+                batched = pool.run_chunk(workload, batch_size=3)
+                assert all(r.ok for r in batched)
+
+    def test_pool_validation(self, signer):
+        from repro.bench.aioclient import AsyncClientPool
+
+        with pytest.raises(ServiceError):
+            AsyncClientPool("http://127.0.0.1:1", signer.verify, clients=0)
+
+    def test_pool_closed_is_typed(self, dij, signer):
+        from repro.bench.aioclient import AsyncClientPool
+
+        dispatcher = ProofServer(dij, cache_size=16).dispatcher()
+        with AsyncProofHttpServer(dispatcher) as server:
+            pool = AsyncClientPool(server.url, signer.verify, clients=2)
+            pool.close()
+            with pytest.raises(ServiceError, match="closed"):
+                pool.hello()

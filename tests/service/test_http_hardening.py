@@ -13,6 +13,7 @@ IPv6 binds must advertise an address a client can actually dial.
 from __future__ import annotations
 
 import socket
+import threading
 import time
 
 import pytest
@@ -202,3 +203,99 @@ class TestKeepAliveBudget:
             ProofHttpServer(dispatcher, handler_timeout=-1.0)
         with pytest.raises(ServiceError):
             ProofHttpServer(dispatcher, max_keepalive_requests=-1)
+        with pytest.raises(ServiceError):
+            ProofHttpServer(dispatcher, drain_timeout=-1.0)
+
+
+class _GatedDispatcher:
+    """Delegates to a real dispatcher, but holds each request at a gate.
+
+    ``started`` fires once a handler thread has entered dispatch —
+    i.e. the request is *in flight*; ``release`` lets it finish.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def dispatch(self, frame: bytes) -> bytes:
+        self.started.set()
+        self.release.wait(30.0)
+        return self.inner.dispatch(frame)
+
+    def metrics_json(self) -> str:
+        return self.inner.metrics_json()
+
+
+class TestShutdownDrain:
+    """close() must not guillotine requests already being computed.
+
+    Handler threads are daemonic (a *stuck* handler must never pin the
+    process), so before the drain fix ``server_close`` returned while a
+    handler was mid-dispatch and process exit silently dropped its
+    reply.  Now close waits — bounded by ``drain_timeout`` — for
+    in-flight responses to go out the socket.
+    """
+
+    def _issue(self, server, frame, box):
+        request = (
+            b"POST /rpc HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Type: application/octet-stream\r\n"
+            + f"Content-Length: {len(frame)}\r\n\r\n".encode() + frame
+        )
+        try:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=30.0) as sock:
+                sock.sendall(request)
+                sock.shutdown(socket.SHUT_WR)  # one request, then EOF
+                chunks = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                box["raw"] = b"".join(chunks)
+        except OSError as exc:
+            box["error"] = exc
+
+    def test_inflight_request_survives_close(self, dij, workload):
+        gated = _GatedDispatcher(ProofServer(dij, cache_size=64).dispatcher())
+        server = ProofHttpServer(gated, drain_timeout=20.0).start()
+        frame = QueryRequest(*workload[0]).to_frame()
+        box: dict = {}
+        requester = threading.Thread(
+            target=self._issue, args=(server, frame, box), daemon=True)
+        requester.start()
+        assert gated.started.wait(10.0), "request never reached dispatch"
+        closer = threading.Thread(target=server.close, daemon=True)
+        closer.start()
+        time.sleep(0.3)  # close() is now inside its drain wait
+        assert closer.is_alive(), "close returned while a request was live"
+        gated.release.set()
+        closer.join(30.0)
+        requester.join(30.0)
+        assert not closer.is_alive() and not requester.is_alive()
+        raw = box.get("raw")
+        assert raw, f"in-flight reply was dropped: {box.get('error')}"
+        assert b"200" in raw.split(b"\r\n", 1)[0]
+        message = decode_message(decode_frame(raw.split(b"\r\n\r\n", 1)[1]))
+        assert not isinstance(message, ErrorMessage)
+
+    def test_drain_wait_is_bounded(self, dij, workload):
+        gated = _GatedDispatcher(ProofServer(dij, cache_size=64).dispatcher())
+        # Never release: the handler wedges for 30s, the drain gives up
+        # after 0.5s and close() returns anyway.
+        server = ProofHttpServer(gated, drain_timeout=0.5).start()
+        frame = QueryRequest(*workload[0]).to_frame()
+        box: dict = {}
+        requester = threading.Thread(
+            target=self._issue, args=(server, frame, box), daemon=True)
+        requester.start()
+        assert gated.started.wait(10.0)
+        start = time.monotonic()
+        server.close()
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0, f"close took {elapsed:.1f}s despite the bound"
+        gated.release.set()  # unwedge the daemon thread before teardown
+        requester.join(10.0)
